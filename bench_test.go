@@ -1,0 +1,205 @@
+package cimloop
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/macros"
+	"repro/internal/mapper"
+	"repro/internal/valuesim"
+	"repro/internal/workload"
+)
+
+// benchOpts keeps per-iteration work bounded so the full bench suite
+// completes in minutes while still regenerating every figure's series.
+func benchOpts() experiments.Options {
+	return experiments.Options{Fast: true, Seed: 1, Workers: 4}
+}
+
+// benchExperiment runs one paper artifact end to end per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(name, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// One benchmark per table and figure in the paper's evaluation.
+
+func BenchmarkFig2a(b *testing.B)  { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)  { benchExperiment(b, "fig2b") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationAmortization(b *testing.B) { benchExperiment(b, "ablation-amortization") }
+func BenchmarkAblationJointVsIndependent(b *testing.B) {
+	benchExperiment(b, "ablation-joint")
+}
+
+// Micro-benchmarks isolating the model's hot paths.
+
+func benchEngine(b *testing.B) (*core.Engine, *core.LayerContext) {
+	b.Helper()
+	arch, err := macros.Base(macros.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := eng.PrepareLayer(workload.ResNet18().Layers[5])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, ctx
+}
+
+// BenchmarkPrepareLayer measures the per-layer data-value-dependent setup
+// (Algorithm 1 lines 3-7), which is amortized over mappings.
+func BenchmarkPrepareLayer(b *testing.B) {
+	eng, _ := benchEngine(b)
+	layer := workload.ResNet18().Layers[5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.PrepareLayer(layer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateMapping measures the per-mapping cost (Algorithm 1
+// lines 8-10) — the loop that dominates design-space exploration.
+func BenchmarkEvaluateMapping(b *testing.B) {
+	eng, ctx := benchEngine(b)
+	m, err := eng.GreedyMapping(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateMapping(ctx, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapperSample measures candidate mapping generation throughput.
+func BenchmarkMapperSample(b *testing.B) {
+	eng, ctx := benchEngine(b)
+	opts := eng.Arch().MapperOptions(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := mapper.Sample(eng.Arch().Levels, ctx.Sliced, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) == 0 {
+			b.Fatal("no mappings")
+		}
+	}
+}
+
+// BenchmarkValueSimulator measures the value-level ground truth: the slow
+// path the statistical model replaces (Table II's left column).
+func BenchmarkValueSimulator(b *testing.B) {
+	arch, err := macros.Base(macros.Config{Rows: 32, Cols: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := workload.ResNet18().Layers[5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := valuesim.Simulate(eng, layer, valuesim.Config{Steps: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkEvaluation measures a full ResNet18 sweep at a small
+// mapping budget: the end-to-end exploration workload.
+func BenchmarkNetworkEvaluation(b *testing.B) {
+	arch, err := macros.Base(macros.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := workload.ResNet18()
+	net.Layers = net.Layers[:6]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateNetwork(net, 8, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMappingsPerSecond reports the paper's Table II headline metric
+// directly as mappings/sec on one core.
+func BenchmarkMappingsPerSecond(b *testing.B) {
+	eng, ctx := benchEngine(b)
+	cands, err := mapper.Sample(eng.Arch().Levels, ctx.Sliced, eng.Arch().MapperOptions(256, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateMapping(ctx, cands[i%len(cands)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "mappings/s")
+}
+
+// Example-style sanity: the facade compiles and evaluates end to end.
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		arch, err := Macro("macro-b")
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := NewEngine(arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net, err := MaxUtilization(64, 64, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := eng.EvaluateLayer(net.Layers[0], 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Energy <= 0 {
+			b.Fatal("no energy")
+		}
+	}
+}

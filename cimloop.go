@@ -1,0 +1,134 @@
+// Package cimloop is a from-scratch Go implementation of CiMLoop
+// (Andrulis, Emer, Sze — ISPASS 2024): a flexible, accurate, and fast
+// Compute-In-Memory (CiM) modeling tool.
+//
+// CiMLoop models full CiM systems — devices, circuits, architecture,
+// workload, and mapping together — with three key pieces:
+//
+//   - A flexible container-hierarchy specification describing circuits and
+//     architecture in one representation with per-component data
+//     movement/reuse directives (packages spec and specfile).
+//   - An accurate data-value-dependent energy model that captures the
+//     interaction between operand value distributions, data encodings/bit
+//     slicing, and circuit energy (packages dist, enc, circuits, core).
+//   - A fast statistical model that computes average energy per action
+//     once per layer and amortizes it over thousands of mappings
+//     (package core), validated against a value-level simulator
+//     (package valuesim).
+//
+// This package is the public facade: construct published macro models or
+// parse your own textual spec, compile an Engine, and evaluate workloads.
+//
+//	arch, _ := cimloop.Macro("macro-b")
+//	eng, _ := cimloop.NewEngine(arch)
+//	net, _ := cimloop.NetworkByName("resnet18")
+//	res, _ := eng.EvaluateNetwork(net, 100, 0)
+//	fmt.Println(res.TOPSPerW())
+package cimloop
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/macros"
+	"repro/internal/report"
+	"repro/internal/specfile"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// Core modeling types.
+type (
+	// Arch is a compiled-ready CiM architecture: flattened hierarchy,
+	// technology context, data representation, and mapper guidance.
+	Arch = core.Arch
+	// Engine evaluates layers and mappings on an Arch.
+	Engine = core.Engine
+	// Result is one layer evaluation (energy, breakdown, throughput).
+	Result = core.Result
+	// NetworkResult aggregates per-layer results over a network.
+	NetworkResult = core.NetworkResult
+	// LayerContext is the per-layer amortized state (PMFs and per-action
+	// energies).
+	LayerContext = core.LayerContext
+)
+
+// Workload types.
+type (
+	// Network is a DNN workload: a sequence of layers with operand
+	// statistics.
+	Network = workload.Network
+	// Layer is one tensor operation plus operand statistics.
+	Layer = workload.Layer
+)
+
+// MacroConfig parameterizes the published macro models (Table III).
+type MacroConfig = macros.Config
+
+// SystemConfig parameterizes full-system composition (Fig. 15).
+type SystemConfig = system.Config
+
+// Scenario selects the full-system data placement (Fig. 15).
+type Scenario = system.Scenario
+
+// Full-system data placement scenarios.
+const (
+	AllDRAM          = system.AllDRAM
+	WeightStationary = system.WeightStationary
+	OnChipIO         = system.OnChipIO
+)
+
+// Table is a rendered experiment result.
+type Table = report.Table
+
+// ExperimentOptions tunes experiment reproduction runs.
+type ExperimentOptions = experiments.Options
+
+// NewEngine validates and compiles an architecture.
+func NewEngine(a *Arch) (*Engine, error) { return core.NewEngine(a) }
+
+// Macro constructs a published macro model by name: "base", "macro-a",
+// "macro-b", "macro-c", "macro-d", or "digital-cim".
+func Macro(name string) (*Arch, error) { return macros.ByName(name) }
+
+// MacroBase builds the Base (NeuroSim-style) macro with overrides.
+func MacroBase(cfg MacroConfig) (*Arch, error) { return macros.Base(cfg) }
+
+// MacroA builds Macro A (Jia et al., 65 nm SRAM) with overrides.
+func MacroA(cfg MacroConfig) (*Arch, error) { return macros.A(cfg) }
+
+// MacroB builds Macro B (Sinangil et al., 7 nm SRAM) with overrides.
+func MacroB(cfg MacroConfig) (*Arch, error) { return macros.B(cfg) }
+
+// MacroC builds Macro C (Wan et al., 130 nm ReRAM) with overrides.
+func MacroC(cfg MacroConfig) (*Arch, error) { return macros.C(cfg) }
+
+// MacroD builds Macro D (Wang et al., 22 nm SRAM C-2C) with overrides.
+func MacroD(cfg MacroConfig) (*Arch, error) { return macros.D(cfg) }
+
+// NetworkByName returns a model-zoo workload: "resnet18", "vit-base",
+// "mobilenetv3-large", "gpt2", or "toy".
+func NetworkByName(name string) (*Network, error) { return workload.ByName(name) }
+
+// MaxUtilization returns a matrix-vector workload exactly matching a
+// rows x cols array.
+func MaxUtilization(rows, cols, vectors int) (*Network, error) {
+	return workload.MaxUtilization(rows, cols, vectors)
+}
+
+// ParseSpec decodes a textual container-hierarchy specification into an
+// architecture (see internal/specfile for the format).
+func ParseSpec(text string) (*Arch, error) { return specfile.Parse(text) }
+
+// BuildSystem wraps a macro into a full system (DRAM + global buffer +
+// router + parallel macros) for the given scenario.
+func BuildSystem(macro *Arch, sc Scenario, cfg SystemConfig) (*Arch, error) {
+	return system.Build(macro, sc, cfg)
+}
+
+// Experiments lists the reproducible paper tables and figures.
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates one paper table or figure.
+func RunExperiment(name string, o ExperimentOptions) ([]*Table, error) {
+	return experiments.Run(name, o)
+}

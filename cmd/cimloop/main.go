@@ -1,0 +1,151 @@
+// Command cimloop runs the CiMLoop reproduction from the command line:
+// list and run paper experiments, inspect macro models, and evaluate
+// textual system specifications.
+//
+// Usage:
+//
+//	cimloop list
+//	cimloop run <experiment|all> [-fast] [-csv] [-mappings N] [-seed N]
+//	cimloop macros
+//	cimloop spec <file.yaml> [-network NAME] [-mappings N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/macros"
+	"repro/internal/report"
+	"repro/internal/specfile"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cimloop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	case "run":
+		return runExperiments(args[1:])
+	case "macros":
+		return listMacros()
+	case "spec":
+		return runSpec(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown subcommand %q", args[0])
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cimloop list                                       list experiments
+  cimloop run <experiment|all> [-fast] [-csv] ...    regenerate paper tables/figures
+  cimloop macros                                     show macro parameters (Table III)
+  cimloop spec <file.yaml> [-network NAME] ...       evaluate a textual specification`)
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fast := fs.Bool("fast", false, "reduced sizes for quick runs")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	mappings := fs.Int("mappings", 0, "mapping search budget (0 = default)")
+	seed := fs.Int64("seed", 0, "random seed")
+	if len(args) == 0 {
+		return fmt.Errorf("run: missing experiment name (try 'cimloop list')")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	opts := experiments.Options{Fast: *fast, MaxMappings: *mappings, Seed: *seed}
+	names := []string{name}
+	if name == "all" {
+		names = experiments.Names()
+	}
+	for _, n := range names {
+		tables, err := experiments.Run(n, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+	return nil
+}
+
+func listMacros() error {
+	t := report.NewTable("Macro models (paper Table III)",
+		"macro", "node", "device", "input bits", "weight bits", "array", "ADC bits")
+	for _, r := range macros.TableIII() {
+		t.AddRow(r.Macro, r.Node, r.Device, r.InputBits, r.WeightBits, r.Array, r.ADCBits)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func runSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ContinueOnError)
+	network := fs.String("network", "toy", "workload to evaluate")
+	mappings := fs.Int("mappings", 50, "mapping search budget")
+	seed := fs.Int64("seed", 0, "random seed")
+	if len(args) == 0 {
+		return fmt.Errorf("spec: missing file path")
+	}
+	path := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	arch, err := specfile.Parse(string(text))
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(arch)
+	if err != nil {
+		return err
+	}
+	net, err := workload.ByName(*network)
+	if err != nil {
+		return err
+	}
+	res, err := eng.EvaluateNetwork(net, *mappings, *seed)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("%s running %s", arch.Name, net.Name),
+		"metric", "value")
+	t.AddRow("energy (J)", report.Num(res.Energy))
+	t.AddRow("energy/MAC (pJ)", report.Num(res.EnergyPerMAC()*1e12))
+	t.AddRow("TOPS/W", report.Num(res.TOPSPerW()))
+	t.AddRow("GOPS", report.Num(res.GOPS()))
+	t.AddRow("area (mm^2)", report.Num(res.AreaUm2/1e6))
+	fmt.Println(t.String())
+	return nil
+}

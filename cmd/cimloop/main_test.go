@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMacros(t *testing.T) {
+	if err := run([]string{"macros"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExperimentFast(t *testing.T) {
+	if err := run([]string{"run", "table3", "-fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "fig4", "-fast", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"run"},
+		{"run", "nope", "-fast"},
+		{"spec"},
+		{"spec", "/does/not/exist.yaml"},
+	}
+	for _, c := range cases {
+		if err := run(c); err == nil {
+			t.Errorf("run(%v): want error", c)
+		}
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "macro.yaml")
+	spec := `
+name: cli-test
+node_nm: 45
+hierarchy:
+  - component: buffer
+    class: sram-buffer
+    temporal_reuse: [Inputs, Weights, Outputs]
+  - container: columns
+    mesh_x: 8
+    spatial_reuse: [Inputs]
+    children:
+      - component: adc
+        class: adc
+        no_coalesce: [Outputs]
+      - container: rows
+        mesh_y: 8
+        spatial_reuse: [Outputs]
+        children:
+          - component: cell
+            class: sram-cell
+            compute: true
+            temporal_reuse: [Weights]
+`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"spec", path, "-network", "toy", "-mappings", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	// Bad spec content errors cleanly.
+	bad := filepath.Join(dir, "bad.yaml")
+	if err := os.WriteFile(bad, []byte("name: x\nnode_nm: 3\nhierarchy: []"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"spec", bad}); err == nil {
+		t.Fatal("want error for bad spec")
+	}
+	// Unknown network errors cleanly.
+	if err := run([]string{"spec", path, "-network", "nope"}); err == nil {
+		t.Fatal("want error for unknown network")
+	}
+}

@@ -1,0 +1,142 @@
+// Package cactilite is a CACTI-style memory model (paper plug-in [50]):
+// SRAM buffer energy/area as a function of capacity, word width, and
+// technology node, plus an off-chip DRAM channel model. It supplies the
+// memory-hierarchy levels that surround CiM macros in full systems
+// (Fig. 15) — the global buffer, macro-local input/output buffers, and
+// DRAM backing storage.
+package cactilite
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tech"
+)
+
+// Reference constants at 65 nm, nominal Vdd.
+const (
+	readE0PerBitRef   = 50e-15         // fixed per-bit access cost
+	readE1PerBitRef   = 30e-15         // per-bit cost growing with sqrt(capacity KB)
+	writeFactor       = 1.2            // write / read energy ratio
+	sramCellAreaF2    = 150.0          // 6T storage bitcell in F²
+	arrayOverhead     = 1.45           // decoder/precharge/sense overhead factor
+	leakagePerKBRef   = 10e-6          // watts per KB at 65 nm
+	dramEnergyPerBit  = 4e-12          // off-chip DRAM access energy (node-independent)
+	maxBufferCapacity = int64(1) << 33 // 1 GiB in bits
+)
+
+// Buffer models an on-chip SRAM scratchpad.
+type Buffer struct {
+	name         string
+	capacityBits int64
+	wordBits     int
+	node         tech.Node
+	vdd          float64
+	readPerBit   float64
+	writePerBit  float64
+	area         float64
+	leakage      float64
+}
+
+// NewBuffer constructs an SRAM buffer. capacityBits is total storage,
+// wordBits the access word width. vdd of 0 selects the node's nominal.
+func NewBuffer(name string, capacityBits int64, wordBits int, node tech.Node, vdd float64) (*Buffer, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cactilite: buffer requires a name")
+	}
+	if capacityBits <= 0 || capacityBits > maxBufferCapacity {
+		return nil, fmt.Errorf("cactilite: buffer %q capacity %d bits out of (0, 2^33]", name, capacityBits)
+	}
+	if wordBits <= 0 || int64(wordBits) > capacityBits {
+		return nil, fmt.Errorf("cactilite: buffer %q word width %d out of (0, capacity]", name, wordBits)
+	}
+	if node.Nm == 0 {
+		return nil, fmt.Errorf("cactilite: buffer %q missing technology node", name)
+	}
+	if vdd == 0 {
+		vdd = node.Vdd
+	}
+	if vdd <= 0 {
+		return nil, fmt.Errorf("cactilite: buffer %q supply %g must be positive", name, vdd)
+	}
+	ref, err := tech.ByNm(65)
+	if err != nil {
+		return nil, err
+	}
+	kb := float64(capacityBits) / 8192.0
+	readRef := readE0PerBitRef + readE1PerBitRef*math.Sqrt(kb)
+	vr := vdd / node.Vdd
+	read := tech.ScaleEnergy(readRef, ref, node) * vr * vr
+	f := float64(node.Nm) * 1e-3 // feature size in µm
+	cellArea := sramCellAreaF2 * f * f
+	return &Buffer{
+		name:         name,
+		capacityBits: capacityBits,
+		wordBits:     wordBits,
+		node:         node,
+		vdd:          vdd,
+		readPerBit:   read,
+		writePerBit:  read * writeFactor,
+		area:         float64(capacityBits) * cellArea * arrayOverhead,
+		leakage:      tech.ScaleEnergy(leakagePerKBRef, ref, node) * kb,
+	}, nil
+}
+
+// Name returns the buffer's name.
+func (b *Buffer) Name() string { return b.name }
+
+// CapacityBits returns the total storage in bits.
+func (b *Buffer) CapacityBits() int64 { return b.capacityBits }
+
+// WordBits returns the access word width.
+func (b *Buffer) WordBits() int { return b.wordBits }
+
+// ReadEnergyPerBit returns joules per bit read.
+func (b *Buffer) ReadEnergyPerBit() float64 { return b.readPerBit }
+
+// WriteEnergyPerBit returns joules per bit written.
+func (b *Buffer) WriteEnergyPerBit() float64 { return b.writePerBit }
+
+// ReadEnergy returns joules for one word read.
+func (b *Buffer) ReadEnergy() float64 { return b.readPerBit * float64(b.wordBits) }
+
+// WriteEnergy returns joules for one word write.
+func (b *Buffer) WriteEnergy() float64 { return b.writePerBit * float64(b.wordBits) }
+
+// Area returns the buffer area in µm².
+func (b *Buffer) Area() float64 { return b.area }
+
+// LeakagePower returns static power in watts.
+func (b *Buffer) LeakagePower() float64 { return b.leakage }
+
+// DRAM models an off-chip DRAM channel with a flat per-bit access energy,
+// the standard first-order treatment for system studies.
+type DRAM struct {
+	name      string
+	perBit    float64
+	bandwidth float64 // bits per second
+}
+
+// NewDRAM constructs a DRAM channel. bandwidthGbps of 0 defaults to
+// 128 Gb/s (a single LPDDR-class channel).
+func NewDRAM(name string, bandwidthGbps float64) (*DRAM, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cactilite: dram requires a name")
+	}
+	if bandwidthGbps == 0 {
+		bandwidthGbps = 128
+	}
+	if bandwidthGbps < 0 || bandwidthGbps > 1e5 {
+		return nil, fmt.Errorf("cactilite: dram %q bandwidth %g Gb/s out of range", name, bandwidthGbps)
+	}
+	return &DRAM{name: name, perBit: dramEnergyPerBit, bandwidth: bandwidthGbps * 1e9}, nil
+}
+
+// Name returns the channel name.
+func (d *DRAM) Name() string { return d.name }
+
+// AccessEnergyPerBit returns joules per bit transferred (read or write).
+func (d *DRAM) AccessEnergyPerBit() float64 { return d.perBit }
+
+// BandwidthBitsPerSec returns the channel bandwidth.
+func (d *DRAM) BandwidthBitsPerSec() float64 { return d.bandwidth }

@@ -1,0 +1,146 @@
+package cactilite
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tech"
+)
+
+func node(t *testing.T, nm int) tech.Node {
+	t.Helper()
+	n, err := tech.ByNm(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBufferBasics(t *testing.T) {
+	n := node(t, 65)
+	b, err := NewBuffer("gb", 64*8192, 64, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "gb" || b.CapacityBits() != 64*8192 || b.WordBits() != 64 {
+		t.Fatalf("accessors wrong: %s %d %d", b.Name(), b.CapacityBits(), b.WordBits())
+	}
+	if b.ReadEnergyPerBit() <= 0 || b.WriteEnergyPerBit() <= b.ReadEnergyPerBit() {
+		t.Fatalf("read=%g write=%g", b.ReadEnergyPerBit(), b.WriteEnergyPerBit())
+	}
+	if b.ReadEnergy() != b.ReadEnergyPerBit()*64 {
+		t.Fatal("word read energy mismatch")
+	}
+	if b.WriteEnergy() != b.WriteEnergyPerBit()*64 {
+		t.Fatal("word write energy mismatch")
+	}
+	if b.Area() <= 0 || b.LeakagePower() <= 0 {
+		t.Fatalf("area=%g leak=%g", b.Area(), b.LeakagePower())
+	}
+	// Read energy magnitude: a 64KB 65nm buffer should be ~0.1-1 pJ/bit.
+	e := b.ReadEnergyPerBit()
+	if e < 20e-15 || e > 2e-12 {
+		t.Fatalf("64KB read energy %g J/bit out of plausible range", e)
+	}
+}
+
+func TestBufferScalesWithCapacityAndNode(t *testing.T) {
+	n65 := node(t, 65)
+	n7 := node(t, 7)
+	small, _ := NewBuffer("s", 8*8192, 64, n65, 0)
+	large, _ := NewBuffer("l", 1024*8192, 64, n65, 0)
+	if large.ReadEnergyPerBit() <= small.ReadEnergyPerBit() {
+		t.Error("larger buffers must cost more per bit")
+	}
+	if large.Area() <= small.Area() {
+		t.Error("larger buffers must be bigger")
+	}
+	b65, _ := NewBuffer("b", 64*8192, 64, n65, 0)
+	b7, _ := NewBuffer("b", 64*8192, 64, n7, 0)
+	if b7.ReadEnergyPerBit() >= b65.ReadEnergyPerBit() {
+		t.Error("finer node must cost less")
+	}
+	if b7.Area() >= b65.Area() {
+		t.Error("finer node must be smaller")
+	}
+}
+
+func TestBufferVoltageScaling(t *testing.T) {
+	n := node(t, 65)
+	nom, _ := NewBuffer("b", 8192, 8, n, 0)
+	low, _ := NewBuffer("b", 8192, 8, n, n.Vdd/2)
+	r := low.ReadEnergyPerBit() / nom.ReadEnergyPerBit()
+	if r < 0.24 || r > 0.26 {
+		t.Fatalf("half-voltage ratio = %g, want 0.25", r)
+	}
+}
+
+func TestBufferErrors(t *testing.T) {
+	n := node(t, 65)
+	cases := []struct {
+		name     string
+		capacity int64
+		word     int
+		node     tech.Node
+		vdd      float64
+	}{
+		{"", 8192, 8, n, 0},
+		{"b", 0, 8, n, 0},
+		{"b", 1 << 40, 8, n, 0},
+		{"b", 8192, 0, n, 0},
+		{"b", 64, 128, n, 0},
+		{"b", 8192, 8, tech.Node{}, 0},
+		{"b", 8192, 8, n, -1},
+	}
+	for i, c := range cases {
+		if _, err := NewBuffer(c.name, c.capacity, c.word, c.node, c.vdd); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestDRAM(t *testing.T) {
+	d, err := NewDRAM("dram", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "dram" {
+		t.Fatal("name")
+	}
+	if d.AccessEnergyPerBit() < 1e-12 || d.AccessEnergyPerBit() > 20e-12 {
+		t.Fatalf("DRAM energy %g J/bit implausible", d.AccessEnergyPerBit())
+	}
+	if d.BandwidthBitsPerSec() != 128e9 {
+		t.Fatalf("default bandwidth = %g", d.BandwidthBitsPerSec())
+	}
+	if _, err := NewDRAM("", 0); err == nil {
+		t.Error("want error for empty name")
+	}
+	if _, err := NewDRAM("d", -5); err == nil {
+		t.Error("want error for negative bandwidth")
+	}
+	if _, err := NewDRAM("d", 1e9); err == nil {
+		t.Error("want error for absurd bandwidth")
+	}
+}
+
+// Property: per-bit read energy is monotone non-decreasing in capacity.
+func TestQuickBufferMonotoneInCapacity(t *testing.T) {
+	n := node(t, 22)
+	f := func(a, b uint32) bool {
+		ca := int64(a%1_000_000) + 64
+		cb := int64(b%1_000_000) + 64
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		ba, err1 := NewBuffer("a", ca, 8, n, 0)
+		bb, err2 := NewBuffer("b", cb, 8, n, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ba.ReadEnergyPerBit() <= bb.ReadEnergyPerBit() && ba.Area() <= bb.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,530 @@
+package circuits
+
+import (
+	"fmt"
+)
+
+// Base constants, calibrated at the 65 nm reference node and nominal Vdd.
+// Magnitudes follow published surveys (ADC survey [53], Saberi DAC analysis
+// [54], NeuroSim cell models [6], Wan ReRAM macro [18]); precise values
+// matter less than the functional forms they parameterize.
+const (
+	adcFoMRef          = 30e-15 // J per conversion step (Walden FoM) at 65 nm
+	adcAreaPerStepRef  = 40.0   // µm² per conversion step at 65 nm
+	dacCapUnitRef      = 1.0e-15
+	dacCapFixedRef     = 10e-15
+	dacResFixedRef     = 120e-15
+	dacResVarRef       = 260e-15
+	dacAreaCapRef      = 300.0
+	dacAreaResRef      = 550.0
+	zeroGateFraction   = 0.05 // residual energy fraction when gating a zero
+	sramCellCapRef     = 5e-15
+	sramCellAreaF2     = 250.0 // 8T compute bitcell in F²
+	reramCellAreaF2    = 30.0  // 1T1R in F²
+	c2cMacEnergyRef    = 90e-15
+	c2cMacAreaRef      = 900.0
+	analogAdderE0Ref   = 6e-15
+	analogAdderKRef    = 26e-15
+	analogAdderAreaRef = 420.0
+	analogAccumE0Ref   = 8e-15
+	analogAccumKRef    = 20e-15
+	analogAccumAreaRef = 560.0
+)
+
+// ADC models a successive-approximation analog-to-digital converter using
+// the regression form of the paper's ADC plug-in [52]: energy per convert
+// scales with 2^resolution times a technology figure of merit. The
+// ValueAware variant models bit-level-sparsity-aware SAR ADCs [35] whose
+// switching energy falls for small codes.
+type ADC struct {
+	params     Params
+	vdd        float64
+	bits       int
+	valueAware bool
+	ePerConv   float64 // full-scale energy per conversion
+	area       float64
+}
+
+// NewADC constructs an ADC with the given output resolution.
+func NewADC(p Params, bits int, valueAware bool) (*ADC, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("adc", bits, 1, 14); err != nil {
+		return nil, err
+	}
+	steps := float64(int64(1) << uint(bits))
+	return &ADC{
+		params:     p,
+		vdd:        vdd,
+		bits:       bits,
+		valueAware: valueAware,
+		ePerConv:   scaleEnergy(adcFoMRef*steps, p, vdd),
+		area:       scaleArea(adcAreaPerStepRef*steps, p),
+	}, nil
+}
+
+// Name implements Model.
+func (a *ADC) Name() string { return "adc" }
+
+// Bits returns the ADC resolution.
+func (a *ADC) Bits() int { return a.bits }
+
+// EnergyAt implements Model. For value-aware ADCs, energy falls linearly
+// with the converted magnitude toward a 30% floor.
+func (a *ADC) EnergyAt(_, _, out float64) float64 {
+	if !a.valueAware {
+		return a.ePerConv
+	}
+	fs := fullScale(a.bits)
+	v := out
+	if v < 0 {
+		v = -v
+	}
+	if v > fs {
+		v = fs
+	}
+	return a.ePerConv * (0.3 + 0.7*v/fs)
+}
+
+// MeanEnergy implements Model.
+func (a *ADC) MeanEnergy(ops Operands) (float64, error) {
+	if !a.valueAware {
+		return a.ePerConv, nil
+	}
+	fs := fullScale(a.bits)
+	return meanOutput(ops, fs/2, func(v float64) float64 { return a.EnergyAt(0, 0, v) }), nil
+}
+
+// Area implements Model.
+func (a *ADC) Area() float64 { return a.area }
+
+// DACKind selects the DAC circuit style of Fig. 4.
+type DACKind int
+
+// The two DAC circuit families compared in Fig. 4.
+const (
+	// DACCapacitive is a binary-weighted capacitive DAC: switching energy
+	// grows linearly with the converted code ("DAC A").
+	DACCapacitive DACKind = iota
+	// DACResistive is a resistive-ladder DAC: a fixed static burn per
+	// convert plus output-drive energy quadratic in the code ("DAC B").
+	DACResistive
+)
+
+// DAC models a digital-to-analog converter whose per-convert energy is
+// data-value-dependent (paper §II-D, Fig. 4). Converting a zero is gated
+// to a small residual.
+type DAC struct {
+	params Params
+	kind   DACKind
+	bits   int
+	eUnit  float64 // per-code-step energy (capacitive)
+	eFixed float64 // fixed per-convert energy
+	eVar   float64 // full-scale quadratic term (resistive)
+	area   float64
+}
+
+// NewDAC constructs a DAC of the given kind and input resolution.
+func NewDAC(p Params, kind DACKind, bits int) (*DAC, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("dac", bits, 1, 12); err != nil {
+		return nil, err
+	}
+	d := &DAC{params: p, kind: kind, bits: bits}
+	switch kind {
+	case DACCapacitive:
+		d.eUnit = scaleEnergy(dacCapUnitRef, p, vdd)
+		d.eFixed = scaleEnergy(dacCapFixedRef, p, vdd)
+		d.area = scaleArea(dacAreaCapRef*float64(bits)/8, p)
+	case DACResistive:
+		d.eFixed = scaleEnergy(dacResFixedRef, p, vdd)
+		d.eVar = scaleEnergy(dacResVarRef, p, vdd)
+		d.area = scaleArea(dacAreaResRef*float64(bits)/8, p)
+	default:
+		return nil, fmt.Errorf("circuits: unknown DAC kind %d", kind)
+	}
+	return d, nil
+}
+
+// Name implements Model.
+func (d *DAC) Name() string {
+	if d.kind == DACCapacitive {
+		return "dac-capacitive"
+	}
+	return "dac-resistive"
+}
+
+// Bits returns the DAC resolution.
+func (d *DAC) Bits() int { return d.bits }
+
+// EnergyAt implements Model. in is the (non-negative) code converted.
+func (d *DAC) EnergyAt(in, _, _ float64) float64 {
+	fs := fullScale(d.bits)
+	v := in
+	if v < 0 {
+		v = -v
+	}
+	if v > fs {
+		v = fs
+	}
+	switch d.kind {
+	case DACCapacitive:
+		// Switched capacitors consume nothing for a zero code, so zero
+		// converts gate down to leakage.
+		e := d.eFixed + d.eUnit*v*fullScale(8)/fs // normalized to 8b code steps
+		if v == 0 {
+			return e * zeroGateFraction
+		}
+		return e
+	default:
+		// A resistive ladder burns its string current on every convert
+		// regardless of code; only the output drive is value-dependent.
+		n := v / fs
+		return d.eFixed + d.eVar*n*n
+	}
+}
+
+// MeanEnergy implements Model.
+func (d *DAC) MeanEnergy(ops Operands) (float64, error) {
+	fs := fullScale(d.bits)
+	return meanInput(ops, fs/2, func(v float64) float64 { return d.EnergyAt(v, 0, 0) }), nil
+}
+
+// Area implements Model.
+func (d *DAC) Area() float64 { return d.area }
+
+// ReRAMCell models a 1T1R resistive memory cell computing an analog MAC:
+// read energy is conductance × voltage² × read time (paper Algorithm 1).
+// The stored weight level maps linearly onto [GMin, GMax]; the input level
+// scales the applied read voltage.
+type ReRAMCell struct {
+	params     Params
+	gMin, gMax float64 // siemens
+	vRead      float64 // volts at full-scale input
+	tRead      float64 // seconds
+	inBits     int
+	wBits      int
+	area       float64
+}
+
+// NewReRAMCell constructs a ReRAM cell. Defaults follow the Wan et al.
+// CMOS-RRAM macro scale: GMin 0.5 µS, GMax 40 µS, 0.2 V read, 1 ns.
+func NewReRAMCell(p Params, inBits, wBits int) (*ReRAMCell, error) {
+	if _, err := p.validate(); err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("reram input", inBits, 1, 12); err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("reram weight", wBits, 1, 12); err != nil {
+		return nil, err
+	}
+	f := float64(p.Node.Nm) * 1e-3 // feature size in µm
+	return &ReRAMCell{
+		params: p,
+		gMin:   0.5e-6, gMax: 40e-6,
+		vRead: 0.2, tRead: 1e-9,
+		inBits: inBits, wBits: wBits,
+		area: reramCellAreaF2 * f * f,
+	}, nil
+}
+
+// Name implements Model.
+func (r *ReRAMCell) Name() string { return "reram-cell" }
+
+// Conductance maps a weight level to device conductance.
+func (r *ReRAMCell) Conductance(w float64) float64 {
+	fs := fullScale(r.wBits)
+	if w < 0 {
+		w = -w
+	}
+	if w > fs {
+		w = fs
+	}
+	return r.gMin + (r.gMax-r.gMin)*w/fs
+}
+
+// EnergyAt implements Model: E = G(w) · (Vread·in/fs)² · Tread.
+func (r *ReRAMCell) EnergyAt(in, weight, _ float64) float64 {
+	fs := fullScale(r.inBits)
+	if in < 0 {
+		in = -in
+	}
+	if in > fs {
+		in = fs
+	}
+	v := r.vRead * in / fs
+	return r.Conductance(weight) * v * v * r.tRead
+}
+
+// MeanEnergy implements Model: E[G(w)]·E[V(in)²]·T — the separable
+// expectation of Algorithm 1 lines 5–7.
+func (r *ReRAMCell) MeanEnergy(ops Operands) (float64, error) {
+	fsIn := fullScale(r.inBits)
+	v2 := meanInput(ops, fsIn/2, func(in float64) float64 {
+		if in < 0 {
+			in = -in
+		}
+		if in > fsIn {
+			in = fsIn
+		}
+		v := r.vRead * in / fsIn
+		return v * v
+	})
+	g := meanWeight(ops, fullScale(r.wBits)/2, r.Conductance)
+	return g * v2 * r.tRead, nil
+}
+
+// Area implements Model.
+func (r *ReRAMCell) Area() float64 { return r.area }
+
+// SRAMComputeCell models an 8T SRAM compute bitcell: bit-line discharge
+// energy C·V² gated by the AND of the input bit activity and stored weight
+// bit (NeuroSim-style charge-domain model). Input and weight levels are
+// normalized by their full scales so multi-bit slices also work.
+type SRAMComputeCell struct {
+	params Params
+	vdd    float64
+	cap    float64 // bit-line capacitance at this node
+	inBits int
+	wBits  int
+	area   float64
+}
+
+// NewSRAMComputeCell constructs an SRAM compute bitcell.
+func NewSRAMComputeCell(p Params, inBits, wBits int) (*SRAMComputeCell, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("sram input", inBits, 1, 12); err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("sram weight", wBits, 1, 12); err != nil {
+		return nil, err
+	}
+	f := float64(p.Node.Nm) * 1e-3
+	// Bit-line capacitance scales with feature size.
+	c := sramCellCapRef * float64(p.Node.Nm) / 65.0
+	return &SRAMComputeCell{
+		params: p, vdd: vdd, cap: c,
+		inBits: inBits, wBits: wBits,
+		area: sramCellAreaF2 * f * f,
+	}, nil
+}
+
+// Name implements Model.
+func (s *SRAMComputeCell) Name() string { return "sram-compute-cell" }
+
+// EnergyAt implements Model: E = C·V²·(in/fs)·(w/fs).
+func (s *SRAMComputeCell) EnergyAt(in, weight, _ float64) float64 {
+	fi, fw := fullScale(s.inBits), fullScale(s.wBits)
+	if in < 0 {
+		in = -in
+	}
+	if weight < 0 {
+		weight = -weight
+	}
+	if in > fi {
+		in = fi
+	}
+	if weight > fw {
+		weight = fw
+	}
+	return s.cap * s.vdd * s.vdd * (in / fi) * (weight / fw)
+}
+
+// MeanEnergy implements Model (separable in input and weight).
+func (s *SRAMComputeCell) MeanEnergy(ops Operands) (float64, error) {
+	fi, fw := fullScale(s.inBits), fullScale(s.wBits)
+	ai := meanInput(ops, fi/2, func(v float64) float64 {
+		if v < 0 {
+			v = -v
+		}
+		if v > fi {
+			v = fi
+		}
+		return v / fi
+	})
+	aw := meanWeight(ops, fw/2, func(v float64) float64 {
+		if v < 0 {
+			v = -v
+		}
+		if v > fw {
+			v = fw
+		}
+		return v / fw
+	})
+	return s.cap * s.vdd * s.vdd * ai * aw, nil
+}
+
+// Area implements Model.
+func (s *SRAMComputeCell) Area() float64 { return s.area }
+
+// C2CMac models the charge-domain C-2C ladder 8-bit MAC unit of Macro D
+// (Wang et al., 22 nm): one unit multiplies a full multi-bit input by a
+// full multi-bit weight, so a single action replaces many bitwise cell
+// operations. Switching energy depends on both operand magnitudes.
+type C2CMac struct {
+	params Params
+	inBits int
+	wBits  int
+	eBase  float64
+	area   float64
+}
+
+// NewC2CMac constructs a C-2C ladder MAC unit.
+func NewC2CMac(p Params, inBits, wBits int) (*C2CMac, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("c2c input", inBits, 1, 12); err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("c2c weight", wBits, 1, 12); err != nil {
+		return nil, err
+	}
+	scale := float64(inBits) * float64(wBits) / 64.0
+	return &C2CMac{
+		params: p, inBits: inBits, wBits: wBits,
+		eBase: scaleEnergy(c2cMacEnergyRef*scale, p, vdd),
+		area:  scaleArea(c2cMacAreaRef*scale, p),
+	}, nil
+}
+
+// Name implements Model.
+func (c *C2CMac) Name() string { return "c2c-mac" }
+
+// EnergyAt implements Model.
+func (c *C2CMac) EnergyAt(in, weight, _ float64) float64 {
+	fi, fw := fullScale(c.inBits), fullScale(c.wBits)
+	ni := clampNorm(in, fi)
+	nw := clampNorm(weight, fw)
+	return c.eBase * (0.25 + 0.75*ni*nw)
+}
+
+// MeanEnergy implements Model (separable product of normalized operands).
+func (c *C2CMac) MeanEnergy(ops Operands) (float64, error) {
+	fi, fw := fullScale(c.inBits), fullScale(c.wBits)
+	ai := meanInput(ops, fi/2, func(v float64) float64 { return clampNorm(v, fi) })
+	aw := meanWeight(ops, fw/2, func(v float64) float64 { return clampNorm(v, fw) })
+	return c.eBase * (0.25 + 0.75*ai*aw), nil
+}
+
+// Area implements Model.
+func (c *C2CMac) Area() float64 { return c.area }
+
+// AnalogAdder models the switched-capacitor analog adder of Macro B
+// (Sinangil et al.): per-operation charge transfer grows with the summed
+// analog magnitude, the effect validated in Fig. 11.
+type AnalogAdder struct {
+	params   Params
+	operands int
+	outBits  int
+	e0, k    float64
+	area     float64
+}
+
+// NewAnalogAdder constructs an analog adder summing the given number of
+// operands; outBits sets the full scale of the summed value.
+func NewAnalogAdder(p Params, operands, outBits int) (*AnalogAdder, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if operands < 1 || operands > 64 {
+		return nil, fmt.Errorf("circuits: analog adder operands %d out of [1,64]", operands)
+	}
+	if err := checkBitsRange("analog adder output", outBits, 1, 16); err != nil {
+		return nil, err
+	}
+	return &AnalogAdder{
+		params: p, operands: operands, outBits: outBits,
+		e0:   scaleEnergy(analogAdderE0Ref, p, vdd),
+		k:    scaleEnergy(analogAdderKRef, p, vdd),
+		area: scaleArea(analogAdderAreaRef*(1+0.35*float64(operands-1)), p),
+	}, nil
+}
+
+// Name implements Model.
+func (a *AnalogAdder) Name() string { return "analog-adder" }
+
+// Operands returns the adder width.
+func (a *AnalogAdder) Operands() int { return a.operands }
+
+// EnergyAt implements Model: E = e0 + k·(out/fs).
+func (a *AnalogAdder) EnergyAt(_, _, out float64) float64 {
+	return a.e0 + a.k*clampNorm(out, fullScale(a.outBits))
+}
+
+// MeanEnergy implements Model.
+func (a *AnalogAdder) MeanEnergy(ops Operands) (float64, error) {
+	fs := fullScale(a.outBits)
+	return meanOutput(ops, fs/2, func(v float64) float64 { return a.EnergyAt(0, 0, v) }), nil
+}
+
+// Area implements Model.
+func (a *AnalogAdder) Area() float64 { return a.area }
+
+// AnalogAccumulator models the switched-capacitor analog accumulator of
+// Macro C (Wan et al.): outputs are accumulated across cycles before one
+// ADC read, with per-accumulate energy growing with the stored magnitude.
+type AnalogAccumulator struct {
+	params  Params
+	outBits int
+	e0, k   float64
+	area    float64
+}
+
+// NewAnalogAccumulator constructs an analog accumulator.
+func NewAnalogAccumulator(p Params, outBits int) (*AnalogAccumulator, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("analog accumulator output", outBits, 1, 16); err != nil {
+		return nil, err
+	}
+	return &AnalogAccumulator{
+		params: p, outBits: outBits,
+		e0:   scaleEnergy(analogAccumE0Ref, p, vdd),
+		k:    scaleEnergy(analogAccumKRef, p, vdd),
+		area: scaleArea(analogAccumAreaRef, p),
+	}, nil
+}
+
+// Name implements Model.
+func (a *AnalogAccumulator) Name() string { return "analog-accumulator" }
+
+// EnergyAt implements Model.
+func (a *AnalogAccumulator) EnergyAt(_, _, out float64) float64 {
+	return a.e0 + a.k*clampNorm(out, fullScale(a.outBits))
+}
+
+// MeanEnergy implements Model.
+func (a *AnalogAccumulator) MeanEnergy(ops Operands) (float64, error) {
+	fs := fullScale(a.outBits)
+	return meanOutput(ops, fs/2, func(v float64) float64 { return a.EnergyAt(0, 0, v) }), nil
+}
+
+// Area implements Model.
+func (a *AnalogAccumulator) Area() float64 { return a.area }
+
+func clampNorm(v, fs float64) float64 {
+	if v < 0 {
+		v = -v
+	}
+	if v > fs {
+		v = fs
+	}
+	if fs == 0 {
+		return 0
+	}
+	return v / fs
+}

@@ -1,0 +1,163 @@
+package circuits
+
+import (
+	"fmt"
+)
+
+// This file adds the remaining memory-cell device families the paper
+// lists (§II-B "Devices": SRAM, DRAM, ReRAM, STT-RAM) and a device
+// registry playing the NVMExplorer plug-in's role: letting users swap the
+// device model under a macro without touching the rest of the system.
+
+// STT-RAM reference constants. STT-MRAM reads are resistive like ReRAM but
+// with a narrow high/low resistance window and higher read current;
+// writes (spin-transfer switching) are far more expensive than reads.
+const (
+	sttGLow        = 4e-6  // siemens (high-resistance state)
+	sttGHigh       = 10e-6 // siemens (low-resistance state)
+	sttVRead       = 0.15  // volts
+	sttTRead       = 2e-9  // seconds
+	sttCellAreaF2  = 40.0
+	sttWriteEnergy = 0.5e-12 // joules per cell write
+)
+
+// STTRAMCell models a 1T-1MTJ spin-transfer-torque cell computing a
+// binary analog MAC: the narrow resistance window only supports 1-bit
+// weights per device, so multi-bit weights always slice across devices.
+type STTRAMCell struct {
+	inBits int
+	area   float64
+}
+
+// NewSTTRAMCell constructs an STT-RAM compute cell (1-bit weights).
+func NewSTTRAMCell(p Params, inBits int) (*STTRAMCell, error) {
+	if _, err := p.validate(); err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("stt input", inBits, 1, 12); err != nil {
+		return nil, err
+	}
+	f := float64(p.Node.Nm) * 1e-3
+	return &STTRAMCell{inBits: inBits, area: sttCellAreaF2 * f * f}, nil
+}
+
+// Name implements Model.
+func (s *STTRAMCell) Name() string { return "stt-cell" }
+
+// Conductance maps a 1-bit weight to the MTJ conductance.
+func (s *STTRAMCell) Conductance(w float64) float64 {
+	if w != 0 {
+		return sttGHigh
+	}
+	return sttGLow
+}
+
+// EnergyAt implements Model: resistive read, binary weight.
+func (s *STTRAMCell) EnergyAt(in, weight, _ float64) float64 {
+	fs := fullScale(s.inBits)
+	v := sttVRead * clampNorm(in, fs)
+	return s.Conductance(weight) * v * v * sttTRead
+}
+
+// MeanEnergy implements Model (separable).
+func (s *STTRAMCell) MeanEnergy(ops Operands) (float64, error) {
+	fs := fullScale(s.inBits)
+	v2 := meanInput(ops, fs/2, func(in float64) float64 {
+		v := sttVRead * clampNorm(in, fs)
+		return v * v
+	})
+	g := meanWeight(ops, 1, s.Conductance)
+	return g * v2 * sttTRead, nil
+}
+
+// Area implements Model.
+func (s *STTRAMCell) Area() float64 { return s.area }
+
+// WriteEnergy returns the per-cell programming cost (spin-transfer
+// switching), used as the compute level's weight-fill energy.
+func (s *STTRAMCell) WriteEnergy() float64 { return sttWriteEnergy }
+
+// eDRAM reference constants: a 1T1C gain cell computing charge-domain
+// MACs; cheap cells, destructive reads, periodic refresh (charged as a
+// per-access surcharge at this level of abstraction).
+const (
+	edramCellCapRef   = 1.5e-15
+	edramCellAreaF2   = 60.0
+	edramRefreshShare = 0.15 // refresh surcharge as a fraction of access energy
+)
+
+// EDRAMCell models an embedded-DRAM compute cell (eDRAM-CIM style).
+type EDRAMCell struct {
+	vdd    float64
+	cap    float64
+	inBits int
+	wBits  int
+	area   float64
+}
+
+// NewEDRAMCell constructs an eDRAM compute cell.
+func NewEDRAMCell(p Params, inBits, wBits int) (*EDRAMCell, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("edram input", inBits, 1, 12); err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("edram weight", wBits, 1, 12); err != nil {
+		return nil, err
+	}
+	f := float64(p.Node.Nm) * 1e-3
+	return &EDRAMCell{
+		vdd:    vdd,
+		cap:    edramCellCapRef * float64(p.Node.Nm) / 65.0,
+		inBits: inBits, wBits: wBits,
+		area: edramCellAreaF2 * f * f,
+	}, nil
+}
+
+// Name implements Model.
+func (e *EDRAMCell) Name() string { return "edram-cell" }
+
+// EnergyAt implements Model: charge-domain product plus refresh share.
+func (e *EDRAMCell) EnergyAt(in, weight, _ float64) float64 {
+	fi, fw := fullScale(e.inBits), fullScale(e.wBits)
+	dynamic := e.cap * e.vdd * e.vdd * clampNorm(in, fi) * clampNorm(weight, fw)
+	return dynamic * (1 + edramRefreshShare)
+}
+
+// MeanEnergy implements Model (separable).
+func (e *EDRAMCell) MeanEnergy(ops Operands) (float64, error) {
+	fi, fw := fullScale(e.inBits), fullScale(e.wBits)
+	ai := meanInput(ops, fi/2, func(v float64) float64 { return clampNorm(v, fi) })
+	aw := meanWeight(ops, fw/2, func(v float64) float64 { return clampNorm(v, fw) })
+	return e.cap * e.vdd * e.vdd * ai * aw * (1 + edramRefreshShare), nil
+}
+
+// Area implements Model.
+func (e *EDRAMCell) Area() float64 { return e.area }
+
+// NewCellByDevice constructs a compute-cell model by device family name —
+// the NVMExplorer-style swap point. Supported: "reram", "sram", "stt",
+// "edram". The returned default program (weight write) energy suits the
+// device.
+func NewCellByDevice(device string, p Params, inBits, wBits int) (Model, float64, error) {
+	switch device {
+	case "reram":
+		m, err := NewReRAMCell(p, inBits, wBits)
+		return m, 1e-12, err
+	case "sram":
+		m, err := NewSRAMComputeCell(p, inBits, wBits)
+		return m, 20e-15, err
+	case "stt":
+		m, err := NewSTTRAMCell(p, inBits)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, m.WriteEnergy(), nil
+	case "edram":
+		m, err := NewEDRAMCell(p, inBits, wBits)
+		return m, 30e-15, err
+	}
+	return nil, 0, fmt.Errorf("circuits: unknown device family %q (want reram/sram/stt/edram)", device)
+}

@@ -1,0 +1,101 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/tech"
+)
+
+func TestSTTRAMCell(t *testing.T) {
+	n, _ := tech.ByNm(22)
+	p := Params{Node: n}
+	c, err := NewSTTRAMCell(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "stt-cell" || c.Area() <= 0 {
+		t.Fatalf("basic contract: %s %g", c.Name(), c.Area())
+	}
+	// Binary conductance window: a set bit conducts more.
+	if c.Conductance(1) <= c.Conductance(0) {
+		t.Fatal("conductance window inverted")
+	}
+	// Even a zero weight leaks through the low-conductance state.
+	if c.EnergyAt(1, 0, 0) <= 0 {
+		t.Fatal("low-resistance state should still consume on read")
+	}
+	if c.EnergyAt(1, 1, 0) <= c.EnergyAt(1, 0, 0) {
+		t.Fatal("set bit should consume more")
+	}
+	if c.WriteEnergy() <= c.EnergyAt(1, 1, 0) {
+		t.Fatal("STT writes must cost far more than reads")
+	}
+	// MeanEnergy matches expectation over a PMF.
+	in, _ := dist.UniformInts(0, 1)
+	w, _ := dist.UniformInts(0, 1)
+	me, err := c.MeanEnergy(Operands{Input: in, Weight: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for _, pi := range in.Points() {
+		for _, pw := range w.Points() {
+			want += pi.Prob * pw.Prob * c.EnergyAt(pi.Value, pw.Value, 0)
+		}
+	}
+	if math.Abs(me-want) > 1e-12*want {
+		t.Fatalf("MeanEnergy %g, expectation %g", me, want)
+	}
+	if _, err := NewSTTRAMCell(p, 0); err == nil {
+		t.Fatal("want error for zero input bits")
+	}
+}
+
+func TestEDRAMCell(t *testing.T) {
+	n, _ := tech.ByNm(45)
+	p := Params{Node: n}
+	c, err := NewEDRAMCell(p, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "edram-cell" || c.Area() <= 0 {
+		t.Fatal("basic contract")
+	}
+	if c.EnergyAt(0, 15, 0) != 0 {
+		t.Fatal("zero input should gate the cell")
+	}
+	if c.EnergyAt(15, 15, 0) <= c.EnergyAt(4, 4, 0) {
+		t.Fatal("energy must grow with operand magnitudes")
+	}
+	// Refresh surcharge keeps eDRAM above an equivalent pure-capacitive op.
+	bare := c.cap * c.vdd * c.vdd
+	if c.EnergyAt(15, 15, 0) <= bare {
+		t.Fatal("refresh surcharge missing")
+	}
+	if _, err := NewEDRAMCell(p, 0, 4); err == nil {
+		t.Fatal("want error for zero bits")
+	}
+}
+
+func TestNewCellByDevice(t *testing.T) {
+	n, _ := tech.ByNm(45)
+	p := Params{Node: n}
+	for _, dev := range []string{"reram", "sram", "stt", "edram"} {
+		m, program, err := NewCellByDevice(dev, p, 2, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", dev, err)
+		}
+		if m == nil || program <= 0 {
+			t.Fatalf("%s: model %v program %g", dev, m, program)
+		}
+		// Writes should always cost at least as much as a typical read.
+		if read := m.EnergyAt(2, 2, 0); program < read {
+			t.Fatalf("%s: program %g < read %g", dev, program, read)
+		}
+	}
+	if _, _, err := NewCellByDevice("pcm", p, 2, 2); err == nil {
+		t.Fatal("want error for unknown device")
+	}
+}

@@ -1,0 +1,369 @@
+package circuits
+
+import (
+	"fmt"
+	"math"
+)
+
+// Digital reference constants at 65 nm, nominal Vdd. Magnitudes follow the
+// Aladdin-style per-operation models the paper's Library plug-in wraps.
+const (
+	digitalAdderPerBitRef = 5e-15
+	digitalAdderAreaBit   = 30.0
+	registerPerBitRef     = 1.2e-15
+	registerAreaBit       = 10.0
+	muxPerBitRef          = 0.4e-15
+	muxAreaBit            = 5.0
+	multiplierPerBit2Ref  = 5e-15
+	multiplierAreaBit2    = 55.0
+	rowDriverPerCellRef   = 0.3e-15 // C·V² per attached cell at full activity
+	rowDriverAreaPerCell  = 2.0
+	senseAmpRef           = 2e-15
+	senseAmpAreaRef       = 15.0
+	wirePerBitMmRef       = 200e-15
+	wireAreaPerMm         = 50.0
+)
+
+// activityOf estimates the switching activity of a digital value: the
+// fraction of bits toggling, approximated from the value's magnitude
+// relative to full scale (small codes toggle fewer bits).
+func activityOf(v, fs float64) float64 {
+	n := clampNorm(v, fs)
+	if n == 0 {
+		return zeroGateFraction
+	}
+	// log-magnitude bit occupancy: a value occupying k of B bits toggles
+	// roughly k/B of the datapath.
+	return 0.25 + 0.75*math.Log2(1+n*255)/8
+}
+
+// DigitalAdder models a ripple/carry-select adder whose switching energy
+// tracks the operand magnitude.
+type DigitalAdder struct {
+	bits   int
+	ePerOp float64
+	area   float64
+}
+
+// NewDigitalAdder constructs a bits-wide digital adder.
+func NewDigitalAdder(p Params, bits int) (*DigitalAdder, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("digital adder", bits, 1, 64); err != nil {
+		return nil, err
+	}
+	return &DigitalAdder{
+		bits:   bits,
+		ePerOp: scaleEnergy(digitalAdderPerBitRef*float64(bits), p, vdd),
+		area:   scaleArea(digitalAdderAreaBit*float64(bits), p),
+	}, nil
+}
+
+// Name implements Model.
+func (d *DigitalAdder) Name() string { return "digital-adder" }
+
+// EnergyAt implements Model.
+func (d *DigitalAdder) EnergyAt(_, _, out float64) float64 {
+	return d.ePerOp * activityOf(out, math.Exp2(float64(d.bits))-1)
+}
+
+// MeanEnergy implements Model.
+func (d *DigitalAdder) MeanEnergy(ops Operands) (float64, error) {
+	fs := math.Exp2(float64(d.bits)) - 1
+	return meanOutput(ops, fs/4, func(v float64) float64 { return d.EnergyAt(0, 0, v) }), nil
+}
+
+// Area implements Model.
+func (d *DigitalAdder) Area() float64 { return d.area }
+
+// Register models a bits-wide pipeline/accumulator register.
+type Register struct {
+	bits   int
+	ePerOp float64
+	area   float64
+}
+
+// NewRegister constructs a bits-wide register.
+func NewRegister(p Params, bits int) (*Register, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("register", bits, 1, 128); err != nil {
+		return nil, err
+	}
+	return &Register{
+		bits:   bits,
+		ePerOp: scaleEnergy(registerPerBitRef*float64(bits), p, vdd),
+		area:   scaleArea(registerAreaBit*float64(bits), p),
+	}, nil
+}
+
+// Name implements Model.
+func (r *Register) Name() string { return "register" }
+
+// EnergyAt implements Model (half the bits toggle on average).
+func (r *Register) EnergyAt(_, _, _ float64) float64 { return r.ePerOp * 0.5 }
+
+// MeanEnergy implements Model.
+func (r *Register) MeanEnergy(Operands) (float64, error) { return r.ePerOp * 0.5, nil }
+
+// Area implements Model.
+func (r *Register) Area() float64 { return r.area }
+
+// Multiplexer models a ways-to-1 multiplexer on a bits-wide datapath.
+type Multiplexer struct {
+	bits   int
+	ways   int
+	ePerOp float64
+	area   float64
+}
+
+// NewMultiplexer constructs a multiplexer.
+func NewMultiplexer(p Params, bits, ways int) (*Multiplexer, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("mux", bits, 1, 128); err != nil {
+		return nil, err
+	}
+	if ways < 2 || ways > 4096 {
+		return nil, fmt.Errorf("circuits: mux ways %d out of [2,4096]", ways)
+	}
+	depth := math.Ceil(math.Log2(float64(ways)))
+	return &Multiplexer{
+		bits: bits, ways: ways,
+		ePerOp: scaleEnergy(muxPerBitRef*float64(bits)*depth, p, vdd),
+		area:   scaleArea(muxAreaBit*float64(bits)*float64(ways-1), p),
+	}, nil
+}
+
+// Name implements Model.
+func (m *Multiplexer) Name() string { return "multiplexer" }
+
+// EnergyAt implements Model.
+func (m *Multiplexer) EnergyAt(_, _, _ float64) float64 { return m.ePerOp }
+
+// MeanEnergy implements Model.
+func (m *Multiplexer) MeanEnergy(Operands) (float64, error) { return m.ePerOp, nil }
+
+// Area implements Model.
+func (m *Multiplexer) Area() float64 { return m.area }
+
+// DigitalMAC models a full digital multiply-accumulate unit (the compute
+// element of Digital CiM macros such as Colonnade).
+type DigitalMAC struct {
+	inBits, wBits int
+	eMul, eAdd    float64
+	area          float64
+}
+
+// NewDigitalMAC constructs a digital MAC for the given operand widths.
+func NewDigitalMAC(p Params, inBits, wBits int) (*DigitalMAC, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("digital mac input", inBits, 1, 32); err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("digital mac weight", wBits, 1, 32); err != nil {
+		return nil, err
+	}
+	outBits := inBits + wBits
+	return &DigitalMAC{
+		inBits: inBits, wBits: wBits,
+		eMul: scaleEnergy(multiplierPerBit2Ref*float64(inBits)*float64(wBits), p, vdd),
+		eAdd: scaleEnergy(digitalAdderPerBitRef*float64(outBits), p, vdd),
+		area: scaleArea(multiplierAreaBit2*float64(inBits)*float64(wBits)+digitalAdderAreaBit*float64(outBits), p),
+	}, nil
+}
+
+// Name implements Model.
+func (d *DigitalMAC) Name() string { return "digital-mac" }
+
+// EnergyAt implements Model: multiplier activity tracks the input operand
+// magnitudes; the accumulate add is charged at typical activity.
+func (d *DigitalMAC) EnergyAt(in, weight, _ float64) float64 {
+	ai := activityOf(in, fullScale(d.inBits))
+	aw := activityOf(weight, fullScale(d.wBits))
+	return d.eMul*ai*aw + d.eAdd*0.5
+}
+
+// MeanEnergy implements Model.
+func (d *DigitalMAC) MeanEnergy(ops Operands) (float64, error) {
+	fi, fw := fullScale(d.inBits), fullScale(d.wBits)
+	ai := meanInput(ops, fi/2, func(v float64) float64 { return activityOf(v, fi) })
+	aw := meanWeight(ops, fw/2, func(v float64) float64 { return activityOf(v, fw) })
+	return d.eMul*ai*aw + d.eAdd*0.5, nil
+}
+
+// Area implements Model.
+func (d *DigitalMAC) Area() float64 { return d.area }
+
+// ShiftAdd models the shift-and-add accumulator that recombines bit-serial
+// partial sums (one action per partial-sum merge).
+type ShiftAdd struct {
+	bits   int
+	ePerOp float64
+	area   float64
+}
+
+// NewShiftAdd constructs a shift-add unit on a bits-wide accumulator.
+func NewShiftAdd(p Params, bits int) (*ShiftAdd, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("shift-add", bits, 1, 64); err != nil {
+		return nil, err
+	}
+	return &ShiftAdd{
+		bits:   bits,
+		ePerOp: scaleEnergy((digitalAdderPerBitRef+registerPerBitRef)*float64(bits), p, vdd),
+		area:   scaleArea((digitalAdderAreaBit+registerAreaBit)*float64(bits), p),
+	}, nil
+}
+
+// Name implements Model.
+func (s *ShiftAdd) Name() string { return "shift-add" }
+
+// EnergyAt implements Model.
+func (s *ShiftAdd) EnergyAt(_, _, out float64) float64 {
+	return s.ePerOp * activityOf(out, math.Exp2(float64(s.bits))-1)
+}
+
+// MeanEnergy implements Model.
+func (s *ShiftAdd) MeanEnergy(ops Operands) (float64, error) {
+	fs := math.Exp2(float64(s.bits)) - 1
+	return meanOutput(ops, fs/4, func(v float64) float64 { return s.EnergyAt(0, 0, v) }), nil
+}
+
+// Area implements Model.
+func (s *ShiftAdd) Area() float64 { return s.area }
+
+// RowDriver models the word-line driver charging a row of cells: energy
+// per activation is the attached wire/gate capacitance times V², scaled by
+// the driven input's activity.
+type RowDriver struct {
+	cells  int
+	inBits int
+	eFull  float64
+	area   float64
+}
+
+// NewRowDriver constructs a driver for a row of the given cell count.
+func NewRowDriver(p Params, cells, inBits int) (*RowDriver, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if cells <= 0 || cells > 1<<20 {
+		return nil, fmt.Errorf("circuits: row driver cells %d out of [1,2^20]", cells)
+	}
+	if err := checkBitsRange("row driver input", inBits, 1, 16); err != nil {
+		return nil, err
+	}
+	return &RowDriver{
+		cells:  cells,
+		inBits: inBits,
+		eFull:  scaleEnergy(rowDriverPerCellRef*float64(cells), p, vdd),
+		area:   scaleArea(rowDriverAreaPerCell*float64(cells), p),
+	}, nil
+}
+
+// Name implements Model.
+func (r *RowDriver) Name() string { return "row-driver" }
+
+// EnergyAt implements Model.
+func (r *RowDriver) EnergyAt(in, _, _ float64) float64 {
+	return r.eFull * activityOf(in, fullScale(r.inBits))
+}
+
+// MeanEnergy implements Model.
+func (r *RowDriver) MeanEnergy(ops Operands) (float64, error) {
+	fs := fullScale(r.inBits)
+	return meanInput(ops, fs/2, func(v float64) float64 { return r.EnergyAt(v, 0, 0) }), nil
+}
+
+// Area implements Model.
+func (r *RowDriver) Area() float64 { return r.area }
+
+// SenseAmp models a column sense amplifier (fixed energy per read).
+type SenseAmp struct {
+	ePerOp float64
+	area   float64
+}
+
+// NewSenseAmp constructs a sense amplifier.
+func NewSenseAmp(p Params) (*SenseAmp, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	return &SenseAmp{
+		ePerOp: scaleEnergy(senseAmpRef, p, vdd),
+		area:   scaleArea(senseAmpAreaRef, p),
+	}, nil
+}
+
+// Name implements Model.
+func (s *SenseAmp) Name() string { return "sense-amp" }
+
+// EnergyAt implements Model.
+func (s *SenseAmp) EnergyAt(_, _, _ float64) float64 { return s.ePerOp }
+
+// MeanEnergy implements Model.
+func (s *SenseAmp) MeanEnergy(Operands) (float64, error) { return s.ePerOp, nil }
+
+// Area implements Model.
+func (s *SenseAmp) Area() float64 { return s.area }
+
+// Wire models on-chip interconnect: energy per bit transported over the
+// configured length.
+type Wire struct {
+	lengthMm float64
+	bits     int
+	ePerOp   float64
+	area     float64
+}
+
+// NewWire constructs a bits-wide wire of the given length in millimeters.
+func NewWire(p Params, bits int, lengthMm float64) (*Wire, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("wire", bits, 1, 1024); err != nil {
+		return nil, err
+	}
+	if lengthMm <= 0 || lengthMm > 100 {
+		return nil, fmt.Errorf("circuits: wire length %g mm out of (0,100]", lengthMm)
+	}
+	return &Wire{
+		lengthMm: lengthMm,
+		bits:     bits,
+		ePerOp:   scaleEnergy(wirePerBitMmRef*float64(bits)*lengthMm, p, vdd),
+		area:     scaleArea(wireAreaPerMm*lengthMm, p),
+	}, nil
+}
+
+// Name implements Model.
+func (w *Wire) Name() string { return "wire" }
+
+// EnergyAt implements Model.
+func (w *Wire) EnergyAt(in, _, _ float64) float64 {
+	return w.ePerOp * activityOf(in, math.Exp2(float64(w.bits))-1)
+}
+
+// MeanEnergy implements Model.
+func (w *Wire) MeanEnergy(ops Operands) (float64, error) {
+	fs := math.Exp2(float64(w.bits)) - 1
+	return meanInput(ops, fs/2, func(v float64) float64 { return w.EnergyAt(v, 0, 0) }), nil
+}
+
+// Area implements Model.
+func (w *Wire) Area() float64 { return w.area }

@@ -1,0 +1,129 @@
+package circuits
+
+import "math"
+
+// Photonic component models, supporting the paper's conclusion that the
+// methodology extends beyond CiM to photonic accelerators (ref [78]):
+// Mach-Zehnder modulators encode electrical inputs onto light, weight
+// banks attenuate/interfere, and photodetectors with transimpedance
+// amplifiers read summed optical power back out. The laser is a static
+// cost per activation amortized across the rows it feeds.
+const (
+	mziStaticRef      = 25e-15 // per-convert bias/driver energy at 65 nm
+	mziSwitchRef      = 55e-15 // full-swing phase-shifter charge at 65 nm
+	mziAreaRef        = 900.0  // µm² (photonic devices are large)
+	photodetectorRef  = 80e-15 // per-read detector + TIA energy at 65 nm
+	photodetectorArea = 350.0
+	laserPerRowRef    = 40e-15 // wall-plug laser energy per row per cycle
+	laserArea         = 2000.0
+)
+
+// MZIModulator models a Mach-Zehnder input modulator: energy per convert
+// grows with the encoded magnitude (phase-shifter drive).
+type MZIModulator struct {
+	bits    int
+	eStatic float64
+	eSwitch float64
+	area    float64
+}
+
+// NewMZIModulator constructs a modulator for the given input resolution.
+func NewMZIModulator(p Params, bits int) (*MZIModulator, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBitsRange("mzi", bits, 1, 12); err != nil {
+		return nil, err
+	}
+	return &MZIModulator{
+		bits:    bits,
+		eStatic: scaleEnergy(mziStaticRef, p, vdd),
+		eSwitch: scaleEnergy(mziSwitchRef, p, vdd),
+		area:    mziAreaRef, // photonic structures do not shrink with CMOS node
+	}, nil
+}
+
+// Name implements Model.
+func (m *MZIModulator) Name() string { return "mzi-modulator" }
+
+// EnergyAt implements Model.
+func (m *MZIModulator) EnergyAt(in, _, _ float64) float64 {
+	n := clampNorm(in, fullScale(m.bits))
+	// Phase drive is sinusoidal in the target transmission; charge grows
+	// sublinearly then saturates.
+	return m.eStatic + m.eSwitch*math.Sin(n*math.Pi/2)
+}
+
+// MeanEnergy implements Model.
+func (m *MZIModulator) MeanEnergy(ops Operands) (float64, error) {
+	fs := fullScale(m.bits)
+	return meanInput(ops, fs/2, func(v float64) float64 { return m.EnergyAt(v, 0, 0) }), nil
+}
+
+// Area implements Model.
+func (m *MZIModulator) Area() float64 { return m.area }
+
+// Photodetector models a photodetector + transimpedance amplifier reading
+// a summed optical signal (fixed per read; the downstream ADC is modeled
+// separately).
+type Photodetector struct {
+	ePerOp float64
+	area   float64
+}
+
+// NewPhotodetector constructs a photodetector front end.
+func NewPhotodetector(p Params) (*Photodetector, error) {
+	vdd, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	return &Photodetector{
+		ePerOp: scaleEnergy(photodetectorRef, p, vdd),
+		area:   photodetectorArea,
+	}, nil
+}
+
+// Name implements Model.
+func (d *Photodetector) Name() string { return "photodetector" }
+
+// EnergyAt implements Model.
+func (d *Photodetector) EnergyAt(_, _, _ float64) float64 { return d.ePerOp }
+
+// MeanEnergy implements Model.
+func (d *Photodetector) MeanEnergy(Operands) (float64, error) { return d.ePerOp, nil }
+
+// Area implements Model.
+func (d *Photodetector) Area() float64 { return d.area }
+
+// PhotonicWeightCell models one weight element of a photonic mesh (an
+// attenuator/interferometer arm): the optical MAC itself is nearly free
+// dynamically; the cost is the laser light supplying the row, amortized
+// per MAC.
+type PhotonicWeightCell struct {
+	ePerMAC float64
+	area    float64
+}
+
+// NewPhotonicWeightCell constructs a photonic weight element.
+func NewPhotonicWeightCell(p Params) (*PhotonicWeightCell, error) {
+	if _, err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &PhotonicWeightCell{
+		ePerMAC: laserPerRowRef, // laser wall-plug per element-pass
+		area:    laserArea,
+	}, nil
+}
+
+// Name implements Model.
+func (c *PhotonicWeightCell) Name() string { return "photonic-cell" }
+
+// EnergyAt implements Model (laser power burns regardless of value).
+func (c *PhotonicWeightCell) EnergyAt(_, _, _ float64) float64 { return c.ePerMAC }
+
+// MeanEnergy implements Model.
+func (c *PhotonicWeightCell) MeanEnergy(Operands) (float64, error) { return c.ePerMAC, nil }
+
+// Area implements Model.
+func (c *PhotonicWeightCell) Area() float64 { return c.area }

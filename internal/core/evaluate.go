@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mapper"
+	"repro/internal/mapping"
+	"repro/internal/spec"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// LevelEnergy is the energy attributed to one level for one layer.
+type LevelEnergy struct {
+	Name     string
+	Class    string
+	Kind     spec.LevelKind
+	ByTensor map[tensor.Kind]float64
+	Total    float64
+}
+
+// Result is the evaluation of one (layer, mapping) pair.
+type Result struct {
+	Arch    string
+	Layer   string
+	Mapping *mapping.Mapping
+
+	Energy float64 // joules for the whole layer
+	Levels []LevelEnergy
+
+	Cycles      int64
+	TimeSec     float64
+	MACs        int64 // actual workload MACs (unsliced definition)
+	PaddedMACs  int64 // hardware MAC-slice activations
+	Utilization float64
+	AreaUm2     float64
+	// LeakageJ is the buffers' static energy over the layer runtime
+	// (included in Energy).
+	LeakageJ float64
+	// DRAMLimited reports that off-chip bandwidth, not compute, set the
+	// layer's runtime.
+	DRAMLimited bool
+}
+
+// OPS returns the operation count (2 ops per MAC, the convention of the
+// paper's TOPS/W and GOPS numbers).
+func (r *Result) OPS() float64 { return 2 * float64(r.MACs) }
+
+// TOPSPerW returns energy efficiency in tera-operations per watt.
+func (r *Result) TOPSPerW() float64 {
+	if r.Energy <= 0 {
+		return 0
+	}
+	return r.OPS() / r.Energy / 1e12
+}
+
+// GOPS returns throughput in giga-operations per second.
+func (r *Result) GOPS() float64 {
+	if r.TimeSec <= 0 {
+		return 0
+	}
+	return r.OPS() / r.TimeSec / 1e9
+}
+
+// EnergyPerMAC returns joules per actual MAC.
+func (r *Result) EnergyPerMAC() float64 {
+	if r.MACs == 0 {
+		return 0
+	}
+	return r.Energy / float64(r.MACs)
+}
+
+// EvaluateMapping computes energy, cycles, and throughput of one mapping
+// using the layer context's precomputed per-action energies (Algorithm 1
+// lines 8–10: only the count analysis runs per mapping).
+func (e *Engine) EvaluateMapping(ctx *LayerContext, m *mapping.Mapping) (*Result, error) {
+	counts, err := mapping.Analyze(e.arch.Levels, ctx.Sliced, m)
+	if err != nil {
+		return nil, err
+	}
+	share := int64(e.arch.adcShare())
+	res := &Result{
+		Arch:        e.arch.Name,
+		Layer:       ctx.Layer.Name,
+		Mapping:     m,
+		Cycles:      counts.Cycles * share, // ADC sharing serializes strobes
+		MACs:        ctx.Layer.Op.MACs(),
+		PaddedMACs:  counts.MACs,
+		Utilization: counts.Utilization,
+		AreaUm2:     e.area,
+	}
+	res.TimeSec = float64(res.Cycles) / e.clock
+	// Off-chip bandwidth can cap throughput: a layer moving more DRAM
+	// bits than the channel delivers in the compute time is DRAM-bound.
+	for i := range e.bindings {
+		b := &e.bindings[i]
+		if b.dram == nil {
+			continue
+		}
+		var bits float64
+		for t, tc := range counts.PerLevel[i] {
+			per := float64(e.arch.InputBits)
+			switch t {
+			case tensor.Weight:
+				per = float64(e.arch.WeightBits)
+			case tensor.Output:
+				per = float64(e.arch.InputBits + e.arch.WeightBits)
+			}
+			bits += float64(tc.Reads+tc.Writes) * per
+		}
+		if bw := b.dram.BandwidthBitsPerSec(); bw > 0 {
+			if dramTime := bits / bw; dramTime > res.TimeSec {
+				res.TimeSec = dramTime
+				res.DRAMLimited = true
+			}
+		}
+	}
+	railsIn := float64(ctx.inputRails)
+	railsW := float64(ctx.weightRails)
+
+	for i := range e.bindings {
+		b := &e.bindings[i]
+		le := LevelEnergy{
+			Name:     b.level.Name,
+			Class:    b.level.Class,
+			Kind:     b.level.Kind,
+			ByTensor: map[tensor.Kind]float64{},
+		}
+		// Idle-instance factor: the mapping uses MappedOutside[i] of the
+		// level's physical instances; the rest still fire every strobe
+		// with zero-valued operands (an underutilized array's idle
+		// columns still convert — the Fig. 2a/14 penalty). The factor is
+		// capped at the column-mux depth: macros share one converter per
+		// ~8 columns, so unmapped columns beyond a mux group never strobe.
+		const muxCap = 7.0
+		idlePerMapped := 0.0
+		if mapped := counts.MappedOutside[i]; mapped > 0 && b.instances > mapped {
+			idlePerMapped = float64(b.instances-mapped) / float64(mapped)
+			if idlePerMapped > muxCap {
+				idlePerMapped = muxCap
+			}
+		}
+		idleE := 0.0
+		if b.model != nil && idlePerMapped > 0 {
+			idleE = b.model.EnergyAt(0, 0, 0)
+		}
+		for t, tc := range counts.PerLevel[i] {
+			ae, ok := ctx.energies[i][t]
+			if !ok {
+				continue
+			}
+			var joules float64
+			switch b.level.Kind {
+			case spec.StorageLevel:
+				joules = float64(tc.Reads)*ae.read + float64(tc.Writes)*ae.write
+			case spec.TransitLevel:
+				mult := 1.0
+				switch t {
+				case tensor.Input:
+					mult = railsIn
+				case tensor.Weight, tensor.Output:
+					mult = railsW
+				}
+				joules = float64(tc.Crossings) * (ae.cross*mult + idlePerMapped*idleE)
+			case spec.ComputeLevel:
+				if t == tensor.Weight {
+					joules = float64(tc.Writes) * ae.write * railsW
+				}
+			}
+			if joules != 0 {
+				le.ByTensor[t] += joules
+				le.Total += joules
+			}
+		}
+		if b.level.Kind == spec.ComputeLevel {
+			macE := ctx.energies[i][tensor.Output].cross
+			joules := float64(counts.MACs) * (macE*railsIn*railsW + idlePerMapped*idleE)
+			le.ByTensor[tensor.Output] += joules
+			le.Total += joules
+		}
+		if b.buffer != nil && e.leakage > 0 {
+			leak := b.buffer.LeakagePower() * float64(b.instances) * res.TimeSec
+			le.Total += leak
+			res.LeakageJ += leak
+		}
+		res.Levels = append(res.Levels, le)
+		res.Energy += le.Total
+	}
+	return res, nil
+}
+
+// GreedyMapping returns the architecture's deterministic utilization-
+// greedy mapping for a prepared layer (used when a fixed, reproducible
+// schedule is needed, e.g. to match the value-level simulator).
+func (e *Engine) GreedyMapping(ctx *LayerContext) (*mapping.Mapping, error) {
+	opts := e.arch.MapperOptions(1, 0)
+	return mapper.Greedy(e.arch.Levels, ctx.Sliced, opts)
+}
+
+// SearchLayer finds the lowest-energy mapping for a prepared layer,
+// evaluating up to maxMappings candidates. It returns the best result and
+// the number of mappings evaluated.
+func (e *Engine) SearchLayer(ctx *LayerContext, maxMappings int, seed int64) (*Result, int, error) {
+	opts := e.arch.MapperOptions(maxMappings, seed)
+	var best *Result
+	cost := func(m *mapping.Mapping) (float64, error) {
+		r, err := e.EvaluateMapping(ctx, m)
+		if err != nil {
+			return 0, err
+		}
+		if best == nil || r.Energy < best.Energy {
+			best = r
+		}
+		return r.Energy, nil
+	}
+	_, evaluated, err := mapper.Search(e.arch.Levels, ctx.Sliced, opts, cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	return best, evaluated, nil
+}
+
+// EvaluateLayer prepares a layer and searches for its best mapping.
+func (e *Engine) EvaluateLayer(l workload.Layer, maxMappings int, seed int64) (*Result, error) {
+	ctx, err := e.PrepareLayer(l)
+	if err != nil {
+		return nil, err
+	}
+	r, _, err := e.SearchLayer(ctx, maxMappings, seed)
+	return r, err
+}
+
+// NetworkResult aggregates per-layer best results over a whole network.
+type NetworkResult struct {
+	Arch     string
+	Network  string
+	PerLayer []*Result // best mapping per distinct layer
+	// Energy and TimeSec include layer repeats.
+	Energy  float64
+	TimeSec float64
+	MACs    int64
+	AreaUm2 float64
+}
+
+// TOPSPerW returns network-level energy efficiency.
+func (n *NetworkResult) TOPSPerW() float64 {
+	if n.Energy <= 0 {
+		return 0
+	}
+	return 2 * float64(n.MACs) / n.Energy / 1e12
+}
+
+// GOPS returns network-level throughput.
+func (n *NetworkResult) GOPS() float64 {
+	if n.TimeSec <= 0 {
+		return 0
+	}
+	return 2 * float64(n.MACs) / n.TimeSec / 1e9
+}
+
+// EnergyPerMAC returns network-average joules per MAC.
+func (n *NetworkResult) EnergyPerMAC() float64 {
+	if n.MACs == 0 {
+		return 0
+	}
+	return n.Energy / float64(n.MACs)
+}
+
+// EvaluateNetwork searches the best mapping for every layer of a network
+// and aggregates energy and time across repeats.
+func (e *Engine) EvaluateNetwork(n *workload.Network, maxMappings int, seed int64) (*NetworkResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	out := &NetworkResult{Arch: e.arch.Name, Network: n.Name, AreaUm2: e.area}
+	for i, l := range n.Layers {
+		r, err := e.EvaluateLayer(l, maxMappings, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: network %q layer %q: %w", n.Name, l.Name, err)
+		}
+		out.PerLayer = append(out.PerLayer, r)
+		rep := float64(l.Repeat)
+		out.Energy += r.Energy * rep
+		out.TimeSec += r.TimeSec * rep
+		out.MACs += r.MACs * int64(l.Repeat)
+	}
+	return out, nil
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuits"
+	"repro/internal/dist"
+	"repro/internal/enc"
+	"repro/internal/spec"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// accessEnergies is the per-value energy of each access type at one level
+// for one tensor, computed once per (layer, architecture).
+type accessEnergies struct {
+	read  float64 // J per value read
+	write float64 // J per value written
+	cross float64 // J per value crossing (transit) or per MAC (compute)
+}
+
+// LayerContext carries everything that is computed once per (layer,
+// architecture) and amortized across mappings: the sliced einsum, the
+// operand PMFs after encoding/slicing, and per-component average energies
+// (Algorithm 1 lines 3–7).
+type LayerContext struct {
+	Layer  workload.Layer
+	Sliced *tensor.Einsum
+
+	// energies[levelIdx][kind]
+	energies []map[tensor.Kind]accessEnergies
+
+	// Rail multipliers from the encodings (a differential encoding drives
+	// two physical rails per operand).
+	inputRails  int
+	weightRails int
+
+	// Value PMFs retained for inspection and the value simulator.
+	InputSlicePMF  *dist.PMF
+	WeightSlicePMF *dist.PMF
+}
+
+// PrepareLayer runs the data-value-dependent pipeline for one layer:
+// operand PMFs → encoding → slicing → per-component average energy per
+// action. Operand PMFs are synthesized from the layer's statistics.
+func (e *Engine) PrepareLayer(l workload.Layer) (*LayerContext, error) {
+	inPMF, err := l.InputPMF(e.arch.InputBits)
+	if err != nil {
+		return nil, err
+	}
+	wPMF, err := l.WeightPMF(e.arch.WeightBits)
+	if err != nil {
+		return nil, err
+	}
+	return e.PrepareLayerWithPMFs(l, inPMF, wPMF)
+}
+
+// PrepareLayerWithPMFs is PrepareLayer with caller-supplied operand
+// distributions — e.g. empirical PMFs recorded from profiled tensors, the
+// paper's RecordOperandPMFs (Algorithm 1 line 3). Values must be integer
+// levels within the architecture's operand precisions.
+func (e *Engine) PrepareLayerWithPMFs(l workload.Layer, inPMF, wPMF *dist.PMF) (*LayerContext, error) {
+	a := e.arch
+	sliced, err := a.SlicedEinsum(l.Op)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &LayerContext{Layer: l, Sliced: sliced}
+
+	// Step 2a: encoding. Unsigned workloads presented to a signed-capable
+	// encoding are fine; signed workloads fall back to a signed encoding.
+	inEncName := a.ResolveInputEncoding(inPMF.Min() < 0)
+	wEncName := a.ResolveWeightEncoding()
+	inRail, rails, err := encodeAverageRail(inEncName, a.InputBits, inPMF)
+	if err != nil {
+		return nil, fmt.Errorf("core: input encoding: %w", err)
+	}
+	ctx.inputRails = rails
+	wRail, wRails, err := encodeAverageRail(wEncName, a.WeightBits, wPMF)
+	if err != nil {
+		return nil, fmt.Errorf("core: weight encoding: %w", err)
+	}
+	ctx.weightRails = wRails
+
+	// Step 2b: slicing.
+	inSlicing, err := enc.NewSlicing(a.InputBits, a.DACBits)
+	if err != nil {
+		return nil, err
+	}
+	ctx.InputSlicePMF, err = inSlicing.AverageSlicePMF(inRail)
+	if err != nil {
+		return nil, err
+	}
+	wSlicing, err := enc.NewSlicing(a.WeightBits, a.CellBits)
+	if err != nil {
+		return nil, err
+	}
+	ctx.WeightSlicePMF, err = wSlicing.AverageSlicePMF(wRail)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: per-component average energies.
+	ctx.energies = make([]map[tensor.Kind]accessEnergies, len(e.bindings))
+	cellProduct := dist.Mul(ctx.InputSlicePMF, ctx.WeightSlicePMF).Rebin(512)
+	sums := make(map[int64]*dist.PMF)
+	for i := range e.bindings {
+		b := &e.bindings[i]
+		m, err := e.levelEnergies(b, ctx, cellProduct, sums)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %q: %w", b.level.Name, err)
+		}
+		ctx.energies[i] = m
+	}
+	return ctx, nil
+}
+
+// encodeAverageRail encodes a PMF and returns the average rail PMF plus
+// the rail count.
+func encodeAverageRail(name string, bits int, p *dist.PMF) (*dist.PMF, int, error) {
+	encoding, err := enc.ByName(name, bits)
+	if err != nil {
+		return nil, 0, err
+	}
+	rails, err := encoding.TransformPMF(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	avg := rails[0]
+	for i := 1; i < len(rails); i++ {
+		avg, err = dist.Mix(avg, rails[i], float64(i)/float64(i+1))
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return avg, len(rails), nil
+}
+
+// columnSumPMF synthesizes the distribution of the analog sum arriving at
+// the boundary above level b: depth-wise sum of independent cell products
+// (the independence assumption of §III-D1). Results are cached per depth
+// within one layer context via the sums map.
+func (e *Engine) columnSumPMF(b int, cellProduct *dist.PMF, sums map[int64]*dist.PMF) (*dist.PMF, error) {
+	depth := e.arch.reductionDepthBelow(b)
+	const maxDepth = 65536
+	if depth > maxDepth {
+		depth = maxDepth
+	}
+	if p, ok := sums[depth]; ok {
+		return p, nil
+	}
+	sum, err := dist.SumNCapped(cellProduct.Rebin(128), int(depth), 256)
+	if err != nil {
+		return nil, err
+	}
+	sum = sum.Rebin(512)
+	sums[depth] = sum
+	return sum, nil
+}
+
+// quantizePMFTo rescales a non-negative value PMF onto [0, 2^bits-1]
+// using the given theoretical full-scale value, so the statistical model
+// and the value-level simulator quantize identically.
+func quantizePMFTo(p *dist.PMF, bits int, fullScale float64) *dist.PMF {
+	if fullScale <= 0 {
+		return dist.Delta(0)
+	}
+	fs := float64(int64(1)<<uint(bits) - 1)
+	return p.Map(func(v float64) float64 {
+		if v < 0 {
+			v = 0
+		}
+		if v > fullScale {
+			v = fullScale
+		}
+		return v / fullScale * fs
+	})
+}
+
+// ColumnFullScale returns the theoretical maximum analog column sum at the
+// boundary above level b: max slice product times the reduction depth.
+func (a *Arch) ColumnFullScale(b int) float64 {
+	maxIn := float64(int64(1)<<uint(a.DACBits) - 1)
+	maxW := float64(int64(1)<<uint(a.CellBits) - 1)
+	return maxIn * maxW * float64(a.reductionDepthBelow(b))
+}
+
+// levelEnergies computes the per-value access energies for one level.
+func (e *Engine) levelEnergies(b *binding, ctx *LayerContext, cellProduct *dist.PMF, sums map[int64]*dist.PMF) (map[tensor.Kind]accessEnergies, error) {
+	a := e.arch
+	lv := b.level
+	out := make(map[tensor.Kind]accessEnergies)
+	reduction := a.reductionDepthBelow(b.levelIdx + 1)
+	outBits := a.OutputBits(reduction)
+	// Outputs are re-quantized to operand precision before entering
+	// memory (the standard requantization step of fabricated macros);
+	// full accumulator width exists only in the datapath.
+	storedOutBits := a.InputBits + a.WeightBits
+	if storedOutBits > outBits {
+		storedOutBits = outBits
+	}
+	bitsOf := func(t tensor.Kind) int {
+		switch t {
+		case tensor.Input:
+			return a.InputBits
+		case tensor.Weight:
+			return a.WeightBits
+		default:
+			return storedOutBits
+		}
+	}
+
+	switch lv.Kind {
+	case spec.SpatialLevel:
+		return out, nil
+
+	case spec.StorageLevel:
+		switch {
+		case b.buffer != nil:
+			for t := range lv.Keeps {
+				bits := float64(bitsOf(t))
+				out[t] = accessEnergies{
+					read:  b.buffer.ReadEnergyPerBit() * bits,
+					write: b.buffer.WriteEnergyPerBit() * bits,
+				}
+			}
+		case b.dram != nil:
+			for t := range lv.Keeps {
+				bits := float64(bitsOf(t))
+				out[t] = accessEnergies{
+					read:  b.dram.AccessEnergyPerBit() * bits,
+					write: b.dram.AccessEnergyPerBit() * bits,
+				}
+			}
+		case b.model != nil:
+			// Value-based storage: output accumulators (analog
+			// accumulator, shift-add) see the accumulated-sum
+			// distribution; input/weight registers see the operand
+			// slice distributions.
+			for t := range lv.Keeps {
+				var ops circuits.Operands
+				switch t {
+				case tensor.Input:
+					ops.Input = ctx.InputSlicePMF
+				case tensor.Weight:
+					ops.Weight = ctx.WeightSlicePMF
+				default:
+					sum, err := e.columnSumPMF(b.levelIdx+1, cellProduct, sums)
+					if err != nil {
+						return nil, err
+					}
+					ops.Output = sum
+				}
+				me, err := b.model.MeanEnergy(ops)
+				if err != nil {
+					return nil, err
+				}
+				// One action per value written; reading the settled value
+				// out is folded into that cost for accumulators. Register
+				// reads feeding DACs each slice cost one register op.
+				if t == tensor.Output {
+					out[t] = accessEnergies{write: me}
+				} else {
+					out[t] = accessEnergies{read: me, write: me}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("storage level has no bound model")
+		}
+		return out, nil
+
+	case spec.TransitLevel:
+		for t := range lv.Transits {
+			var ops circuits.Operands
+			switch t {
+			case tensor.Input:
+				ops.Input = ctx.InputSlicePMF
+			case tensor.Weight:
+				ops.Weight = ctx.WeightSlicePMF
+			default:
+				sum, err := e.columnSumPMF(b.levelIdx+1, cellProduct, sums)
+				if err != nil {
+					return nil, err
+				}
+				// ADCs see the sum quantized to their own full scale.
+				if adc, ok := b.model.(*circuits.ADC); ok {
+					sum = quantizePMFTo(sum, adc.Bits(), a.ColumnFullScale(b.levelIdx+1))
+				}
+				ops.Output = sum
+			}
+			me, err := b.model.MeanEnergy(ops)
+			if err != nil {
+				return nil, err
+			}
+			out[t] = accessEnergies{cross: me}
+		}
+		return out, nil
+
+	case spec.ComputeLevel:
+		me, err := b.model.MeanEnergy(circuits.Operands{
+			Input:  ctx.InputSlicePMF,
+			Weight: ctx.WeightSlicePMF,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[tensor.Output] = accessEnergies{cross: me}
+		// Weight programming cost (fills into the cells).
+		out[tensor.Weight] = accessEnergies{write: b.programEnergy}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown level kind %v", lv.Kind)
+}

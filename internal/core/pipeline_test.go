@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/spec"
+	"repro/internal/tech"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// Internal-package tests covering pipeline pieces not reachable through
+// the black-box suite.
+
+func testArch(t *testing.T) *Arch {
+	t.Helper()
+	node, err := tech.ByNm(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := []spec.Level{
+		{Name: "buffer", Kind: spec.StorageLevel, Class: "sram-buffer",
+			Attrs: map[string]float64{"capacity_kb": 8},
+			Keeps: map[tensor.Kind]bool{tensor.Input: true, tensor.Weight: true, tensor.Output: true}},
+		{Name: "dac", Kind: spec.TransitLevel, Class: "dac",
+			Transits: map[tensor.Kind]bool{tensor.Input: true}, CoalesceT: map[tensor.Kind]bool{}},
+		{Name: "cols", Kind: spec.SpatialLevel, Mesh: 4, MeshX: 4, MeshY: 1,
+			SpatialReuse: map[tensor.Kind]bool{tensor.Input: true}},
+		{Name: "adc", Kind: spec.TransitLevel, Class: "adc",
+			Attrs:    map[string]float64{"resolution": 6},
+			Transits: map[tensor.Kind]bool{tensor.Output: true}, CoalesceT: map[tensor.Kind]bool{}},
+		{Name: "rows", Kind: spec.SpatialLevel, Mesh: 8, MeshX: 1, MeshY: 8,
+			SpatialReuse: map[tensor.Kind]bool{tensor.Output: true}},
+		{Name: "cell", Kind: spec.ComputeLevel, Class: "sram-cell",
+			Keeps: map[tensor.Kind]bool{tensor.Weight: true}},
+	}
+	// CellBits == WeightBits: one device per weight, so the columns mesh
+	// is governed purely by the workload's K dimension.
+	return &Arch{
+		Name: "test", Levels: levels, Node: node, ClockHz: 1e8,
+		InputBits: 4, WeightBits: 4, DACBits: 1, CellBits: 4,
+		SpatialPrefs:     map[int][]string{2: {"K"}, 4: {"C"}},
+		InnerDims:        []string{"C"},
+		WeightSliceLevel: -1, InputSliceLevel: -1, TemporalLevel: -1,
+	}
+}
+
+func TestReductionDepthBelow(t *testing.T) {
+	a := testArch(t)
+	// Below the ADC (boundary 4): the rows mesh reduces outputs: depth 8.
+	if d := a.reductionDepthBelow(4); d != 8 {
+		t.Fatalf("depth below adc = %d, want 8", d)
+	}
+	// Below the buffer: same 8 (cols mesh does not reduce outputs).
+	if d := a.reductionDepthBelow(1); d != 8 {
+		t.Fatalf("depth below buffer = %d, want 8", d)
+	}
+	// At the innermost boundary: nothing below.
+	if d := a.reductionDepthBelow(len(a.Levels)); d != 1 {
+		t.Fatalf("innermost depth = %d, want 1", d)
+	}
+}
+
+func TestColumnFullScale(t *testing.T) {
+	a := testArch(t)
+	// 1b DAC slices (max 1) x 4b cells (max 15) x 8 rows = 120.
+	if fs := a.ColumnFullScale(4); fs != 120 {
+		t.Fatalf("full scale = %g, want 120", fs)
+	}
+}
+
+func TestOutputBits(t *testing.T) {
+	a := testArch(t)
+	if b := a.OutputBits(1); b != 4+4+1 {
+		t.Fatalf("OutputBits(1) = %d", b)
+	}
+	if b := a.OutputBits(255); b != 4+4+8 {
+		t.Fatalf("OutputBits(255) = %d", b)
+	}
+	if b := a.OutputBits(1 << 40); b != 32 {
+		t.Fatalf("OutputBits(huge) = %d, want capped 32", b)
+	}
+}
+
+func TestQuantizePMFTo(t *testing.T) {
+	p, err := dist.UniformInts(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := quantizePMFTo(p, 4, 100)
+	if q.Min() < 0 || q.Max() > 15 {
+		t.Fatalf("range [%g, %g]", q.Min(), q.Max())
+	}
+	// Values past full scale clamp.
+	big := dist.Delta(1e9)
+	q = quantizePMFTo(big, 4, 100)
+	if q.Max() != 15 {
+		t.Fatalf("clamp failed: %g", q.Max())
+	}
+	if q := quantizePMFTo(p, 4, 0); q.Max() != 0 {
+		t.Fatal("zero full scale must collapse to delta(0)")
+	}
+}
+
+func TestEncodeAverageRail(t *testing.T) {
+	p, err := dist.UniformInts(-8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, rails, err := encodeAverageRail("differential", 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rails != 2 {
+		t.Fatalf("rails = %d", rails)
+	}
+	if avg.Min() < 0 {
+		t.Fatal("rail values must be non-negative")
+	}
+	if _, _, err := encodeAverageRail("nope", 4, p); err == nil {
+		t.Fatal("want error for unknown encoding")
+	}
+}
+
+func TestResolveEncodings(t *testing.T) {
+	a := testArch(t)
+	if got := a.ResolveInputEncoding(false); got != "unsigned" {
+		t.Fatalf("unsigned default = %q", got)
+	}
+	if got := a.ResolveInputEncoding(true); got != "offset" {
+		t.Fatalf("signed fallback = %q", got)
+	}
+	a.InputEncoding = "differential"
+	if got := a.ResolveInputEncoding(true); got != "differential" {
+		t.Fatalf("explicit encoding overridden: %q", got)
+	}
+	if got := a.ResolveWeightEncoding(); got != "offset" {
+		t.Fatalf("weight default = %q", got)
+	}
+}
+
+func TestEngineRunsOnInternalArch(t *testing.T) {
+	a := testArch(t)
+	eng, err := NewEngine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tensor.MatMul("mm", 4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := layerFor(e)
+	ctx, err := eng.PrepareLayer(layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := eng.GreedyMapping(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eng.EvaluateMapping(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Energy <= 0 || math.IsNaN(r.Energy) {
+		t.Fatalf("energy %g", r.Energy)
+	}
+	// Full utilization on the matched shape.
+	if r.Utilization != 1 {
+		t.Fatalf("utilization %g (%s)", r.Utilization, m)
+	}
+}
+
+func TestIdleInstancesChargeZeroValueEnergy(t *testing.T) {
+	a := testArch(t)
+	eng, err := NewEngine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=1: only 1 of 4 columns mapped; the other 3 ADCs still strobe.
+	small, err := tensor.MatMul("small", 4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tensor.MatMul("full", 4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adcPerMAC := func(e *tensor.Einsum) float64 {
+		ctx, err := eng.PrepareLayer(layerFor(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := eng.GreedyMapping(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := eng.EvaluateMapping(ctx, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, le := range r.Levels {
+			if le.Name == "adc" {
+				return le.Total / float64(r.MACs)
+			}
+		}
+		t.Fatal("no adc level")
+		return 0
+	}
+	if s, f := adcPerMAC(small), adcPerMAC(full); s <= f {
+		t.Fatalf("underutilized columns should raise ADC energy per MAC: %g vs %g", s, f)
+	}
+}
+
+func layerFor(e *tensor.Einsum) workload.Layer {
+	return workload.Layer{
+		Name: e.Name, Op: e, Repeat: 1,
+		Act: workload.ActStats{Sparsity: 0.3, Mean: 0.2, Std: 0.2, Corr: 0.3},
+		Wgt: workload.WeightStats{Std: 0.2},
+	}
+}

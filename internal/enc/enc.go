@@ -1,0 +1,288 @@
+// Package enc implements hardware data representations: operand encodings
+// (how signed operand levels become the non-negative rail values circuits
+// propagate) and bit slicing (how encoded values are partitioned across
+// devices and timesteps). These are the "Representation" layer of the
+// paper's data-value-dependence pipeline (§II-D): the same workload tensor
+// looks different to a DAC depending on whether it is offset-, differential-,
+// XNOR-, or magnitude-encoded, and that difference changes energy by >2.5×
+// (Fig. 4).
+//
+// Every encoding operates on integer operand levels and also transforms
+// PMFs, so the statistical model and the value-level simulator share one
+// definition.
+package enc
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Encoding maps operand levels to one or more non-negative rail values.
+// Rails are the physical carriers: a differential encoding drives two
+// wires/devices per operand, offset and two's-complement drive one.
+type Encoding struct {
+	name   string
+	bits   int  // bits per rail
+	signed bool // whether signed operand levels are accepted
+	rails  int
+	encode func(v int) []int
+}
+
+// Name returns the encoding's canonical name.
+func (e *Encoding) Name() string { return e.name }
+
+// Bits returns the number of bits per rail.
+func (e *Encoding) Bits() int { return e.bits }
+
+// Rails returns the number of physical rails per operand.
+func (e *Encoding) Rails() int { return e.rails }
+
+// Signed reports whether the encoding accepts signed operand levels.
+func (e *Encoding) Signed() bool { return e.signed }
+
+// Encode maps an operand level to its rail values. Levels outside the
+// representable range are an error.
+func (e *Encoding) Encode(v int) ([]int, error) {
+	lo, hi := e.Range()
+	if v < lo || v > hi {
+		return nil, fmt.Errorf("enc: %s cannot encode %d (range [%d, %d])", e.name, v, lo, hi)
+	}
+	return e.encode(v), nil
+}
+
+// Range returns the [lo, hi] operand levels the encoding accepts.
+func (e *Encoding) Range() (lo, hi int) {
+	if e.signed {
+		half := 1 << uint(e.bits-1)
+		return -half, half - 1
+	}
+	return 0, 1<<uint(e.bits) - 1
+}
+
+// TransformPMF returns the PMF of each rail's value given the operand PMF.
+// Operand values outside the encodable range are an error.
+func (e *Encoding) TransformPMF(p *dist.PMF) ([]*dist.PMF, error) {
+	lo, hi := e.Range()
+	railPts := make([][]dist.Point, e.rails)
+	for _, pt := range p.Points() {
+		v := int(pt.Value)
+		if float64(v) != pt.Value || v < lo || v > hi {
+			return nil, fmt.Errorf("enc: %s cannot encode PMF value %g (range [%d, %d])", e.name, pt.Value, lo, hi)
+		}
+		rv := e.encode(v)
+		for r := 0; r < e.rails; r++ {
+			railPts[r] = append(railPts[r], dist.Point{Value: float64(rv[r]), Prob: pt.Prob})
+		}
+	}
+	out := make([]*dist.PMF, e.rails)
+	for r := range out {
+		pm, err := dist.FromPoints(railPts[r])
+		if err != nil {
+			return nil, fmt.Errorf("enc: %s rail %d: %w", e.name, r, err)
+		}
+		out[r] = pm
+	}
+	return out, nil
+}
+
+func checkBits(name string, bits int) error {
+	if bits <= 0 || bits > 16 {
+		return fmt.Errorf("enc: %s bits %d out of [1,16]", name, bits)
+	}
+	return nil
+}
+
+// Unsigned returns the identity encoding for already non-negative levels
+// (e.g. post-ReLU activations presented directly to a DAC).
+func Unsigned(bits int) (*Encoding, error) {
+	if err := checkBits("unsigned", bits); err != nil {
+		return nil, err
+	}
+	return &Encoding{
+		name: "unsigned", bits: bits, signed: false, rails: 1,
+		encode: func(v int) []int { return []int{v} },
+	}, nil
+}
+
+// TwosComplement returns the two's-complement encoding: signed level v maps
+// to its unsigned bit pattern v mod 2^bits on a single rail.
+func TwosComplement(bits int) (*Encoding, error) {
+	if err := checkBits("twos-complement", bits); err != nil {
+		return nil, err
+	}
+	full := 1 << uint(bits)
+	return &Encoding{
+		name: "twos-complement", bits: bits, signed: true, rails: 1,
+		encode: func(v int) []int { return []int{(v + full) & (full - 1)} },
+	}, nil
+}
+
+// Offset returns the offset (biased) encoding used by ISAAC-style macros:
+// signed level v maps to v + 2^(bits-1) on a single rail. The bias is
+// subtracted digitally after accumulation.
+func Offset(bits int) (*Encoding, error) {
+	if err := checkBits("offset", bits); err != nil {
+		return nil, err
+	}
+	half := 1 << uint(bits-1)
+	return &Encoding{
+		name: "offset", bits: bits, signed: true, rails: 1,
+		encode: func(v int) []int { return []int{v + half} },
+	}, nil
+}
+
+// Differential returns the differential encoding: signed level v maps to a
+// positive rail max(v, 0) and a negative rail max(-v, 0). Exactly one rail
+// is nonzero for nonzero operands, which preserves sparsity per rail — the
+// property that makes differential cheap for sparse unsigned workloads in
+// Fig. 4.
+func Differential(bits int) (*Encoding, error) {
+	if err := checkBits("differential", bits); err != nil {
+		return nil, err
+	}
+	return &Encoding{
+		name: "differential", bits: bits, signed: true, rails: 2,
+		encode: func(v int) []int {
+			if v >= 0 {
+				return []int{v, 0}
+			}
+			return []int{0, -v}
+		},
+	}, nil
+}
+
+// XNOR returns the binary ±1 encoding used by XNOR-net style macros:
+// level -1 maps to rail value 0 and level +1 (encoded as level 0... hi) —
+// concretely, any level >= 0 maps to 1 and any level < 0 maps to 0 on a
+// single 1-bit rail.
+func XNOR() (*Encoding, error) {
+	return &Encoding{
+		name: "xnor", bits: 1, signed: true, rails: 1,
+		encode: func(v int) []int {
+			if v >= 0 {
+				return []int{1}
+			}
+			return []int{0}
+		},
+	}, nil
+}
+
+// Magnitude returns the magnitude-only encoding: |v| on one rail; the sign
+// is tracked digitally (FORMS-style polarized arrays).
+func Magnitude(bits int) (*Encoding, error) {
+	if err := checkBits("magnitude", bits); err != nil {
+		return nil, err
+	}
+	return &Encoding{
+		name: "magnitude", bits: bits, signed: true, rails: 1,
+		encode: func(v int) []int {
+			if v < 0 {
+				v = -v
+			}
+			return []int{v}
+		},
+	}, nil
+}
+
+// ByName constructs an encoding from its canonical name.
+func ByName(name string, bits int) (*Encoding, error) {
+	switch name {
+	case "unsigned":
+		return Unsigned(bits)
+	case "twos-complement":
+		return TwosComplement(bits)
+	case "offset":
+		return Offset(bits)
+	case "differential":
+		return Differential(bits)
+	case "xnor":
+		return XNOR()
+	case "magnitude":
+		return Magnitude(bits)
+	}
+	return nil, fmt.Errorf("enc: unknown encoding %q", name)
+}
+
+// Slicing partitions a TotalBits-wide rail value into NumSlices slices of
+// SliceBits each, least-significant slice first. Slices are what get mapped
+// across devices (weight bit cells) or timesteps (input bit-serial DACs);
+// the mapper sees them as an extra dimension (§III-C).
+type Slicing struct {
+	TotalBits int
+	SliceBits int
+}
+
+// NewSlicing validates and returns a slicing. SliceBits must divide
+// TotalBits... or rather the last slice may be narrower; we require
+// 1 <= SliceBits <= TotalBits.
+func NewSlicing(totalBits, sliceBits int) (Slicing, error) {
+	if totalBits <= 0 || totalBits > 32 {
+		return Slicing{}, fmt.Errorf("enc: slicing total bits %d out of [1,32]", totalBits)
+	}
+	if sliceBits <= 0 || sliceBits > totalBits {
+		return Slicing{}, fmt.Errorf("enc: slice bits %d out of [1,%d]", sliceBits, totalBits)
+	}
+	return Slicing{TotalBits: totalBits, SliceBits: sliceBits}, nil
+}
+
+// NumSlices returns the number of slices (ceiling division).
+func (s Slicing) NumSlices() int {
+	return (s.TotalBits + s.SliceBits - 1) / s.SliceBits
+}
+
+// SliceValue extracts slice i (LSB-first) of the non-negative value v.
+func (s Slicing) SliceValue(v, i int) int {
+	return (v >> uint(i*s.SliceBits)) & (1<<uint(s.sliceWidth(i)) - 1)
+}
+
+// sliceWidth returns the bit width of slice i (the top slice may be
+// narrower when SliceBits does not divide TotalBits).
+func (s Slicing) sliceWidth(i int) int {
+	remaining := s.TotalBits - i*s.SliceBits
+	if remaining < s.SliceBits {
+		return remaining
+	}
+	return s.SliceBits
+}
+
+// SliceWeight returns the positional weight 2^(i*SliceBits) of slice i.
+func (s Slicing) SliceWeight(i int) int64 {
+	return int64(1) << uint(i*s.SliceBits)
+}
+
+// SlicePMF returns the PMF of slice i's value given the rail PMF. Rail
+// values must be non-negative integers within TotalBits.
+func (s Slicing) SlicePMF(p *dist.PMF, i int) (*dist.PMF, error) {
+	if i < 0 || i >= s.NumSlices() {
+		return nil, fmt.Errorf("enc: slice index %d out of [0,%d)", i, s.NumSlices())
+	}
+	max := int64(1)<<uint(s.TotalBits) - 1
+	pts := make([]dist.Point, 0, p.Len())
+	for _, pt := range p.Points() {
+		v := int64(pt.Value)
+		if float64(v) != pt.Value || v < 0 || v > max {
+			return nil, fmt.Errorf("enc: rail value %g not representable in %d bits", pt.Value, s.TotalBits)
+		}
+		pts = append(pts, dist.Point{Value: float64(s.SliceValue(int(v), i)), Prob: pt.Prob})
+	}
+	return dist.FromPoints(pts)
+}
+
+// AverageSlicePMF returns the mixture of all slice PMFs: the distribution
+// of values seen by a component that processes every slice (e.g. a
+// bit-serial DAC across timesteps).
+func (s Slicing) AverageSlicePMF(p *dist.PMF) (*dist.PMF, error) {
+	n := s.NumSlices()
+	var pts []dist.Point
+	for i := 0; i < n; i++ {
+		sp, err := s.SlicePMF(p, i)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range sp.Points() {
+			pts = append(pts, dist.Point{Value: pt.Value, Prob: pt.Prob / float64(n)})
+		}
+	}
+	return dist.FromPoints(pts)
+}

@@ -1,0 +1,86 @@
+package enc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+// Differential rails sliced and recombined reproduce the original value:
+// the full encode→slice→recompose chain used by the engine.
+func TestQuickEncodeSliceRecompose(t *testing.T) {
+	e, err := Differential(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSlicing(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw int16) bool {
+		v := int(raw) % 128 // 8-bit signed range
+		rails, err := e.Encode(v)
+		if err != nil {
+			return false
+		}
+		recompose := func(rail int) int64 {
+			total := int64(0)
+			for i := 0; i < s.NumSlices(); i++ {
+				total += int64(s.SliceValue(rail, i)) * s.SliceWeight(i)
+			}
+			return total
+		}
+		return recompose(rails[0])-recompose(rails[1]) == int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TransformPMF of the XNOR encoding on a symmetric distribution yields a
+// balanced bit.
+func TestXNORTransformBalance(t *testing.T) {
+	e, err := XNOR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric over {-1, +1}... XNOR maps v>=0 to 1. Use {-1, 0}: half
+	// negative, half non-negative.
+	p, err := dist.FromPoints([]dist.Point{{Value: -1, Prob: 0.5}, {Value: 0, Prob: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rails, err := e.TransformPMF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := rails[0].Mean(); m != 0.5 {
+		t.Fatalf("balanced input should give P(1)=0.5, got %g", m)
+	}
+}
+
+// AverageSlicePMF mass conservation: probabilities sum to one for any
+// valid rail PMF and slicing.
+func TestQuickAverageSlicePMFValid(t *testing.T) {
+	f := func(bits, sliceBits uint8) bool {
+		tb := int(bits)%12 + 2
+		sb := int(sliceBits)%tb + 1
+		s, err := NewSlicing(tb, sb)
+		if err != nil {
+			return false
+		}
+		p, err := dist.UniformInts(0, 1<<uint(tb)-1)
+		if err != nil {
+			return false
+		}
+		avg, err := s.AverageSlicePMF(p)
+		if err != nil {
+			return false
+		}
+		return avg.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+package enc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+)
+
+func TestTwosComplement(t *testing.T) {
+	e, err := TwosComplement(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int]int{-8: 8, -1: 15, 0: 0, 7: 7}
+	for v, want := range cases {
+		got, err := e.Encode(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("tc(%d) = %v, want [%d]", v, got, want)
+		}
+	}
+	if _, err := e.Encode(8); err == nil {
+		t.Fatal("want range error")
+	}
+	if _, err := e.Encode(-9); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestOffset(t *testing.T) {
+	e, err := Offset(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Encode(-8)
+	if got[0] != 0 {
+		t.Errorf("offset(-8) = %d, want 0", got[0])
+	}
+	got, _ = e.Encode(7)
+	if got[0] != 15 {
+		t.Errorf("offset(7) = %d, want 15", got[0])
+	}
+	got, _ = e.Encode(0)
+	if got[0] != 8 {
+		t.Errorf("offset(0) = %d, want 8", got[0])
+	}
+}
+
+func TestDifferentialPreservesSparsityPerRail(t *testing.T) {
+	e, err := Differential(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rails() != 2 {
+		t.Fatalf("rails = %d", e.Rails())
+	}
+	got, _ := e.Encode(-3)
+	if got[0] != 0 || got[1] != 3 {
+		t.Errorf("diff(-3) = %v", got)
+	}
+	got, _ = e.Encode(5)
+	if got[0] != 5 || got[1] != 0 {
+		t.Errorf("diff(5) = %v", got)
+	}
+	// A zero-heavy symmetric PMF keeps each rail mostly zero under
+	// differential, but offset moves all that mass to mid-scale.
+	p, err := dist.FromPoints([]dist.Point{{Value: -2, Prob: 0.1}, {Value: 0, Prob: 0.8}, {Value: 2, Prob: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rails, err := e.TransformPMF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := rails[0].ProbZero(); math.Abs(z-0.9) > 1e-9 {
+		t.Errorf("positive rail P0 = %g, want 0.9", z)
+	}
+	off, _ := Offset(4)
+	orails, err := off.TransformPMF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := orails[0].ProbZero(); z != 0 {
+		t.Errorf("offset rail should have no zeros, P0 = %g", z)
+	}
+	if m := orails[0].Mean(); math.Abs(m-8) > 1e-9 {
+		t.Errorf("offset rail mean = %g, want 8", m)
+	}
+}
+
+func TestXNOR(t *testing.T) {
+	e, err := XNOR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Encode(0)
+	if got[0] != 1 {
+		t.Errorf("xnor(0) = %d, want 1", got[0])
+	}
+	got, _ = e.Encode(-1)
+	if got[0] != 0 {
+		t.Errorf("xnor(-1) = %d, want 0", got[0])
+	}
+}
+
+func TestMagnitude(t *testing.T) {
+	e, err := Magnitude(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.Encode(-7)
+	if got[0] != 7 {
+		t.Errorf("mag(-7) = %d", got[0])
+	}
+}
+
+func TestUnsigned(t *testing.T) {
+	e, err := Unsigned(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Signed() {
+		t.Fatal("unsigned encoding reports signed")
+	}
+	if _, err := e.Encode(-1); err == nil {
+		t.Fatal("want range error for negative input")
+	}
+	got, _ := e.Encode(255)
+	if got[0] != 255 {
+		t.Errorf("unsigned(255) = %d", got[0])
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"unsigned", "twos-complement", "offset", "differential", "xnor", "magnitude"} {
+		e, err := ByName(name, 4)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if e.Name() != name {
+			t.Errorf("name %q != %q", e.Name(), name)
+		}
+	}
+	if _, err := ByName("nope", 4); err == nil {
+		t.Fatal("want error for unknown encoding")
+	}
+}
+
+func TestEncodingBitsErrors(t *testing.T) {
+	for _, f := range []func(int) (*Encoding, error){Unsigned, TwosComplement, Offset, Differential, Magnitude} {
+		if _, err := f(0); err == nil {
+			t.Error("want error for 0 bits")
+		}
+		if _, err := f(17); err == nil {
+			t.Error("want error for 17 bits")
+		}
+	}
+}
+
+func TestTransformPMFRejectsOutOfRange(t *testing.T) {
+	e, _ := TwosComplement(4)
+	p, _ := dist.FromPoints([]dist.Point{{Value: 100, Prob: 1}})
+	if _, err := e.TransformPMF(p); err == nil {
+		t.Fatal("want error for out-of-range PMF value")
+	}
+	p2, _ := dist.FromPoints([]dist.Point{{Value: 0.5, Prob: 1}})
+	if _, err := e.TransformPMF(p2); err == nil {
+		t.Fatal("want error for non-integer PMF value")
+	}
+}
+
+func TestSlicing(t *testing.T) {
+	s, err := NewSlicing(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSlices() != 4 {
+		t.Fatalf("slices = %d", s.NumSlices())
+	}
+	v := 0b10110100
+	want := []int{0b00, 0b01, 0b11, 0b10}
+	for i, w := range want {
+		if got := s.SliceValue(v, i); got != w {
+			t.Errorf("slice %d = %b, want %b", i, got, w)
+		}
+	}
+	if s.SliceWeight(2) != 16 {
+		t.Fatalf("weight of slice 2 = %d", s.SliceWeight(2))
+	}
+}
+
+func TestSlicingUneven(t *testing.T) {
+	s, err := NewSlicing(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSlices() != 3 {
+		t.Fatalf("slices = %d", s.NumSlices())
+	}
+	// Top slice is only 1 bit wide.
+	if got := s.SliceValue(0b1111111, 2); got != 1 {
+		t.Fatalf("top slice = %d, want 1", got)
+	}
+}
+
+func TestSlicingErrors(t *testing.T) {
+	if _, err := NewSlicing(0, 1); err == nil {
+		t.Error("want error for 0 total bits")
+	}
+	if _, err := NewSlicing(8, 0); err == nil {
+		t.Error("want error for 0 slice bits")
+	}
+	if _, err := NewSlicing(8, 9); err == nil {
+		t.Error("want error for slice > total")
+	}
+}
+
+func TestSlicePMF(t *testing.T) {
+	s, _ := NewSlicing(4, 2)
+	p, _ := dist.UniformInts(0, 15)
+	for i := 0; i < 2; i++ {
+		sp, err := s.SlicePMF(p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each 2-bit slice of a uniform nibble is uniform over 0..3.
+		for v := 0; v < 4; v++ {
+			if got := sp.ProbAt(float64(v)); math.Abs(got-0.25) > 1e-9 {
+				t.Errorf("slice %d P(%d) = %g", i, v, got)
+			}
+		}
+	}
+	if _, err := s.SlicePMF(p, 5); err == nil {
+		t.Fatal("want error for slice index out of range")
+	}
+	neg, _ := dist.FromPoints([]dist.Point{{Value: -1, Prob: 1}})
+	if _, err := s.SlicePMF(neg, 0); err == nil {
+		t.Fatal("want error for negative rail value")
+	}
+}
+
+func TestAverageSlicePMF(t *testing.T) {
+	s, _ := NewSlicing(4, 2)
+	p, _ := dist.UniformInts(0, 15)
+	avg, err := s.AverageSlicePMF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg.Mean()-1.5) > 1e-9 {
+		t.Fatalf("average slice mean = %g, want 1.5", avg.Mean())
+	}
+}
+
+// Property: every encoding round-trips total value. For single-rail
+// unsigned-reconstructible encodings, check algebraic reconstruction; for
+// differential, pos - neg == v; slices recompose via positional weights.
+func TestQuickEncodingsReconstruct(t *testing.T) {
+	f := func(raw int8) bool {
+		v := int(raw) % 8 // 4-bit signed range
+		if v > 7 {
+			v = 7
+		}
+		off, _ := Offset(4)
+		o, err := off.Encode(v)
+		if err != nil || o[0]-8 != v {
+			return false
+		}
+		diff, _ := Differential(4)
+		d, err := diff.Encode(v)
+		if err != nil || d[0]-d[1] != v {
+			return false
+		}
+		mag, _ := Magnitude(4)
+		m, err := mag.Encode(v)
+		if err != nil {
+			return false
+		}
+		av := v
+		if av < 0 {
+			av = -av
+		}
+		return m[0] == av
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSlicesRecompose(t *testing.T) {
+	f := func(raw uint16, sb uint8) bool {
+		v := int(raw)
+		sliceBits := int(sb)%16 + 1
+		s, err := NewSlicing(16, sliceBits)
+		if err != nil {
+			return false
+		}
+		total := int64(0)
+		for i := 0; i < s.NumSlices(); i++ {
+			total += int64(s.SliceValue(v, i)) * s.SliceWeight(i)
+		}
+		return total == int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TransformPMF conserves probability mass and matches per-value
+// encoding on every support point.
+func TestQuickTransformPMFMatchesEncode(t *testing.T) {
+	f := func(seed int64) bool {
+		p, err := dist.UniformInts(-8, 7)
+		if err != nil {
+			return false
+		}
+		e, _ := Differential(4)
+		rails, err := e.TransformPMF(p)
+		if err != nil {
+			return false
+		}
+		for _, r := range rails {
+			if r.Validate() != nil {
+				return false
+			}
+		}
+		// E[pos] - E[neg] must equal E[v].
+		return math.Abs((rails[0].Mean()-rails[1].Mean())-p.Mean()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,495 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/macros"
+	"repro/internal/report"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// fig2Sizes returns the array-size sweep.
+func fig2Sizes(o Options) []int {
+	if o.Fast {
+		return []int{16, 32, 64}
+	}
+	return []int{64, 128, 256, 512, 1024}
+}
+
+// adcBitsFor sizes the ADC for a design point: the column-sum dynamic
+// range grows with DAC resolution, cell bits, and the number of summed
+// rows (the paper's Titanium-law coupling [38]), so exploring
+// high-resolution DACs or larger arrays implies costlier ADCs. Clipped to
+// the practical 4-12 bit range fabricated macros use.
+func adcBitsFor(rows, dacBits, cellBits int) int {
+	extra := 0
+	for r := rows; r > 1; r >>= 2 {
+		extra++ // +1 bit per 4x rows: partial-sum clipping absorbs the rest
+	}
+	bits := dacBits + cellBits + extra
+	if bits < 4 {
+		bits = 4
+	}
+	if bits > 12 {
+		bits = 12
+	}
+	return bits
+}
+
+// Fig2a reproduces the motivation study: the macro with the best macro
+// energy is not the macro that yields the best system energy, because
+// larger arrays keep more weights on-chip and cut memory-hierarchy
+// traffic.
+func Fig2a(o Options) ([]*report.Table, error) {
+	net := o.subset(workload.ResNet18(), 4)
+	t := report.NewTable("Fig. 2a: macro vs. system energy across CiM array sizes (ResNet18)",
+		"array size", "macro energy (norm)", "system energy (norm)")
+	type point struct{ macroE, sysE float64 }
+	var pts []point
+	sizes := fig2Sizes(o)
+	for _, size := range sizes {
+		macroArch, err := macros.Base(macros.Config{
+			Rows: size, Cols: size,
+			ADCBits: adcBitsFor(size, 1, 2),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys, err := system.Build(macroArch, system.WeightStationary, system.Config{Macros: 1})
+		if err != nil {
+			return nil, err
+		}
+		res, err := evalNet(sys, net, o)
+		if err != nil {
+			return nil, err
+		}
+		buckets := bucketEnergy(res, net, map[string][]string{
+			"offmacro": {"dram", "global_buffer", "router"},
+		}, "macro")
+		pts = append(pts, point{buckets["macro"], buckets["macro"] + buckets["offmacro"]})
+	}
+	maxM, maxS := 0.0, 0.0
+	for _, p := range pts {
+		if p.macroE > maxM {
+			maxM = p.macroE
+		}
+		if p.sysE > maxS {
+			maxS = p.sysE
+		}
+	}
+	bestM, bestS := 0, 0
+	for i, p := range pts {
+		if p.macroE < pts[bestM].macroE {
+			bestM = i
+		}
+		if p.sysE < pts[bestS].sysE {
+			bestS = i
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", sizes[i], sizes[i]),
+			report.Num(p.macroE/maxM), report.Num(p.sysE/maxS))
+	}
+	t.Note = fmt.Sprintf("best macro: %dx%d; best system: %dx%d (paper: the two differ)",
+		sizes[bestM], sizes[bestM], sizes[bestS], sizes[bestS])
+	return []*report.Table{t}, nil
+}
+
+// Fig2b reproduces the co-design study: starting from the lowest-macro-
+// energy configuration, optimizing circuits (DAC resolution) or
+// architecture (array size) individually is beaten by co-optimizing both.
+func Fig2b(o Options) ([]*report.Table, error) {
+	net := o.subset(workload.ResNet18(), 4)
+	base := fig2Sizes(o)[0]
+	large := fig2Sizes(o)[len(fig2Sizes(o))-2]
+	if o.Fast {
+		large = fig2Sizes(o)[len(fig2Sizes(o))-1]
+	}
+	configs := []struct {
+		name    string
+		size    int
+		dacBits int
+	}{
+		{"baseline (best macro)", base, 1},
+		{"optimize circuits (hi-res DAC)", base, 4},
+		{"optimize architecture (larger array)", large, 4},
+		{"co-optimize (larger array + lo-res DAC)", large, 1},
+	}
+	t := report.NewTable("Fig. 2b: co-optimizing circuits and architecture (ResNet18 system energy)",
+		"configuration", "system energy (norm)")
+	var energies []float64
+	for _, c := range configs {
+		macroArch, err := macros.Base(macros.Config{
+			Rows: c.size, Cols: c.size, DACBits: c.dacBits,
+			ADCBits: adcBitsFor(c.size, c.dacBits, 2),
+		})
+		if err != nil {
+			return nil, err
+		}
+		sys, err := system.Build(macroArch, system.WeightStationary, system.Config{Macros: 1})
+		if err != nil {
+			return nil, err
+		}
+		res, err := evalNet(sys, net, o)
+		if err != nil {
+			return nil, err
+		}
+		energies = append(energies, res.Energy)
+	}
+	maxE := 0.0
+	for _, e := range energies {
+		if e > maxE {
+			maxE = e
+		}
+	}
+	for i, c := range configs {
+		t.AddRow(c.name, report.Num(energies[i]/maxE))
+	}
+	t.Note = "paper: co-optimization beats optimizing either level alone"
+	return []*report.Table{t}, nil
+}
+
+// Fig12 reproduces the Macro A mapping study: summing outputs across N
+// adjacent columns cuts ADC energy but multiplies DAC converts, and the
+// 3-column configuration uniquely suits ResNet18's 3x3 kernels.
+func Fig12(o Options) ([]*report.Table, error) {
+	groups := []int{1, 2, 3, 4, 6, 8}
+	cols := 768
+	rows := 768
+	if o.Fast {
+		rows, cols = 24, 24
+	}
+	resnet := o.subset(convOnly(workload.ResNet18()), 3)
+	t := report.NewTable("Fig. 12: Macro A output reuse across columns",
+		"workload", "columns/output", "ADC+Accum (norm)", "DAC (norm)", "other (norm)", "total (norm)")
+
+	run := func(wname string, groupDims []string, netFor func(g int) (*workload.Network, error)) error {
+		type bucketed struct{ adc, dac, other, total float64 }
+		var rowsOut []bucketed
+		maxTotal := 0.0
+		for _, g := range groups {
+			arch, err := macros.A(macros.Config{Rows: rows, Cols: cols, GroupCols: g})
+			if err != nil {
+				return err
+			}
+			// The fabricated chip's group wiring is fixed: grouped
+			// columns sum adjacent kernel columns (S) for convolutions;
+			// the matched matrix workload reduces over C. Restrict the
+			// mapper accordingly (the paper's mapping restriction).
+			for i := range arch.Levels {
+				if arch.Levels[i].Name == "group_cols" {
+					arch.SpatialPrefs[i] = append([]string(nil), groupDims...)
+				}
+			}
+			net, err := netFor(g)
+			if err != nil {
+				return err
+			}
+			res, err := evalNet(arch, net, o)
+			if err != nil {
+				return err
+			}
+			b := bucketEnergy(res, net, map[string][]string{
+				"adc": {"adc", "shift_add"},
+				"dac": {"dac"},
+			}, "other")
+			e := bucketed{b["adc"], b["dac"], b["other"], b["adc"] + b["dac"] + b["other"]}
+			rowsOut = append(rowsOut, e)
+			if e.total > maxTotal {
+				maxTotal = e.total
+			}
+		}
+		for i, g := range groups {
+			e := rowsOut[i]
+			t.AddRow(wname, fmt.Sprintf("%d", g),
+				report.Num(e.adc/maxTotal), report.Num(e.dac/maxTotal),
+				report.Num(e.other/maxTotal), report.Num(e.total/maxTotal))
+		}
+		return nil
+	}
+	// The maximum-utilization workload matches each configuration's
+	// array: summing outputs across g columns means the reduction spans
+	// rows*g and g-fold fewer independent outputs fit.
+	if err := run("max-utilization", []string{"C"}, func(g int) (*workload.Network, error) {
+		return workload.MaxUtilization(rows*g, cols/g, 256)
+	}); err != nil {
+		return nil, err
+	}
+	if err := run("ResNet18 (variable utilization)", []string{"S"}, func(int) (*workload.Network, error) {
+		return resnet, nil
+	}); err != nil {
+		return nil, err
+	}
+	t.Note = "more columns/output: ADC energy falls, DAC energy rises; 3 columns fit 3x3 kernels"
+	return []*report.Table{t}, nil
+}
+
+// convOnly filters a network to its 3x3-kernel convolutions (the layers
+// that make the 3-column-reuse story).
+func convOnly(n *workload.Network) *workload.Network {
+	cp := *n
+	cp.Layers = nil
+	for _, l := range n.Layers {
+		if b, err := l.Op.DimBound("S"); err == nil && b == 3 {
+			cp.Layers = append(cp.Layers, l)
+		}
+	}
+	if len(cp.Layers) == 0 {
+		cp.Layers = n.Layers
+	}
+	return &cp
+}
+
+// Fig13 reproduces the Macro B circuits study: analog adder width trades
+// flexibility for compute density across weight precisions.
+func Fig13(o Options) ([]*report.Table, error) {
+	t := report.NewTable("Fig. 13: Macro B analog adder width vs. weight bits",
+		"adder operands", "weight bits", "TOPS/mm^2")
+	widths := []int{1, 2, 4, 8}
+	bitsList := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if o.Fast {
+		bitsList = []int{1, 2, 4, 8}
+	}
+	size := 64
+	if o.Fast {
+		size = 16
+	}
+	for _, w := range widths {
+		for _, bits := range bitsList {
+			arch, err := macros.B(macros.Config{
+				Rows: size, Cols: size, GroupCols: w,
+				WeightBits: bits, CellBits: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := evalMaxUtil(arch, o)
+			if err != nil {
+				return nil, err
+			}
+			mm2 := r.AreaUm2 / 1e6
+			t.AddRow(fmt.Sprintf("%d", w), fmt.Sprintf("%d", bits), report.Num(r.GOPS()/1e3/mm2))
+		}
+	}
+	t.Note = "wider adders increase density at high weight precision but idle at low precision; 8-operand pays too much area"
+	return []*report.Table{t}, nil
+}
+
+// Fig14 reproduces the Macro C architecture study: larger arrays amortize
+// ADC energy when workload tensors are large enough to utilize them.
+func Fig14(o Options) ([]*report.Table, error) {
+	sizes := []int{64, 128, 256, 512, 1024}
+	if o.Fast {
+		sizes = []int{16, 32, 64}
+	}
+	mu, err := workload.MaxUtilization(sizes[len(sizes)-1], sizes[len(sizes)-1], 64)
+	if err != nil {
+		return nil, err
+	}
+	nets := []struct {
+		name string
+		net  *workload.Network
+	}{
+		{"max-utilization", mu},
+		{"large tensors (ViT)", o.subset(workload.ViTBase(), 3)},
+		{"medium tensors (ResNet18)", o.subset(workload.ResNet18(), 3)},
+		{"small tensors (MobileNetV3)", o.subset(workload.MobileNetV3Large(), 3)},
+	}
+	t := report.NewTable("Fig. 14: Macro C energy/MAC across array sizes and workloads",
+		"workload", "array", "DAC+MAC (pJ)", "ADC+Accum (pJ)", "control (pJ)", "total (pJ)")
+	for _, n := range nets {
+		for _, size := range sizes {
+			// Macro C's analog weights are read at an effective 2-bit
+			// precision per cycle (partial-sum clipping); the ADC grows
+			// with the summed row count.
+			arch, err := macros.C(macros.Config{
+				Rows: size, Cols: size,
+				ADCBits: adcBitsFor(size, 1, 2),
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := evalNet(arch, n.net, o)
+			if err != nil {
+				return nil, err
+			}
+			b := bucketEnergy(res, n.net, map[string][]string{
+				"dacmac": {"dac", "cell"},
+				"adc":    {"adc", "analog_accum"},
+			}, "control")
+			perMAC := 1e12 / float64(res.MACs)
+			t.AddRow(n.name, fmt.Sprintf("%dx%d", size, size),
+				report.Num(b["dacmac"]*perMAC), report.Num(b["adc"]*perMAC),
+				report.Num(b["control"]*perMAC),
+				report.Num((b["dacmac"]+b["adc"]+b["control"])*perMAC))
+		}
+	}
+	t.Note = "energy falls with array size for large workloads, saturates for medium, and reverses for small tensors"
+	return []*report.Table{t}, nil
+}
+
+// Fig15 reproduces the full-system study: weight-stationary CiM saves
+// energy, limited by off-chip input/output movement unless tensors stay
+// on-chip.
+func Fig15(o Options) ([]*report.Table, error) {
+	macroCfg := macros.Config{}
+	if o.Fast {
+		macroCfg.Rows, macroCfg.Cols = 32, 16
+	}
+	nets := []struct {
+		name string
+		net  *workload.Network
+	}{
+		{"large tensors (GPT-2)", o.subset(workload.GPT2(), 2)},
+		{"mixed tensors (ResNet18)", o.subset(workload.ResNet18(), 3)},
+	}
+	t := report.NewTable("Fig. 15: Macro D full-system energy per MAC",
+		"scenario", "workload", "DRAM (pJ)", "global buffer (pJ)", "macro+on-chip (pJ)", "total (pJ)")
+	for _, sc := range []system.Scenario{system.AllDRAM, system.WeightStationary, system.OnChipIO} {
+		for _, n := range nets {
+			macroArch, err := macros.D(macroCfg)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := system.Build(macroArch, sc, system.Config{Macros: 4})
+			if err != nil {
+				return nil, err
+			}
+			eng, err := core.NewEngine(sys)
+			if err != nil {
+				return nil, err
+			}
+			// Scenario studies pin the dataflow (greedy only).
+			var dram, gb, macroE float64
+			var macs int64
+			for _, l := range n.net.Layers {
+				r, err := eng.EvaluateLayer(l, 1, o.Seed)
+				if err != nil {
+					return nil, err
+				}
+				d, g, m := system.BreakdownBuckets(r)
+				rep := float64(l.Repeat)
+				dram += d * rep
+				gb += g * rep
+				macroE += m * rep
+				macs += r.MACs * int64(l.Repeat)
+			}
+			perMAC := 1e12 / float64(macs)
+			t.AddRow(sc.String(), n.name,
+				report.Num(dram*perMAC), report.Num(gb*perMAC), report.Num(macroE*perMAC),
+				report.Num((dram+gb+macroE)*perMAC))
+		}
+	}
+	t.Note = "weight-stationary cuts DRAM energy; keeping inputs/outputs on-chip removes most of the rest"
+	return []*report.Table{t}, nil
+}
+
+// Fig16 reproduces the cross-macro comparison: Macros A, B, D scaled to
+// 7 nm with a common ADC, swept over weight and input precision.
+func Fig16(o Options) ([]*report.Table, error) {
+	t := report.NewTable("Fig. 16: cross-macro TOPS/W at 7 nm",
+		"weight bits", "input bits", "Macro A", "Macro B", "Macro D")
+	weightBits := []int{1, 2, 4, 6, 8}
+	inputBits := []int{1, 2, 4, 6, 8}
+	if o.Fast {
+		weightBits = []int{1, 4, 8}
+		inputBits = []int{1, 4, 8}
+	}
+	size := 64
+	groupA := 4
+	if o.Fast {
+		size = 16
+	}
+	for _, wb := range weightBits {
+		for _, ib := range inputBits {
+			eff := make([]float64, 3)
+			builds := []func(macros.Config) (*core.Arch, error){macros.A, macros.B, macros.D}
+			for i, build := range builds {
+				cfg := macros.Config{
+					NodeNm: 7, ADCBits: 8,
+					InputBits: ib, WeightBits: wb,
+					Rows: size, Cols: size,
+				}
+				switch i {
+				case 0: // A: 1b analog MACs, digital accumulation
+					cfg.DACBits, cfg.CellBits, cfg.GroupCols = 1, 1, groupA
+					if o.Fast {
+						cfg.GroupCols = 4
+					}
+				case 1: // B: 4b DAC, 1b cells, analog adder
+					cfg.DACBits, cfg.CellBits, cfg.GroupCols = minInt(4, ib), 1, 4
+				case 2: // D: full-precision C-2C MAC
+					cfg.DACBits, cfg.CellBits = ib, wb
+				}
+				arch, err := build(cfg)
+				if err != nil {
+					return nil, err
+				}
+				r, err := evalMaxUtil(arch, o)
+				if err != nil {
+					return nil, err
+				}
+				eff[i] = r.TOPSPerW()
+			}
+			t.AddRow(fmt.Sprintf("%d", wb), fmt.Sprintf("%d", ib),
+				report.Num(eff[0]), report.Num(eff[1]), report.Num(eff[2]))
+		}
+	}
+	t.Note = "Macro A wins at low precision (bit-scalable); B/D amortize output reuse at higher precision"
+	return []*report.Table{t}, nil
+}
+
+// AblationAmortization quantifies the mapping-invariant amortization of
+// Algorithm 1: evaluating N mappings with one shared layer context vs.
+// re-running the data-value-dependent setup per mapping.
+func AblationAmortization(o Options) ([]*report.Table, error) {
+	arch, err := fig6Arch(o)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(arch)
+	if err != nil {
+		return nil, err
+	}
+	layer := workload.ResNet18().Layers[5]
+	n := 200
+	if o.Fast {
+		n = 40
+	}
+	ctx, err := eng.PrepareLayer(layer)
+	if err != nil {
+		return nil, err
+	}
+	m, err := eng.GreedyMapping(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := eng.EvaluateMapping(ctx, m); err != nil {
+			return nil, err
+		}
+	}
+	amortized := time.Since(start).Seconds()
+
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		c2, err := eng.PrepareLayer(layer)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.EvaluateMapping(c2, m); err != nil {
+			return nil, err
+		}
+	}
+	unamortized := time.Since(start).Seconds()
+
+	t := report.NewTable("Ablation: mapping-invariant energy amortization (Algorithm 1)",
+		"strategy", fmt.Sprintf("time for %d mappings (ms)", n), "speedup")
+	t.AddRow("recompute per mapping", report.Num(unamortized*1e3), "1x")
+	t.AddRow("amortized (CiMLoop)", report.Num(amortized*1e3),
+		fmt.Sprintf("%.1fx", unamortized/amortized))
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,146 @@
+package macros
+
+import (
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/tech"
+	"repro/internal/tensor"
+)
+
+// This file implements the paper's "beyond CiM" claim (§VII): the same
+// container-hierarchy methodology models traditional digital accelerators
+// and photonic accelerators without simulator changes.
+
+// DigitalAccelerator returns a conventional weight-stationary digital PE
+// array (TPU/Eyeriss-class): full-precision digital MACs with per-PE
+// weight registers, no analog conversion anywhere. Defaults: 16x16 PEs at
+// 22 nm, 8b/8b.
+func DigitalAccelerator(cfg Config) (*core.Arch, error) {
+	cfg.fill(Config{
+		Rows: 16, Cols: 16, InputBits: 8, WeightBits: 8,
+		ADCBits: 1, DACBits: 8, CellBits: 8, NodeNm: 22,
+		ClockHz: 800e6, GroupCols: 1, BufferKB: 256,
+	})
+	if err := cfg.check("digital-accelerator"); err != nil {
+		return nil, err
+	}
+	node, err := tech.ByNm(cfg.NodeNm)
+	if err != nil {
+		return nil, err
+	}
+	root := &spec.Container{
+		Name: "digital-accelerator",
+		Children: []spec.Node{
+			&spec.Component{Name: "buffer", Class: "sram-buffer",
+				Attrs:      map[string]float64{"capacity_kb": cfg.BufferKB},
+				Directives: directives{tensor.Input: spec.TemporalReuse, tensor.Weight: spec.TemporalReuse, tensor.Output: spec.TemporalReuse}},
+			&spec.Component{Name: "input_regs", Class: "register",
+				Attrs:      map[string]float64{"bits": float64(cfg.InputBits)},
+				Directives: directives{tensor.Input: spec.TemporalReuse}},
+			&spec.Container{Name: "pe_cols", MeshX: cfg.Cols,
+				SpatialReuse: reuse(tensor.Input),
+				Children: []spec.Node{
+					&spec.Component{Name: "psum_regs", Class: "register",
+						Attrs:      map[string]float64{"bits": 24},
+						Directives: directives{tensor.Output: spec.TemporalReuse}},
+					&spec.Container{Name: "pe_rows", MeshY: cfg.Rows,
+						SpatialReuse: reuse(tensor.Output),
+						Children: []spec.Node{
+							&spec.Component{Name: "pe", Class: "digital-mac",
+								Directives: directives{tensor.Weight: spec.TemporalReuse},
+								IsCompute:  true},
+						}},
+				}},
+		},
+	}
+	levels, err := spec.Flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Arch{
+		Name:   "digital-accelerator",
+		Levels: levels,
+		Node:   node, Vdd: cfg.Vdd, ClockHz: cfg.ClockHz,
+		InputBits: cfg.InputBits, WeightBits: cfg.WeightBits,
+		DACBits: cfg.DACBits, CellBits: cfg.CellBits,
+		InputEncoding: "unsigned", WeightEncoding: "twos-complement",
+		SpatialPrefs: prefs(levels,
+			prefEntry("pe_cols", "K"),
+			prefEntry("pe_rows", "C", "R", "S"),
+		),
+		InnerDims:        []string{"C", "R", "S"},
+		WeightSliceLevel: -1,
+		InputSliceLevel:  -1,
+		TemporalLevel:    -1,
+	}, nil
+}
+
+// Photonic returns a photonic tensor-core style accelerator: MZI
+// modulators encode inputs onto light, a photonic weight mesh computes
+// the analog MAC optically (laser wall-plug power dominates), and
+// photodetectors plus ADCs read summed outputs — the paper's ref [78]
+// target, expressed in the same specification.
+func Photonic(cfg Config) (*core.Arch, error) {
+	cfg.fill(Config{
+		Rows: 64, Cols: 64, InputBits: 8, WeightBits: 8,
+		ADCBits: 8, DACBits: 8, CellBits: 8, NodeNm: 22,
+		ClockHz:   5e9, // photonics' draw: very high activation rates
+		GroupCols: 1, BufferKB: 128,
+	})
+	if err := cfg.check("photonic"); err != nil {
+		return nil, err
+	}
+	node, err := tech.ByNm(cfg.NodeNm)
+	if err != nil {
+		return nil, err
+	}
+	root := &spec.Container{
+		Name: "photonic-macro",
+		Children: []spec.Node{
+			&spec.Component{Name: "buffer", Class: "sram-buffer",
+				Attrs:      map[string]float64{"capacity_kb": cfg.BufferKB},
+				Directives: directives{tensor.Input: spec.TemporalReuse, tensor.Weight: spec.TemporalReuse, tensor.Output: spec.TemporalReuse}},
+			&spec.Component{Name: "input_regs", Class: "register",
+				Attrs:      map[string]float64{"bits": float64(cfg.InputBits)},
+				Directives: directives{tensor.Input: spec.TemporalReuse}},
+			&spec.Component{Name: "modulators", Class: "mzi-modulator",
+				Directives: directives{tensor.Input: spec.NoCoalesce}},
+			&spec.Container{Name: "columns", MeshX: cfg.Cols,
+				SpatialReuse: reuse(tensor.Input),
+				Children: []spec.Node{
+					&spec.Component{Name: "adc", Class: "adc",
+						Attrs:      map[string]float64{"resolution": float64(cfg.ADCBits)},
+						Directives: directives{tensor.Output: spec.NoCoalesce}},
+					&spec.Component{Name: "detector", Class: "photodetector",
+						Directives: directives{tensor.Output: spec.NoCoalesce}},
+					&spec.Container{Name: "rows", MeshY: cfg.Rows,
+						SpatialReuse: reuse(tensor.Output),
+						Children: []spec.Node{
+							&spec.Component{Name: "mesh_cell", Class: "photonic-cell",
+								Directives: directives{tensor.Weight: spec.TemporalReuse},
+								IsCompute:  true},
+						}},
+				}},
+		},
+	}
+	levels, err := spec.Flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Arch{
+		Name:   "photonic",
+		Levels: levels,
+		Node:   node, Vdd: cfg.Vdd, ClockHz: cfg.ClockHz,
+		InputBits: cfg.InputBits, WeightBits: cfg.WeightBits,
+		DACBits: cfg.DACBits, CellBits: cfg.CellBits,
+		InputEncoding: "unsigned", WeightEncoding: "offset",
+		SpatialPrefs: prefs(levels,
+			prefEntry("columns", "K"),
+			prefEntry("rows", "C", "R", "S"),
+		),
+		InnerDims:        []string{"C", "R", "S"},
+		WeightSliceLevel: -1,
+		InputSliceLevel:  -1,
+		TemporalLevel:    -1,
+	}, nil
+}

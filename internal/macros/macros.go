@@ -1,0 +1,677 @@
+// Package macros provides container-hierarchy models of the published CiM
+// macros the paper validates against (§V, Table III, Fig. 3):
+//
+//   - Base macro (Lu et al. [15], the NeuroSim-style topology): DACs on
+//     rows, ADC per column group, digital shift-add accumulation.
+//   - Macro A (Jia et al. [16], 65 nm SRAM 768×768): analog outputs summed
+//     on wires across groups of adjacent columns, bit-serial digital
+//     accumulation for multi-bit operands.
+//   - Macro B (Sinangil et al. [17], 7 nm SRAM 64×64): an analog adder
+//     sums columns storing different bits of the same weight before one
+//     4-bit ADC read.
+//   - Macro C (Wan et al. [18][19], 130 nm ReRAM 256×256): an analog
+//     accumulator sums partial results across input-bit cycles before the
+//     ADC.
+//   - Macro D (Wang et al. [20][21], 22 nm SRAM 512×128): a C-2C ladder
+//     charge-domain 8-bit MAC unit that internally reuses outputs across
+//     weight bits.
+//   - Digital CiM (Kim et al. [22], Colonnade-style): fully digital
+//     bit-serial MACs, no ADC.
+//
+// Each constructor returns a *core.Arch: the flattened hierarchy plus
+// technology context, data representation, and mapping guidance (including
+// the paper's mapping restrictions, e.g. which dims may occupy adjacent
+// columns).
+package macros
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/tech"
+	"repro/internal/tensor"
+)
+
+// Config parameterizes a macro build. Zero fields select the macro's
+// published defaults (Table III).
+type Config struct {
+	Rows, Cols int
+	InputBits  int
+	WeightBits int
+	ADCBits    int
+	DACBits    int // input bits per DAC step
+	CellBits   int // weight bits per device
+	NodeNm     int
+	Vdd        float64 // 0 = nominal
+	ClockHz    float64
+	// GroupCols is the number of adjacent columns whose outputs are
+	// combined (wire-summed for Macro A, analog-added for Macro B).
+	GroupCols int
+	// BufferKB sizes the macro-local buffer.
+	BufferKB float64
+	// DACResistive selects the resistive DAC model instead of capacitive.
+	DACResistive bool
+	// ValueAwareADC selects the value-aware ADC energy model.
+	ValueAwareADC bool
+	// Device selects the compute-cell family for macros that support
+	// swapping ("reram", "sram", "stt", "edram"); empty keeps the macro's
+	// published device.
+	Device string
+	// ADCShare is the column-mux depth (columns per ADC). Zero keeps the
+	// macro's default.
+	ADCShare int
+}
+
+func (c *Config) fill(d Config) {
+	if c.Rows == 0 {
+		c.Rows = d.Rows
+	}
+	if c.Cols == 0 {
+		c.Cols = d.Cols
+	}
+	if c.InputBits == 0 {
+		c.InputBits = d.InputBits
+	}
+	if c.WeightBits == 0 {
+		c.WeightBits = d.WeightBits
+	}
+	if c.ADCBits == 0 {
+		c.ADCBits = d.ADCBits
+	}
+	if c.DACBits == 0 {
+		c.DACBits = d.DACBits
+	}
+	if c.CellBits == 0 {
+		c.CellBits = d.CellBits
+	}
+	if c.NodeNm == 0 {
+		c.NodeNm = d.NodeNm
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = d.ClockHz
+	}
+	if c.GroupCols == 0 {
+		c.GroupCols = d.GroupCols
+	}
+	if c.BufferKB == 0 {
+		c.BufferKB = d.BufferKB
+	}
+	if c.Vdd == 0 {
+		c.Vdd = d.Vdd
+	}
+}
+
+func (c *Config) check(name string) error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("macros: %s array %dx%d invalid", name, c.Rows, c.Cols)
+	}
+	if c.GroupCols <= 0 || c.Cols%c.GroupCols != 0 {
+		return fmt.Errorf("macros: %s group of %d does not divide %d columns", name, c.GroupCols, c.Cols)
+	}
+	return nil
+}
+
+// reuse is shorthand for a spatial reuse set.
+func reuse(kinds ...tensor.Kind) map[tensor.Kind]bool {
+	m := make(map[tensor.Kind]bool, len(kinds))
+	for _, k := range kinds {
+		m[k] = true
+	}
+	return m
+}
+
+// directives is shorthand for a directive map.
+type directives = map[tensor.Kind]spec.Directive
+
+// levelIndex resolves a flattened level by name, returning -1 when absent
+// (meshes of one collapse, so positions cannot be hardcoded).
+func levelIndex(levels []spec.Level, name string) int {
+	for i := range levels {
+		if levels[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// prefs builds a SpatialPrefs map from (level name, dims) pairs, skipping
+// levels absent from this configuration.
+func prefs(levels []spec.Level, entries ...struct {
+	Name string
+	Dims []string
+}) map[int][]string {
+	out := map[int][]string{}
+	for _, e := range entries {
+		if idx := levelIndex(levels, e.Name); idx >= 0 {
+			out[idx] = append(out[idx], e.Dims...)
+		}
+	}
+	return out
+}
+
+// prefEntry builds one prefs entry.
+func prefEntry(name string, dims ...string) struct {
+	Name string
+	Dims []string
+} {
+	return struct {
+		Name string
+		Dims []string
+	}{name, dims}
+}
+
+// Base returns the Base macro (NeuroSim-style, [15]): bit-serial DACs on
+// rows, one ADC per column, digital shift-add accumulating input-bit and
+// weight-slice partial sums. Defaults: 45 nm ReRAM-like 128×128, 8b/8b
+// operands, 1b DAC steps, 2b cells, 8b ADC.
+func Base(cfg Config) (*core.Arch, error) {
+	cfg.fill(Config{
+		Rows: 128, Cols: 128, InputBits: 8, WeightBits: 8,
+		ADCBits: 8, DACBits: 1, CellBits: 2, NodeNm: 45,
+		ClockHz: 100e6, GroupCols: 1, BufferKB: 64,
+	})
+	if cfg.Device == "" {
+		cfg.Device = "reram"
+	}
+	cellClass, ok := map[string]string{
+		"reram": "reram-cell", "sram": "sram-cell",
+		"stt": "stt-cell", "edram": "edram-cell",
+	}[cfg.Device]
+	if !ok {
+		return nil, fmt.Errorf("macros: base: unknown device %q", cfg.Device)
+	}
+	if cfg.Device == "stt" {
+		cfg.CellBits = 1 // MTJs store one bit
+	}
+	if cfg.ADCShare == 0 {
+		cfg.ADCShare = 1
+	}
+	if err := cfg.check("base"); err != nil {
+		return nil, err
+	}
+	node, err := tech.ByNm(cfg.NodeNm)
+	if err != nil {
+		return nil, err
+	}
+	root := &spec.Container{
+		Name: "base-macro",
+		Children: []spec.Node{
+			&spec.Component{Name: "buffer", Class: "sram-buffer",
+				Attrs:      map[string]float64{"capacity_kb": cfg.BufferKB},
+				Directives: directives{tensor.Input: spec.TemporalReuse, tensor.Weight: spec.TemporalReuse, tensor.Output: spec.TemporalReuse}},
+			&spec.Component{Name: "input_regs", Class: "register",
+				Attrs:      map[string]float64{"bits": float64(cfg.InputBits)},
+				Directives: directives{tensor.Input: spec.TemporalReuse}},
+			&spec.Component{Name: "dac", Class: "dac",
+				Attrs:      map[string]float64{"kind": boolAttr(cfg.DACResistive)},
+				Directives: directives{tensor.Input: spec.NoCoalesce}},
+			&spec.Container{Name: "columns", MeshX: cfg.Cols,
+				SpatialReuse: reuse(tensor.Input),
+				Children: []spec.Node{
+					&spec.Component{Name: "shift_add", Class: "shift-add",
+						Attrs:      map[string]float64{"bits": 24},
+						Directives: directives{tensor.Output: spec.TemporalReuse}},
+					&spec.Component{Name: "adc", Class: "adc",
+						Attrs: map[string]float64{
+							"resolution":  float64(cfg.ADCBits),
+							"value_aware": boolAttr(cfg.ValueAwareADC),
+							"area_scale":  1 / float64(cfg.ADCShare),
+						},
+						Directives: directives{tensor.Output: spec.NoCoalesce}},
+					&spec.Container{Name: "rows", MeshY: cfg.Rows,
+						SpatialReuse: reuse(tensor.Output),
+						Children: []spec.Node{
+							&spec.Component{Name: "cell", Class: cellClass,
+								Directives: directives{tensor.Weight: spec.TemporalReuse},
+								IsCompute:  true},
+						}},
+				}},
+		},
+	}
+	levels, err := spec.Flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	// Level indices: 0 buffer, 1 input_regs, 2 dac, 3 columns mesh,
+	// 4 shift_add, 5 adc, 6 rows mesh, 7 cell.
+	return &core.Arch{
+		Name:   "base",
+		Levels: levels,
+		Node:   node, Vdd: cfg.Vdd, ClockHz: cfg.ClockHz,
+		InputBits: cfg.InputBits, WeightBits: cfg.WeightBits,
+		DACBits: cfg.DACBits, CellBits: cfg.CellBits,
+		ADCShare:      cfg.ADCShare,
+		InputEncoding: "unsigned", WeightEncoding: "offset",
+		SpatialPrefs: prefs(levels,
+			prefEntry("columns", "K"),
+			prefEntry("rows", "C", "R", "S"),
+		),
+		InnerDims: []string{"C", "R", "S"},
+		// Weight slices across adjacent columns; bit-serial inputs
+		// accumulate in the shift-add. Leftover temporals at the buffer.
+		WeightSliceLevel: levelIndex(levels, "columns"),
+		InputSliceLevel:  levelIndex(levels, "shift_add"),
+		TemporalLevel:    -1,
+	}, nil
+}
+
+func boolAttr(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// A returns Macro A (Jia et al. [16]): 65 nm SRAM 768×768, bit-scalable
+// 1b analog MACs, outputs wire-summed across groups of GroupCols adjacent
+// columns (Fig. 12 sweeps GroupCols), digital bit-serial accumulation for
+// multi-bit inputs and weights.
+func A(cfg Config) (*core.Arch, error) {
+	cfg.fill(Config{
+		Rows: 768, Cols: 768, InputBits: 4, WeightBits: 4,
+		ADCBits: 8, DACBits: 1, CellBits: 1, NodeNm: 65,
+		ClockHz: 100e6, GroupCols: 3, BufferKB: 128,
+	})
+	if err := cfg.check("A"); err != nil {
+		return nil, err
+	}
+	node, err := tech.ByNm(cfg.NodeNm)
+	if err != nil {
+		return nil, err
+	}
+	groups := cfg.Cols / cfg.GroupCols
+	root := &spec.Container{
+		Name: "macro-a",
+		Children: []spec.Node{
+			&spec.Component{Name: "buffer", Class: "sram-buffer",
+				Attrs:      map[string]float64{"capacity_kb": cfg.BufferKB},
+				Directives: directives{tensor.Input: spec.TemporalReuse, tensor.Weight: spec.TemporalReuse, tensor.Output: spec.TemporalReuse}},
+			&spec.Component{Name: "input_regs", Class: "register",
+				Attrs:      map[string]float64{"bits": float64(cfg.InputBits)},
+				Directives: directives{tensor.Input: spec.TemporalReuse}},
+			&spec.Component{Name: "dac", Class: "dac",
+				Directives: directives{tensor.Input: spec.NoCoalesce}},
+			&spec.Container{Name: "col_groups", MeshX: groups,
+				SpatialReuse: reuse(tensor.Input),
+				Children: []spec.Node{
+					&spec.Component{Name: "shift_add", Class: "shift-add",
+						Attrs:      map[string]float64{"bits": 24},
+						Directives: directives{tensor.Output: spec.TemporalReuse}},
+					&spec.Component{Name: "adc", Class: "adc",
+						Attrs:      map[string]float64{"resolution": float64(cfg.ADCBits)},
+						Directives: directives{tensor.Output: spec.NoCoalesce}},
+					&spec.Container{Name: "group_cols", MeshX: cfg.GroupCols,
+						// Outputs summed on wires across the group's
+						// columns. Inputs are NOT shared within a group:
+						// each member column computes a different slice
+						// of the reduction, so every column needs its own
+						// DAC converts — the "↓ input reuse, ↑ DAC
+						// converts" cost of Fig. 3's Macro A.
+						SpatialReuse: reuse(tensor.Output),
+						Children: []spec.Node{
+							&spec.Container{Name: "rows", MeshY: cfg.Rows,
+								SpatialReuse: reuse(tensor.Output),
+								Children: []spec.Node{
+									&spec.Component{Name: "cell", Class: "sram-cell",
+										Directives: directives{tensor.Weight: spec.TemporalReuse},
+										IsCompute:  true},
+								}},
+						}},
+				}},
+		},
+	}
+	levels, err := spec.Flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	// Levels: 0 buffer, 1 input_regs, 2 dac, 3 col_groups, 4 shift_add,
+	// 5 adc, 6 group_cols, 7 rows, 8 cell.
+	return &core.Arch{
+		Name:   "macro-a",
+		Levels: levels,
+		Node:   node, Vdd: cfg.Vdd, ClockHz: cfg.ClockHz,
+		InputBits: cfg.InputBits, WeightBits: cfg.WeightBits,
+		DACBits: cfg.DACBits, CellBits: cfg.CellBits,
+		InputEncoding: "unsigned", WeightEncoding: "offset",
+		// Mapping restriction: grouped columns must share outputs, so
+		// only reduction dims may occupy them (S first: 3x3 kernels fit
+		// a 3-column group, the Fig. 12 sweet spot).
+		SpatialPrefs: prefs(levels,
+			prefEntry("col_groups", "K"),
+			prefEntry("group_cols", "S", "C"),
+			prefEntry("rows", "C", "R", "S"),
+		),
+		InnerDims:        []string{"C", "R", "S"},
+		WeightSliceLevel: -1, // weight bits processed serially (digital accumulation)
+		InputSliceLevel:  levelIndex(levels, "shift_add"),
+		TemporalLevel:    -1,
+	}, nil
+}
+
+// B returns Macro B (Sinangil et al. [17]): 7 nm SRAM 64×64, 4b inputs
+// and weights, an analog adder summing GroupCols adjacent columns that
+// store different bits of the same weight, then a 4b ADC.
+func B(cfg Config) (*core.Arch, error) {
+	cfg.fill(Config{
+		Rows: 64, Cols: 64, InputBits: 4, WeightBits: 4,
+		ADCBits: 4, DACBits: 4, CellBits: 1, NodeNm: 7,
+		ClockHz: 200e6, GroupCols: 4, BufferKB: 16,
+	})
+	if err := cfg.check("B"); err != nil {
+		return nil, err
+	}
+	node, err := tech.ByNm(cfg.NodeNm)
+	if err != nil {
+		return nil, err
+	}
+	groups := cfg.Cols / cfg.GroupCols
+	root := &spec.Container{
+		Name: "macro-b",
+		Children: []spec.Node{
+			&spec.Component{Name: "buffer", Class: "sram-buffer",
+				Attrs:      map[string]float64{"capacity_kb": cfg.BufferKB},
+				Directives: directives{tensor.Input: spec.TemporalReuse, tensor.Weight: spec.TemporalReuse, tensor.Output: spec.TemporalReuse}},
+			&spec.Component{Name: "input_regs", Class: "register",
+				Attrs:      map[string]float64{"bits": float64(cfg.InputBits)},
+				Directives: directives{tensor.Input: spec.TemporalReuse}},
+			&spec.Component{Name: "dac", Class: "dac",
+				Directives: directives{tensor.Input: spec.NoCoalesce}},
+			&spec.Container{Name: "col_groups", MeshX: groups,
+				SpatialReuse: reuse(tensor.Input),
+				Children: []spec.Node{
+					&spec.Component{Name: "shift_add", Class: "shift-add",
+						Attrs:      map[string]float64{"bits": 20},
+						Directives: directives{tensor.Output: spec.TemporalReuse}},
+					&spec.Component{Name: "adc", Class: "adc",
+						Attrs:      map[string]float64{"resolution": float64(cfg.ADCBits), "value_aware": 1},
+						Directives: directives{tensor.Output: spec.NoCoalesce}},
+					&spec.Component{Name: "analog_adder", Class: "analog-adder",
+						Attrs:      map[string]float64{"operands": float64(cfg.GroupCols), "out_bits": 8},
+						Directives: directives{tensor.Output: spec.Coalesce}},
+					&spec.Container{Name: "group_cols", MeshX: cfg.GroupCols,
+						SpatialReuse: reuse(tensor.Input),
+						Children: []spec.Node{
+							&spec.Container{Name: "rows", MeshY: cfg.Rows,
+								SpatialReuse: reuse(tensor.Output),
+								Children: []spec.Node{
+									&spec.Component{Name: "cell", Class: "sram-cell",
+										Directives: directives{tensor.Weight: spec.TemporalReuse},
+										IsCompute:  true},
+								}},
+						}},
+				}},
+		},
+	}
+	levels, err := spec.Flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	// Levels: 0 buffer, 1 input_regs, 2 dac, 3 col_groups, 4 shift_add,
+	// 5 adc, 6 analog_adder, 7 group_cols, 8 rows, 9 cell.
+	return &core.Arch{
+		Name:   "macro-b",
+		Levels: levels,
+		Node:   node, Vdd: cfg.Vdd, ClockHz: cfg.ClockHz,
+		InputBits: cfg.InputBits, WeightBits: cfg.WeightBits,
+		DACBits: cfg.DACBits, CellBits: cfg.CellBits,
+		InputEncoding: "unsigned", WeightEncoding: "offset",
+		SpatialPrefs: prefs(levels,
+			prefEntry("col_groups", "K"),
+			prefEntry("rows", "C", "R", "S"),
+		),
+		InnerDims: []string{"C", "R", "S"},
+		// Mapping restriction of Fig. 3: the grouped columns store
+		// different bits of the same weight (temporal spill when absent).
+		WeightSliceLevel: levelIndex(levels, "group_cols"),
+		InputSliceLevel:  levelIndex(levels, "shift_add"),
+		TemporalLevel:    -1,
+	}, nil
+}
+
+// C returns Macro C (Wan et al. [18][19]): 130 nm ReRAM 256×256, analog
+// multi-bit weights (one device per weight), bit-serial 1b inputs whose
+// partial sums accumulate in an analog accumulator across cycles before
+// one ADC read.
+func C(cfg Config) (*core.Arch, error) {
+	cfg.fill(Config{
+		Rows: 256, Cols: 256, InputBits: 8, WeightBits: 8,
+		ADCBits: 8, DACBits: 1, CellBits: 8, NodeNm: 130,
+		ClockHz: 50e6, GroupCols: 1, BufferKB: 64,
+	})
+	if err := cfg.check("C"); err != nil {
+		return nil, err
+	}
+	if cfg.CellBits != cfg.WeightBits {
+		// Analog weights: the full weight lives on one device.
+		cfg.CellBits = cfg.WeightBits
+	}
+	node, err := tech.ByNm(cfg.NodeNm)
+	if err != nil {
+		return nil, err
+	}
+	root := &spec.Container{
+		Name: "macro-c",
+		Children: []spec.Node{
+			&spec.Component{Name: "buffer", Class: "sram-buffer",
+				Attrs:      map[string]float64{"capacity_kb": cfg.BufferKB},
+				Directives: directives{tensor.Input: spec.TemporalReuse, tensor.Weight: spec.TemporalReuse, tensor.Output: spec.TemporalReuse}},
+			&spec.Component{Name: "input_regs", Class: "register",
+				Attrs:      map[string]float64{"bits": float64(cfg.InputBits)},
+				Directives: directives{tensor.Input: spec.TemporalReuse}},
+			&spec.Component{Name: "dac", Class: "dac",
+				Directives: directives{tensor.Input: spec.NoCoalesce}},
+			&spec.Container{Name: "columns", MeshX: cfg.Cols,
+				SpatialReuse: reuse(tensor.Input),
+				Children: []spec.Node{
+					&spec.Component{Name: "adc", Class: "adc",
+						Attrs:      map[string]float64{"resolution": float64(cfg.ADCBits)},
+						Directives: directives{tensor.Output: spec.NoCoalesce}},
+					&spec.Component{Name: "analog_accum", Class: "analog-accumulator",
+						Attrs:      map[string]float64{"out_bits": 12},
+						Directives: directives{tensor.Output: spec.TemporalReuse}},
+					&spec.Container{Name: "rows", MeshY: cfg.Rows,
+						SpatialReuse: reuse(tensor.Output),
+						Children: []spec.Node{
+							&spec.Component{Name: "cell", Class: "reram-cell",
+								Directives: directives{tensor.Weight: spec.TemporalReuse},
+								IsCompute:  true},
+						}},
+				}},
+		},
+	}
+	levels, err := spec.Flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	// Levels: 0 buffer, 1 input_regs, 2 dac, 3 columns, 4 adc,
+	// 5 analog_accum, 6 rows, 7 cell.
+	return &core.Arch{
+		Name:   "macro-c",
+		Levels: levels,
+		Node:   node, Vdd: cfg.Vdd, ClockHz: cfg.ClockHz,
+		InputBits: cfg.InputBits, WeightBits: cfg.WeightBits,
+		DACBits: cfg.DACBits, CellBits: cfg.CellBits,
+		InputEncoding: "unsigned", WeightEncoding: "offset",
+		SpatialPrefs: prefs(levels,
+			prefEntry("columns", "K"),
+			prefEntry("rows", "C", "R", "S"),
+		),
+		InnerDims:        []string{"C", "R", "S"},
+		WeightSliceLevel: -1,
+		// Mapping restriction of Fig. 3: consecutive cycles carry
+		// different input bits, accumulated in analog before the ADC.
+		InputSliceLevel: levelIndex(levels, "analog_accum"),
+		TemporalLevel:   -1,
+	}, nil
+}
+
+// D returns Macro D (Wang et al. [20][21]): 22 nm SRAM 512×128 with a
+// C-2C ladder charge-domain MAC computing full 8b×8b products per unit,
+// internally reusing outputs across weight bits.
+func D(cfg Config) (*core.Arch, error) {
+	cfg.fill(Config{
+		Rows: 512, Cols: 128, InputBits: 8, WeightBits: 8,
+		ADCBits: 8, DACBits: 8, CellBits: 8, NodeNm: 22,
+		ClockHz: 500e6, GroupCols: 1, BufferKB: 32,
+	})
+	if err := cfg.check("D"); err != nil {
+		return nil, err
+	}
+	node, err := tech.ByNm(cfg.NodeNm)
+	if err != nil {
+		return nil, err
+	}
+	root := &spec.Container{
+		Name: "macro-d",
+		Children: []spec.Node{
+			&spec.Component{Name: "buffer", Class: "sram-buffer",
+				Attrs:      map[string]float64{"capacity_kb": cfg.BufferKB},
+				Directives: directives{tensor.Input: spec.TemporalReuse, tensor.Weight: spec.TemporalReuse, tensor.Output: spec.TemporalReuse}},
+			&spec.Component{Name: "input_regs", Class: "register",
+				Attrs:      map[string]float64{"bits": float64(cfg.InputBits)},
+				Directives: directives{tensor.Input: spec.TemporalReuse}},
+			&spec.Component{Name: "dac", Class: "dac",
+				Directives: directives{tensor.Input: spec.NoCoalesce}},
+			&spec.Container{Name: "columns", MeshX: cfg.Cols,
+				SpatialReuse: reuse(tensor.Input),
+				Children: []spec.Node{
+					&spec.Component{Name: "adc", Class: "adc",
+						Attrs:      map[string]float64{"resolution": float64(cfg.ADCBits)},
+						Directives: directives{tensor.Output: spec.NoCoalesce}},
+					&spec.Container{Name: "rows", MeshY: cfg.Rows,
+						SpatialReuse: reuse(tensor.Output),
+						Children: []spec.Node{
+							&spec.Component{Name: "mac", Class: "c2c-mac",
+								Directives: directives{tensor.Weight: spec.TemporalReuse},
+								IsCompute:  true},
+						}},
+				}},
+		},
+	}
+	levels, err := spec.Flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	// Levels: 0 buffer, 1 input_regs, 2 dac, 3 columns, 4 adc, 5 rows,
+	// 6 mac.
+	return &core.Arch{
+		Name:   "macro-d",
+		Levels: levels,
+		Node:   node, Vdd: cfg.Vdd, ClockHz: cfg.ClockHz,
+		InputBits: cfg.InputBits, WeightBits: cfg.WeightBits,
+		DACBits: cfg.DACBits, CellBits: cfg.CellBits,
+		InputEncoding: "unsigned", WeightEncoding: "offset",
+		SpatialPrefs: prefs(levels,
+			prefEntry("columns", "K"),
+			prefEntry("rows", "C", "R", "S"),
+		),
+		InnerDims:        []string{"C", "R", "S"},
+		WeightSliceLevel: -1,
+		InputSliceLevel:  -1,
+		TemporalLevel:    -1,
+	}, nil
+}
+
+// Digital returns a Colonnade-style digital CiM macro [22]: bit-serial
+// digital MACs, no DAC or ADC.
+func Digital(cfg Config) (*core.Arch, error) {
+	cfg.fill(Config{
+		Rows: 128, Cols: 128, InputBits: 8, WeightBits: 8,
+		ADCBits: 1, DACBits: 1, CellBits: 1, NodeNm: 65,
+		ClockHz: 200e6, GroupCols: 1, BufferKB: 64,
+	})
+	if err := cfg.check("digital"); err != nil {
+		return nil, err
+	}
+	node, err := tech.ByNm(cfg.NodeNm)
+	if err != nil {
+		return nil, err
+	}
+	root := &spec.Container{
+		Name: "digital-cim",
+		Children: []spec.Node{
+			&spec.Component{Name: "buffer", Class: "sram-buffer",
+				Attrs:      map[string]float64{"capacity_kb": cfg.BufferKB},
+				Directives: directives{tensor.Input: spec.TemporalReuse, tensor.Weight: spec.TemporalReuse, tensor.Output: spec.TemporalReuse}},
+			&spec.Component{Name: "input_regs", Class: "register",
+				Attrs:      map[string]float64{"bits": float64(cfg.InputBits)},
+				Directives: directives{tensor.Input: spec.TemporalReuse}},
+			&spec.Component{Name: "drivers", Class: "row-driver",
+				Attrs:      map[string]float64{"cells": float64(cfg.Cols)},
+				Directives: directives{tensor.Input: spec.NoCoalesce}},
+			&spec.Container{Name: "columns", MeshX: cfg.Cols,
+				SpatialReuse: reuse(tensor.Input),
+				Children: []spec.Node{
+					&spec.Component{Name: "shift_add", Class: "shift-add",
+						Attrs:      map[string]float64{"bits": 24},
+						Directives: directives{tensor.Output: spec.TemporalReuse}},
+					&spec.Container{Name: "rows", MeshY: cfg.Rows,
+						SpatialReuse: reuse(tensor.Output),
+						Children: []spec.Node{
+							&spec.Component{Name: "mac", Class: "digital-mac",
+								Directives: directives{tensor.Weight: spec.TemporalReuse},
+								IsCompute:  true},
+						}},
+				}},
+		},
+	}
+	levels, err := spec.Flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Arch{
+		Name:   "digital-cim",
+		Levels: levels,
+		Node:   node, Vdd: cfg.Vdd, ClockHz: cfg.ClockHz,
+		InputBits: cfg.InputBits, WeightBits: cfg.WeightBits,
+		DACBits: cfg.DACBits, CellBits: cfg.CellBits,
+		InputEncoding: "unsigned", WeightEncoding: "twos-complement",
+		SpatialPrefs: prefs(levels,
+			prefEntry("columns", "K"),
+			prefEntry("rows", "C", "R", "S"),
+		),
+		InnerDims:        []string{"C", "R", "S"},
+		WeightSliceLevel: -1,
+		InputSliceLevel:  levelIndex(levels, "shift_add"),
+		TemporalLevel:    -1,
+	}, nil
+}
+
+// ByName constructs a macro by its canonical name with default config.
+func ByName(name string) (*core.Arch, error) {
+	switch name {
+	case "base":
+		return Base(Config{})
+	case "a", "macro-a":
+		return A(Config{})
+	case "b", "macro-b":
+		return B(Config{})
+	case "c", "macro-c":
+		return C(Config{})
+	case "d", "macro-d":
+		return D(Config{})
+	case "digital", "digital-cim":
+		return Digital(Config{})
+	case "digital-accelerator", "tpu-like":
+		return DigitalAccelerator(Config{})
+	case "photonic":
+		return Photonic(Config{})
+	}
+	return nil, fmt.Errorf("macros: unknown macro %q", name)
+}
+
+// TableIII returns the parameterized attributes of Macros A-D as the
+// paper's Table III reports them.
+func TableIII() []struct {
+	Macro, Node, Device, InputBits, WeightBits, Array, ADCBits string
+} {
+	return []struct {
+		Macro, Node, Device, InputBits, WeightBits, Array, ADCBits string
+	}{
+		{"A", "65nm", "SRAM", "1-8", "1-8", "768x768", "8"},
+		{"B", "7nm", "SRAM", "4", "4", "64x64", "4"},
+		{"C", "130nm", "ReRAM", "1-8", "Analog", "256x256", "1-10"},
+		{"D", "22nm", "SRAM", "8", "8", "512x128*", "8"},
+	}
+}

@@ -1,0 +1,499 @@
+// Package mapping represents and analyzes mappings: the temporal and
+// spatial scheduling of an einsum workload onto a flattened container-
+// hierarchy (paper §II-B "Mapping" and §III-B1's per-component reuse
+// model).
+//
+// A Mapping attaches loops to levels: temporal loops to storage levels
+// (they iterate the tiles the level holds) and spatial loops to spatial
+// levels (they distribute work across the level's mesh). Analyze computes,
+// for every level and tensor, the number of values read, written, and
+// crossing the level for a whole layer — honoring each level's reuse
+// directives:
+//
+//   - a storage level retains its tile, so loops immediately outside it
+//     that are irrelevant to a tensor reuse the tile for free;
+//   - spatially reused tensors are multicast (inputs/weights) or reduced
+//     (outputs) across a mesh, collapsing parent traffic;
+//   - coalescing transit components (adders/accumulators) sum output
+//     partial sums flowing upward, reducing traffic above them;
+//   - no-coalesce transit components (DACs, ADCs) pay one action per value
+//     crossing them.
+//
+// The closed-form analysis is validated against a brute-force loop-nest
+// interpreter (oracle.go) that literally enumerates iterations.
+package mapping
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/spec"
+	"repro/internal/tensor"
+)
+
+// Loop is one loop of a mapping: a dimension iterated with the given
+// factor (trip count).
+type Loop struct {
+	Dim    string
+	Factor int
+}
+
+// Mapping assigns loops to the flattened levels of a hierarchy.
+// LevelLoops is parallel to the level list (outermost level first); loops
+// within a level are ordered outermost first.
+type Mapping struct {
+	LevelLoops [][]Loop
+}
+
+// String renders the mapping compactly, e.g. "L0[K:4 C:2] L3[P:8]".
+func (m *Mapping) String() string {
+	var b strings.Builder
+	for i, loops := range m.LevelLoops {
+		if len(loops) == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "L%d[", i)
+		for j, l := range loops {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s:%d", l.Dim, l.Factor)
+		}
+		b.WriteString("]")
+	}
+	if b.Len() == 0 {
+		return "(empty mapping)"
+	}
+	return b.String()
+}
+
+// TensorCounts aggregates per-layer access counts for one tensor at one
+// level. All counts are in value units (tensor elements), totaled across
+// all spatial instances.
+type TensorCounts struct {
+	// Tile is the per-instance tile size held at a storage level
+	// (utilization-scaled).
+	Tile int64
+	// Reads counts values read from this level (serving children for
+	// inputs/weights; read-modify-write and drain reads for outputs).
+	Reads int64
+	// Writes counts values written into this level (fills from the parent
+	// for inputs/weights; accumulation writes for outputs).
+	Writes int64
+	// Crossings counts values passing a transit level (one component
+	// action each).
+	Crossings int64
+}
+
+// Counts is the result of analyzing one (workload, mapping) pair.
+type Counts struct {
+	// PerLevel is parallel to the level list.
+	PerLevel []map[tensor.Kind]*TensorCounts
+	// MACs is the padded compute count (product of all loop factors): the
+	// number of MAC positions the hardware activates.
+	MACs int64
+	// ActualMACs is the workload's true MAC count.
+	ActualMACs int64
+	// Cycles is the number of sequential steps (product of temporal
+	// factors).
+	Cycles int64
+	// Instances is the total spatial fan-out at the compute level.
+	Instances int64
+	// MappedOutside[i] is the product of spatial loop factors mapped at
+	// levels outside level i: how many of level i's physical instances
+	// the mapping actually uses. Hardware often activates all physical
+	// instances (idle columns still strobe their ADCs), so the energy
+	// model charges the unmapped remainder at zero-value energy.
+	MappedOutside []int64
+	// Utilization is ActualMACs / MACs.
+	Utilization float64
+}
+
+// loopRef is one loop in global nest order with its level context.
+type loopRef struct {
+	Loop
+	level   int  // index into the flattened level list
+	spatial bool // attached to a spatial level
+}
+
+// analyzer holds the prepared state shared by the count computations.
+type analyzer struct {
+	levels []spec.Level
+	e      *tensor.Einsum
+	// loops in global order, outermost first.
+	loops []loopRef
+	// relevant[t][dim] reports whether dim appears in t's projection.
+	relevant map[tensor.Kind]map[string]bool
+	// spaces caches the einsum data spaces by kind.
+	spaces map[tensor.Kind]tensor.DataSpace
+	// paddedBound is the per-dim product of factors.
+	paddedBound map[string]int
+	macsPadded  int64
+	cycles      int64
+	instances   int64
+}
+
+// Validate checks a mapping against a hierarchy and workload: loops may
+// only appear on levels that support them, spatial factors must fit the
+// mesh, and every dimension's factor product must cover its bound.
+func Validate(levels []spec.Level, e *tensor.Einsum, m *Mapping) error {
+	if m == nil {
+		return errors.New("mapping: nil mapping")
+	}
+	if len(m.LevelLoops) != len(levels) {
+		return fmt.Errorf("mapping: %d loop lists for %d levels", len(m.LevelLoops), len(levels))
+	}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	known := make(map[string]bool, len(e.Dims))
+	for _, d := range e.Dims {
+		known[d.Name] = true
+	}
+	product := make(map[string]int, len(e.Dims))
+	for _, d := range e.Dims {
+		product[d.Name] = 1
+	}
+	for i, loops := range m.LevelLoops {
+		lv := &levels[i]
+		spatialProduct := 1
+		for _, l := range loops {
+			if !known[l.Dim] {
+				return fmt.Errorf("mapping: level %d (%s) loops over unknown dim %q", i, lv.Name, l.Dim)
+			}
+			if l.Factor <= 0 {
+				return fmt.Errorf("mapping: level %d (%s) dim %s has factor %d", i, lv.Name, l.Dim, l.Factor)
+			}
+			product[l.Dim] *= l.Factor
+			switch lv.Kind {
+			case spec.SpatialLevel:
+				spatialProduct *= l.Factor
+			case spec.StorageLevel:
+				// temporal loop, fine
+			default:
+				return fmt.Errorf("mapping: level %d (%s) is %s and cannot carry loops", i, lv.Name, lv.Kind)
+			}
+		}
+		if lv.Kind == spec.SpatialLevel && spatialProduct > lv.Mesh {
+			return fmt.Errorf("mapping: level %d (%s) spatial factors %d exceed mesh %d", i, lv.Name, spatialProduct, lv.Mesh)
+		}
+	}
+	for _, d := range e.Dims {
+		if product[d.Name] < d.Bound {
+			return fmt.Errorf("mapping: dim %s factors cover %d < bound %d", d.Name, product[d.Name], d.Bound)
+		}
+	}
+	return nil
+}
+
+// newAnalyzer prepares the shared analysis state.
+func newAnalyzer(levels []spec.Level, e *tensor.Einsum, m *Mapping) (*analyzer, error) {
+	if err := Validate(levels, e, m); err != nil {
+		return nil, err
+	}
+	a := &analyzer{
+		levels:      levels,
+		e:           e,
+		relevant:    make(map[tensor.Kind]map[string]bool, 3),
+		spaces:      make(map[tensor.Kind]tensor.DataSpace, 3),
+		paddedBound: make(map[string]int, len(e.Dims)),
+		macsPadded:  1,
+		cycles:      1,
+		instances:   1,
+	}
+	for _, d := range e.Dims {
+		a.paddedBound[d.Name] = 1
+	}
+	for i, loops := range m.LevelLoops {
+		sp := levels[i].Kind == spec.SpatialLevel
+		for _, l := range loops {
+			a.loops = append(a.loops, loopRef{Loop: l, level: i, spatial: sp})
+			a.paddedBound[l.Dim] *= l.Factor
+			a.macsPadded *= int64(l.Factor)
+			if sp {
+				a.instances *= int64(l.Factor)
+			} else {
+				a.cycles *= int64(l.Factor)
+			}
+		}
+	}
+	for _, s := range e.Spaces {
+		a.spaces[s.Kind] = s
+		rel := make(map[string]bool)
+		for _, ax := range s.Axes {
+			for _, c := range ax {
+				rel[c.Dim] = true
+			}
+		}
+		a.relevant[s.Kind] = rel
+	}
+	return a, nil
+}
+
+// holdersOf returns level indices storing t, ordered outermost first.
+func (a *analyzer) holdersOf(t tensor.Kind) []int {
+	var out []int
+	for i := range a.levels {
+		if a.levels[i].Keeps[t] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// tileDims returns the per-dim extents of the tile held at level h: the
+// product of factors of loops attached to levels at or inside h.
+func (a *analyzer) tileDims(h int) map[string]int {
+	dims := make(map[string]int, len(a.paddedBound))
+	for d := range a.paddedBound {
+		dims[d] = 1
+	}
+	for _, l := range a.loops {
+		if l.level >= h {
+			dims[l.Dim] *= l.Factor
+		}
+	}
+	return dims
+}
+
+// tileVolume returns the padded tile volume of t at level h.
+func (a *analyzer) tileVolume(t tensor.Kind, h int) int64 {
+	return a.spaces[t].TileVolume(a.tileDims(h))
+}
+
+// reducedAt reports whether the spatial loop at level j is collapsed for
+// tensor t when observed from the boundary just above level b (b <= j):
+// either the spatial level declares reuse for t, or (outputs only) a
+// coalescing transit sits between the boundary and the spatial level.
+func (a *analyzer) reducedAt(t tensor.Kind, j, b int) bool {
+	if a.levels[j].SpatialReuse[t] {
+		return true
+	}
+	if t != tensor.Output {
+		return false
+	}
+	for c := b; c < j; c++ {
+		if a.levels[c].Kind == spec.TransitLevel && a.levels[c].CoalesceT[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// parentTraffic returns the per-layer value count of tensor t crossing the
+// boundary just above level b, where h (h >= b) is the first holder of t
+// at or inside b: tile volume times the refetch multiplier over all loops
+// outside h. The temporal free-reuse run is broken by the first t-relevant
+// temporal loop encountered moving outward from h.
+func (a *analyzer) parentTraffic(t tensor.Kind, h, b int) int64 {
+	tile := a.tileVolume(t, h)
+	mult := int64(1)
+	runBroken := false
+	rel := a.relevant[t]
+	// Scan loops outside h from innermost outward.
+	for i := len(a.loops) - 1; i >= 0; i-- {
+		l := a.loops[i]
+		if l.level >= h {
+			continue
+		}
+		if l.spatial {
+			switch {
+			case rel[l.Dim]:
+				mult *= int64(l.Factor) // unicast: distinct data per instance
+			case a.reducedAt(t, l.level, b):
+				// multicast/reduced: one parent access serves the mesh
+			default:
+				mult *= int64(l.Factor)
+			}
+			continue
+		}
+		if rel[l.Dim] {
+			mult *= int64(l.Factor)
+			runBroken = true
+		} else if runBroken {
+			mult *= int64(l.Factor)
+		}
+	}
+	return tile * mult
+}
+
+// consumption returns the per-layer value count of tensor t crossing the
+// boundary just above level b when no holder of t exists at or inside b:
+// every MAC consumes one value, collapsed by reused spatial loops inside
+// the boundary.
+func (a *analyzer) consumption(t tensor.Kind, b int) int64 {
+	n := a.macsPadded
+	for _, l := range a.loops {
+		if !l.spatial || l.level < b {
+			continue
+		}
+		if !a.relevant[t][l.Dim] && a.reducedAt(t, l.level, b) {
+			n /= int64(l.Factor)
+		}
+	}
+	return n
+}
+
+// crossings returns the per-layer value count of tensor t crossing the
+// boundary just above level b.
+func (a *analyzer) crossings(t tensor.Kind, b int) int64 {
+	for h := b; h < len(a.levels); h++ {
+		if a.levels[h].Keeps[t] {
+			return a.parentTraffic(t, h, b)
+		}
+	}
+	return a.consumption(t, b)
+}
+
+// multicastCopies returns the number of instance copies receiving each
+// multicast parent access of tensor t into holder h: the product of reused
+// irrelevant spatial factors between h and its parent holder (or the top).
+func (a *analyzer) multicastCopies(t tensor.Kind, h int) int64 {
+	parent := -1
+	for i := h - 1; i >= 0; i-- {
+		if a.levels[i].Keeps[t] {
+			parent = i
+			break
+		}
+	}
+	copies := int64(1)
+	for _, l := range a.loops {
+		if !l.spatial || l.level >= h || l.level <= parent {
+			continue
+		}
+		if !a.relevant[t][l.Dim] && a.reducedAt(t, l.level, h) {
+			copies *= int64(l.Factor)
+		}
+	}
+	return copies
+}
+
+// utilizationOf returns actual/padded volume for tensor t, used to scale
+// storage traffic to the data that actually exists.
+func (a *analyzer) utilizationOf(t tensor.Kind) float64 {
+	full := make(map[string]int, len(a.paddedBound))
+	for _, d := range a.e.Dims {
+		full[d.Name] = d.Bound
+	}
+	actual := a.spaces[t].TileVolume(full)
+	padded := a.spaces[t].TileVolume(a.paddedBound)
+	if padded == 0 {
+		return 1
+	}
+	return float64(actual) / float64(padded)
+}
+
+// Analyze computes per-level, per-tensor access counts for the mapping.
+func Analyze(levels []spec.Level, e *tensor.Einsum, m *Mapping) (*Counts, error) {
+	a, err := newAnalyzer(levels, e, m)
+	if err != nil {
+		return nil, err
+	}
+	c := &Counts{
+		PerLevel:      make([]map[tensor.Kind]*TensorCounts, len(levels)),
+		MACs:          a.macsPadded,
+		ActualMACs:    e.MACs(),
+		Cycles:        a.cycles,
+		Instances:     a.instances,
+		MappedOutside: make([]int64, len(levels)),
+		Utilization:   float64(e.MACs()) / float64(a.macsPadded),
+	}
+	spatialAt := make([]int64, len(levels))
+	for i := range spatialAt {
+		spatialAt[i] = 1
+	}
+	for _, l := range a.loops {
+		if l.spatial {
+			spatialAt[l.level] *= int64(l.Factor)
+		}
+	}
+	mapped := int64(1)
+	for i := range levels {
+		c.MappedOutside[i] = mapped
+		mapped *= spatialAt[i]
+	}
+	for i := range c.PerLevel {
+		c.PerLevel[i] = make(map[tensor.Kind]*TensorCounts)
+	}
+	get := func(level int, t tensor.Kind) *TensorCounts {
+		tc := c.PerLevel[level][t]
+		if tc == nil {
+			tc = &TensorCounts{}
+			c.PerLevel[level][t] = tc
+		}
+		return tc
+	}
+
+	for _, t := range []tensor.Kind{tensor.Input, tensor.Weight, tensor.Output} {
+		if _, ok := a.spaces[t]; !ok {
+			continue
+		}
+		holders := a.holdersOf(t)
+		util := a.utilizationOf(t)
+		scale := func(v int64) int64 {
+			s := int64(float64(v)*util + 0.5)
+			if s < 1 && v > 0 {
+				s = 1
+			}
+			return s
+		}
+		if t != tensor.Output {
+			// Inputs and weights flow downward: parent reads fill children.
+			for idx, h := range holders {
+				tc := get(h, t)
+				tc.Tile = scale(a.tileVolume(t, h))
+				if idx == 0 {
+					// Top holder: data arrives once.
+					tc.Writes += tc.Tile
+				}
+				// Serve the next-inner holder, or compute directly.
+				if idx+1 < len(holders) {
+					inner := holders[idx+1]
+					pr := scale(a.parentTraffic(t, inner, inner))
+					tc.Reads += pr
+					innerTC := get(inner, t)
+					innerTC.Writes += pr * a.multicastCopies(t, inner)
+				} else {
+					tc.Reads += a.consumption(t, h+1)
+				}
+			}
+		} else {
+			// Outputs flow upward: compute updates the innermost holder,
+			// which drains toward the top.
+			for idx := len(holders) - 1; idx >= 0; idx-- {
+				h := holders[idx]
+				tc := get(h, t)
+				tc.Tile = scale(a.tileVolume(t, h))
+				if idx == len(holders)-1 {
+					// Innermost holder: read-modify-write per update.
+					updates := a.consumption(t, h+1)
+					tc.Writes += updates
+					tc.Reads += updates
+				}
+				if idx > 0 {
+					// Drain to the next-outer holder.
+					outer := holders[idx-1]
+					drains := scale(a.parentTraffic(t, h, h))
+					tc.Reads += drains
+					outerTC := get(outer, t)
+					outerTC.Writes += drains
+					if idx-1 > 0 {
+						// Intermediate holders accumulate (RMW).
+						outerTC.Reads += drains
+					}
+				}
+			}
+		}
+		// Transit crossings for every transit level processing t.
+		for i := range levels {
+			if levels[i].Kind == spec.TransitLevel && levels[i].Transits[t] {
+				get(i, t).Crossings = a.crossings(t, i+1)
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := NewTable("demo", "a", "bb", "ccc")
+	tab.AddRow("1", "2", "3")
+	tab.AddRow("long-cell", "x", "y")
+	tab.Note = "hello"
+	s := tab.String()
+	for _, want := range []string{"== demo ==", "a", "bb", "ccc", "long-cell", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Columns align: header and rows share the first column width.
+	lines := strings.Split(s, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "a") {
+			header = l
+			_ = i
+		}
+		if strings.HasPrefix(l, "1") {
+			row = l
+		}
+	}
+	if header == "" || row == "" {
+		t.Fatalf("layout unexpected:\n%s", s)
+	}
+	if strings.Index(header, "bb") != strings.Index(row, "2") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("demo", "x", "y")
+	tab.AddRow("plain", `with "quote", comma`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, "x,y\n") {
+		t.Errorf("header missing: %q", csv)
+	}
+	if !strings.Contains(csv, `"with ""quote"", comma"`) {
+		t.Errorf("quoting wrong: %q", csv)
+	}
+}
+
+func TestNumAndPct(t *testing.T) {
+	if Num(1234.5678) != "1235" {
+		t.Errorf("Num = %q", Num(1234.5678))
+	}
+	if Num(0.00012345) != "0.0001234" && Num(0.00012345) != "0.0001235" {
+		t.Errorf("Num small = %q", Num(0.00012345))
+	}
+	if Pct(0.1234) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.1234))
+	}
+}
+
+func TestEmptyTitleTable(t *testing.T) {
+	tab := NewTable("", "only")
+	tab.AddRow("v")
+	if strings.Contains(tab.String(), "==") {
+		t.Error("untitled table must not render a title banner")
+	}
+}

@@ -1,0 +1,347 @@
+// Package spec implements CiMLoop's flexible specification (paper §III-B):
+// a container-hierarchy that describes circuits and architecture in one
+// representation, with per-component, per-tensor data movement and reuse
+// directives.
+//
+// A specification is a tree of Containers holding Components. Each
+// Component declares, for each tensor (Inputs, Weights, Outputs), one of
+// the paper's reuse directives:
+//
+//   - Bypass (default: the tensor does not touch this component)
+//   - TemporalReuse (the component stores the tensor across cycles)
+//   - Coalesce (no temporal reuse, but multiple accesses of the same value
+//     merge into one access of backing storage — e.g. an adder's output)
+//   - NoCoalesce (no temporal reuse and no merging — e.g. a DAC: every use
+//     refetches from backing storage)
+//
+// Containers (and components, as shorthand) may declare a spatial mesh and
+// per-tensor spatial reuse: a spatially reused tensor is multicast (inputs/
+// weights) or reduced (outputs) across instances; otherwise it is unicast.
+//
+// Flatten converts the tree into the ordered list of levels the mapping
+// analysis consumes.
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Directive is a per-tensor data movement/reuse declaration.
+type Directive int
+
+// The reuse directives of the paper's specification.
+const (
+	Bypass Directive = iota
+	TemporalReuse
+	Coalesce
+	NoCoalesce
+)
+
+// String returns the YAML-style directive name.
+func (d Directive) String() string {
+	switch d {
+	case Bypass:
+		return "bypass"
+	case TemporalReuse:
+		return "temporal_reuse"
+	case Coalesce:
+		return "coalesce"
+	case NoCoalesce:
+		return "no_coalesce"
+	}
+	return fmt.Sprintf("Directive(%d)", int(d))
+}
+
+// Component is a leaf of the hierarchy: anything that may move or reuse
+// data, from an SRAM bitcell to a DRAM channel (paper's definition).
+type Component struct {
+	Name  string
+	Class string // circuit class, e.g. "adc", "dac", "sram-buffer"
+	// Attrs carries class-specific attributes (resolution, capacity...).
+	Attrs map[string]float64
+	// Directives maps each tensor to its reuse directive; missing tensors
+	// bypass the component.
+	Directives map[tensor.Kind]Directive
+	// MeshX and MeshY replicate the component spatially (shorthand for an
+	// enclosing single-child container). Zero means 1.
+	MeshX, MeshY int
+	// SpatialReuse marks tensors reused (multicast/reduced) across this
+	// component's own mesh.
+	SpatialReuse map[tensor.Kind]bool
+	// IsCompute marks the component that performs MAC operations (the
+	// memory cell or MAC unit). Exactly one per specification.
+	IsCompute bool
+}
+
+// Container groups components and sub-containers; children are ordered
+// outermost-first, as in the paper's YAML (each entry contains all
+// subsequent entries).
+type Container struct {
+	Name         string
+	MeshX, MeshY int
+	SpatialReuse map[tensor.Kind]bool
+	Children     []Node
+}
+
+// Node is either a *Component or a *Container.
+type Node interface {
+	nodeName() string
+}
+
+func (c *Component) nodeName() string { return c.Name }
+func (c *Container) nodeName() string { return c.Name }
+
+// mesh returns the resolved instance count of a (meshX, meshY) pair.
+func mesh(x, y int) int {
+	if x <= 0 {
+		x = 1
+	}
+	if y <= 0 {
+		y = 1
+	}
+	return x * y
+}
+
+// allTensors lists the three tensor roles.
+var allTensors = []tensor.Kind{tensor.Input, tensor.Weight, tensor.Output}
+
+// Validate checks structural invariants of the hierarchy: unique names,
+// sane meshes and directives, and exactly one compute component.
+func Validate(root *Container) error {
+	if root == nil {
+		return errors.New("spec: nil hierarchy")
+	}
+	names := make(map[string]bool)
+	computeCount := 0
+	var walk func(n Node) error
+	walk = func(n Node) error {
+		name := n.nodeName()
+		if name == "" {
+			return errors.New("spec: node with empty name")
+		}
+		if names[name] {
+			return fmt.Errorf("spec: duplicate node name %q", name)
+		}
+		names[name] = true
+		switch v := n.(type) {
+		case *Container:
+			if v.MeshX < 0 || v.MeshY < 0 {
+				return fmt.Errorf("spec: container %q has negative mesh", name)
+			}
+			if len(v.Children) == 0 {
+				return fmt.Errorf("spec: container %q has no children", name)
+			}
+			for _, c := range v.Children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+		case *Component:
+			if v.Class == "" {
+				return fmt.Errorf("spec: component %q has no class", name)
+			}
+			if v.MeshX < 0 || v.MeshY < 0 {
+				return fmt.Errorf("spec: component %q has negative mesh", name)
+			}
+			hasDirective := false
+			for k, d := range v.Directives {
+				if d < Bypass || d > NoCoalesce {
+					return fmt.Errorf("spec: component %q has invalid directive %d for %s", name, d, k)
+				}
+				if d != Bypass {
+					hasDirective = true
+				}
+			}
+			if v.IsCompute {
+				computeCount++
+			} else if !hasDirective {
+				return fmt.Errorf("spec: component %q touches no tensor (all bypass)", name)
+			}
+			for k := range v.SpatialReuse {
+				if k != tensor.Input && k != tensor.Weight && k != tensor.Output {
+					return fmt.Errorf("spec: component %q spatial reuse on unknown tensor %d", name, k)
+				}
+			}
+		default:
+			return fmt.Errorf("spec: unknown node type %T", n)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return err
+	}
+	if computeCount != 1 {
+		return fmt.Errorf("spec: need exactly one compute component, found %d", computeCount)
+	}
+	return nil
+}
+
+// LevelKind classifies flattened hierarchy levels.
+type LevelKind int
+
+// Level kinds produced by Flatten.
+const (
+	// SpatialLevel is a fan-out point: Mesh instances of everything inside.
+	SpatialLevel LevelKind = iota
+	// StorageLevel stores at least one tensor across cycles.
+	StorageLevel
+	// TransitLevel processes tensors without temporal reuse (DACs, ADCs,
+	// adders); actions are counted per value crossing it.
+	TransitLevel
+	// ComputeLevel is the MAC-performing component (innermost).
+	ComputeLevel
+)
+
+// String names the level kind.
+func (k LevelKind) String() string {
+	switch k {
+	case SpatialLevel:
+		return "spatial"
+	case StorageLevel:
+		return "storage"
+	case TransitLevel:
+		return "transit"
+	case ComputeLevel:
+		return "compute"
+	}
+	return fmt.Sprintf("LevelKind(%d)", int(k))
+}
+
+// Level is one entry of the flattened hierarchy, ordered outermost-first.
+type Level struct {
+	Name  string
+	Kind  LevelKind
+	Class string
+	Attrs map[string]float64
+	// Keeps marks tensors stored at this level (TemporalReuse), including
+	// output accumulation.
+	Keeps map[tensor.Kind]bool
+	// Transits marks tensors processed transiently.
+	Transits map[tensor.Kind]bool
+	// CoalesceT marks which transiting tensors coalesce.
+	CoalesceT map[tensor.Kind]bool
+	// Mesh is the instance fan-out (SpatialLevel only; 1 otherwise).
+	Mesh int
+	// MeshX and MeshY are the fan-out's dimensions (Mesh = X*Y).
+	MeshX, MeshY int
+	// SpatialReuse marks tensors multicast/reduced across the mesh.
+	SpatialReuse map[tensor.Kind]bool
+}
+
+// KeepsTensor reports whether the level stores t.
+func (l *Level) KeepsTensor(t tensor.Kind) bool { return l.Keeps[t] }
+
+// Flatten validates the hierarchy and converts it into the ordered level
+// list, outermost first, ending at the compute level. Component meshes are
+// expanded into explicit spatial levels.
+func Flatten(root *Container) ([]Level, error) {
+	if err := Validate(root); err != nil {
+		return nil, err
+	}
+	var levels []Level
+	var walk func(n Node) error
+	walk = func(n Node) error {
+		switch v := n.(type) {
+		case *Container:
+			if m := mesh(v.MeshX, v.MeshY); m > 1 {
+				levels = append(levels, Level{
+					Name:         v.Name,
+					Kind:         SpatialLevel,
+					Mesh:         m,
+					MeshX:        maxInt(v.MeshX, 1),
+					MeshY:        maxInt(v.MeshY, 1),
+					SpatialReuse: copyReuse(v.SpatialReuse),
+				})
+			}
+			for _, c := range v.Children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+		case *Component:
+			if m := mesh(v.MeshX, v.MeshY); m > 1 {
+				levels = append(levels, Level{
+					Name:         v.Name + ".mesh",
+					Kind:         SpatialLevel,
+					Mesh:         m,
+					MeshX:        maxInt(v.MeshX, 1),
+					MeshY:        maxInt(v.MeshY, 1),
+					SpatialReuse: copyReuse(v.SpatialReuse),
+				})
+			}
+			lv := Level{
+				Name:      v.Name,
+				Class:     v.Class,
+				Attrs:     copyAttrs(v.Attrs),
+				Keeps:     map[tensor.Kind]bool{},
+				Transits:  map[tensor.Kind]bool{},
+				CoalesceT: map[tensor.Kind]bool{},
+				Mesh:      1,
+				MeshX:     1,
+				MeshY:     1,
+			}
+			for _, t := range allTensors {
+				switch v.Directives[t] {
+				case TemporalReuse:
+					lv.Keeps[t] = true
+				case Coalesce:
+					lv.Transits[t] = true
+					lv.CoalesceT[t] = true
+				case NoCoalesce:
+					lv.Transits[t] = true
+				}
+			}
+			switch {
+			case v.IsCompute:
+				lv.Kind = ComputeLevel
+			case len(lv.Keeps) > 0:
+				lv.Kind = StorageLevel
+			default:
+				lv.Kind = TransitLevel
+			}
+			levels = append(levels, lv)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	// The compute component must be innermost.
+	if levels[len(levels)-1].Kind != ComputeLevel {
+		return nil, errors.New("spec: compute component must be the innermost node")
+	}
+	for _, l := range levels[:len(levels)-1] {
+		if l.Kind == ComputeLevel {
+			return nil, errors.New("spec: compute component must be the innermost node")
+		}
+	}
+	return levels, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func copyReuse(m map[tensor.Kind]bool) map[tensor.Kind]bool {
+	out := make(map[tensor.Kind]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func copyAttrs(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package spec
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// paperMacro builds the Fig. 5a/5b example system: buffer, macro with
+// adder + DAC bank, two columns each with an ADC and two memory cells.
+func paperMacro() *Container {
+	return &Container{
+		Name: "system",
+		Children: []Node{
+			&Component{
+				Name: "buffer", Class: "sram-buffer",
+				Directives: map[tensor.Kind]Directive{
+					tensor.Input:  TemporalReuse,
+					tensor.Output: TemporalReuse,
+				},
+			},
+			&Container{
+				Name: "macro",
+				Children: []Node{
+					&Component{
+						Name: "adder", Class: "digital-adder",
+						Directives: map[tensor.Kind]Directive{tensor.Output: Coalesce},
+					},
+					&Component{
+						Name: "dac_bank", Class: "dac",
+						Directives: map[tensor.Kind]Directive{tensor.Input: NoCoalesce},
+					},
+					&Container{
+						Name:         "column",
+						MeshX:        2,
+						SpatialReuse: map[tensor.Kind]bool{tensor.Input: true},
+						Children: []Node{
+							&Component{
+								Name: "adc", Class: "adc",
+								Directives: map[tensor.Kind]Directive{tensor.Output: NoCoalesce},
+							},
+							&Component{
+								Name: "memory_cell", Class: "sram-cell",
+								MeshY:        2,
+								SpatialReuse: map[tensor.Kind]bool{tensor.Output: true},
+								Directives:   map[tensor.Kind]Directive{tensor.Weight: TemporalReuse},
+								IsCompute:    true,
+							},
+						},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestValidateAcceptsPaperExample(t *testing.T) {
+	if err := Validate(paperMacro()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlattenPaperExample(t *testing.T) {
+	levels, err := Flatten(paperMacro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"buffer", "adder", "dac_bank", "column", "adc", "memory_cell.mesh", "memory_cell"}
+	if len(levels) != len(wantNames) {
+		t.Fatalf("got %d levels, want %d: %+v", len(levels), len(wantNames), levels)
+	}
+	for i, w := range wantNames {
+		if levels[i].Name != w {
+			t.Errorf("level %d = %q, want %q", i, levels[i].Name, w)
+		}
+	}
+	if levels[0].Kind != StorageLevel || !levels[0].Keeps[tensor.Input] || !levels[0].Keeps[tensor.Output] {
+		t.Errorf("buffer level wrong: %+v", levels[0])
+	}
+	if levels[0].Keeps[tensor.Weight] {
+		t.Error("buffer must bypass weights")
+	}
+	if levels[1].Kind != TransitLevel || !levels[1].CoalesceT[tensor.Output] {
+		t.Errorf("adder level wrong: %+v", levels[1])
+	}
+	if levels[2].Kind != TransitLevel || levels[2].CoalesceT[tensor.Input] || !levels[2].Transits[tensor.Input] {
+		t.Errorf("dac level wrong: %+v", levels[2])
+	}
+	if levels[3].Kind != SpatialLevel || levels[3].Mesh != 2 || !levels[3].SpatialReuse[tensor.Input] {
+		t.Errorf("column level wrong: %+v", levels[3])
+	}
+	if levels[5].Kind != SpatialLevel || levels[5].Mesh != 2 || !levels[5].SpatialReuse[tensor.Output] {
+		t.Errorf("cell mesh level wrong: %+v", levels[5])
+	}
+	if levels[6].Kind != ComputeLevel || !levels[6].Keeps[tensor.Weight] {
+		t.Errorf("compute level wrong: %+v", levels[6])
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	if err := Validate(nil); err == nil {
+		t.Error("want error for nil root")
+	}
+
+	dup := paperMacro()
+	dup.Children[0].(*Component).Name = "macro"
+	if err := Validate(dup); err == nil {
+		t.Error("want error for duplicate name")
+	}
+
+	noCompute := paperMacro()
+	cells := noCompute.Children[1].(*Container).Children[2].(*Container).Children[1].(*Component)
+	cells.IsCompute = false
+	if err := Validate(noCompute); err == nil {
+		t.Error("want error for missing compute")
+	}
+
+	twoCompute := paperMacro()
+	twoCompute.Children[1].(*Container).Children[1].(*Component).IsCompute = true
+	if err := Validate(twoCompute); err == nil {
+		t.Error("want error for two computes")
+	}
+
+	noClass := paperMacro()
+	noClass.Children[0].(*Component).Class = ""
+	if err := Validate(noClass); err == nil {
+		t.Error("want error for missing class")
+	}
+
+	allBypass := paperMacro()
+	allBypass.Children[0].(*Component).Directives = nil
+	if err := Validate(allBypass); err == nil {
+		t.Error("want error for component touching nothing")
+	}
+
+	emptyName := paperMacro()
+	emptyName.Children[0].(*Component).Name = ""
+	if err := Validate(emptyName); err == nil {
+		t.Error("want error for empty name")
+	}
+
+	negMesh := paperMacro()
+	negMesh.Children[1].(*Container).Children[2].(*Container).MeshX = -1
+	if err := Validate(negMesh); err == nil {
+		t.Error("want error for negative mesh")
+	}
+
+	emptyContainer := &Container{Name: "x"}
+	if err := Validate(emptyContainer); err == nil {
+		t.Error("want error for empty container")
+	}
+
+	badDirective := paperMacro()
+	badDirective.Children[0].(*Component).Directives[tensor.Input] = Directive(99)
+	if err := Validate(badDirective); err == nil {
+		t.Error("want error for invalid directive")
+	}
+}
+
+func TestFlattenRequiresComputeInnermost(t *testing.T) {
+	root := &Container{
+		Name: "sys",
+		Children: []Node{
+			&Component{Name: "cell", Class: "sram-cell",
+				Directives: map[tensor.Kind]Directive{tensor.Weight: TemporalReuse}, IsCompute: true},
+			&Component{Name: "buffer", Class: "sram-buffer",
+				Directives: map[tensor.Kind]Directive{tensor.Input: TemporalReuse}},
+		},
+	}
+	if _, err := Flatten(root); err == nil {
+		t.Fatal("want error when compute is not innermost")
+	}
+}
+
+func TestDirectiveAndKindStrings(t *testing.T) {
+	for d, want := range map[Directive]string{
+		Bypass: "bypass", TemporalReuse: "temporal_reuse",
+		Coalesce: "coalesce", NoCoalesce: "no_coalesce",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), want)
+		}
+	}
+	if Directive(42).String() == "" {
+		t.Error("unknown directive should still render")
+	}
+	for k, want := range map[LevelKind]string{
+		SpatialLevel: "spatial", StorageLevel: "storage",
+		TransitLevel: "transit", ComputeLevel: "compute",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+	if LevelKind(42).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestFlattenCopiesAttrs(t *testing.T) {
+	root := paperMacro()
+	comp := root.Children[1].(*Container).Children[1].(*Component)
+	comp.Attrs = map[string]float64{"resolution": 8}
+	levels, err := Flatten(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dacLevel *Level
+	for i := range levels {
+		if levels[i].Name == "dac_bank" {
+			dacLevel = &levels[i]
+		}
+	}
+	if dacLevel == nil || dacLevel.Attrs["resolution"] != 8 {
+		t.Fatal("attrs not propagated")
+	}
+	comp.Attrs["resolution"] = 4
+	if dacLevel.Attrs["resolution"] != 8 {
+		t.Fatal("attrs must be copied, not aliased")
+	}
+}
+
+func TestMeshDefaults(t *testing.T) {
+	// Mesh of (0,0) means a single instance: no spatial level emitted.
+	root := &Container{
+		Name: "sys",
+		Children: []Node{
+			&Component{Name: "buf", Class: "sram-buffer",
+				Directives: map[tensor.Kind]Directive{tensor.Input: TemporalReuse}},
+			&Component{Name: "cell", Class: "sram-cell",
+				Directives: map[tensor.Kind]Directive{tensor.Weight: TemporalReuse}, IsCompute: true},
+		},
+	}
+	levels, err := Flatten(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 2 {
+		t.Fatalf("got %d levels, want 2", len(levels))
+	}
+	for _, l := range levels {
+		if l.Kind == SpatialLevel {
+			t.Error("no spatial level expected for mesh 1")
+		}
+	}
+}
+
+func TestKeepsTensor(t *testing.T) {
+	levels, err := Flatten(paperMacro())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !levels[0].KeepsTensor(tensor.Input) || levels[0].KeepsTensor(tensor.Weight) {
+		t.Fatal("KeepsTensor wrong")
+	}
+}

@@ -1,0 +1,308 @@
+// Package specfile decodes textual CiM system specifications (the YAML
+// container-hierarchy of paper Fig. 5b, parsed by package yamlite) into
+// runnable architectures. It lets users define new macros — components,
+// connections, reuse directives, mapping guidance — without touching
+// simulator source, which is the paper's flexibility contribution (§VI
+// contrasts this with tools requiring source changes).
+package specfile
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/tech"
+	"repro/internal/tensor"
+	"repro/internal/yamlite"
+)
+
+// Parse decodes a specification document into an architecture.
+func Parse(text string) (*core.Arch, error) {
+	doc, err := yamlite.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	root, ok := doc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("specfile: top level must be a mapping")
+	}
+	d := &decoder{}
+	name := d.str(root, "name", "")
+	if name == "" {
+		return nil, fmt.Errorf("specfile: missing name")
+	}
+	nodeNm := int(d.num(root, "node_nm", 0))
+	node, err := tech.ByNm(nodeNm)
+	if err != nil {
+		return nil, err
+	}
+	hraw, ok := root["hierarchy"].([]any)
+	if !ok {
+		return nil, fmt.Errorf("specfile: missing hierarchy list")
+	}
+	children, err := d.nodes(hraw)
+	if err != nil {
+		return nil, err
+	}
+	container := &spec.Container{Name: name + ".root", Children: children}
+	levels, err := spec.Flatten(container)
+	if err != nil {
+		return nil, err
+	}
+	arch := &core.Arch{
+		Name:             name,
+		Levels:           levels,
+		Node:             node,
+		Vdd:              d.num(root, "vdd", 0),
+		ClockHz:          d.num(root, "clock_hz", 100e6),
+		InputBits:        int(d.num(root, "input_bits", 8)),
+		WeightBits:       int(d.num(root, "weight_bits", 8)),
+		DACBits:          int(d.num(root, "dac_bits", 1)),
+		CellBits:         int(d.num(root, "cell_bits", 1)),
+		InputEncoding:    d.str(root, "input_encoding", "unsigned"),
+		WeightEncoding:   d.str(root, "weight_encoding", "offset"),
+		TemporalLevel:    -1,
+		WeightSliceLevel: -1,
+		InputSliceLevel:  -1,
+	}
+	if err := d.mapperGuidance(root, arch); err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	return arch, nil
+}
+
+// decoder accumulates the first type error encountered.
+type decoder struct {
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("specfile: "+format, args...)
+	}
+}
+
+func (d *decoder) num(m map[string]any, key string, def float64) float64 {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	f, ok := v.(float64)
+	if !ok {
+		d.fail("%s must be a number, got %T", key, v)
+		return def
+	}
+	return f
+}
+
+func (d *decoder) str(m map[string]any, key, def string) string {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.fail("%s must be a string, got %T", key, v)
+		return def
+	}
+	return s
+}
+
+func (d *decoder) boolean(m map[string]any, key string) bool {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return false
+	}
+	b, ok := v.(bool)
+	if !ok {
+		d.fail("%s must be a boolean, got %T", key, v)
+		return false
+	}
+	return b
+}
+
+// tensors decodes ["Inputs", "Weights", "Outputs"] lists.
+func (d *decoder) tensors(m map[string]any, key string) []tensor.Kind {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	list, ok := v.([]any)
+	if !ok {
+		d.fail("%s must be a list of tensor names", key)
+		return nil
+	}
+	var out []tensor.Kind
+	for _, it := range list {
+		s, ok := it.(string)
+		if !ok {
+			d.fail("%s entries must be strings", key)
+			return nil
+		}
+		switch s {
+		case "Inputs":
+			out = append(out, tensor.Input)
+		case "Weights":
+			out = append(out, tensor.Weight)
+		case "Outputs":
+			out = append(out, tensor.Output)
+		default:
+			d.fail("%s: unknown tensor %q (want Inputs/Weights/Outputs)", key, s)
+			return nil
+		}
+	}
+	return out
+}
+
+func (d *decoder) attrs(m map[string]any) map[string]float64 {
+	v, ok := m["attrs"]
+	if !ok || v == nil {
+		return nil
+	}
+	am, ok := v.(map[string]any)
+	if !ok {
+		d.fail("attrs must be a mapping")
+		return nil
+	}
+	out := make(map[string]float64, len(am))
+	for k, av := range am {
+		f, ok := av.(float64)
+		if !ok {
+			d.fail("attr %s must be a number", k)
+			return nil
+		}
+		out[k] = f
+	}
+	return out
+}
+
+// nodes decodes a hierarchy list into spec nodes.
+func (d *decoder) nodes(items []any) ([]spec.Node, error) {
+	var out []spec.Node
+	for i, raw := range items {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("specfile: hierarchy entry %d must be a mapping", i)
+		}
+		switch {
+		case m["component"] != nil:
+			c := &spec.Component{
+				Name:         d.str(m, "component", ""),
+				Class:        d.str(m, "class", ""),
+				Attrs:        d.attrs(m),
+				MeshX:        int(d.num(m, "mesh_x", 0)),
+				MeshY:        int(d.num(m, "mesh_y", 0)),
+				IsCompute:    d.boolean(m, "compute"),
+				Directives:   map[tensor.Kind]spec.Directive{},
+				SpatialReuse: map[tensor.Kind]bool{},
+			}
+			for _, t := range d.tensors(m, "temporal_reuse") {
+				c.Directives[t] = spec.TemporalReuse
+			}
+			for _, t := range d.tensors(m, "coalesce") {
+				c.Directives[t] = spec.Coalesce
+			}
+			for _, t := range d.tensors(m, "no_coalesce") {
+				c.Directives[t] = spec.NoCoalesce
+			}
+			for _, t := range d.tensors(m, "spatial_reuse") {
+				c.SpatialReuse[t] = true
+			}
+			out = append(out, c)
+		case m["container"] != nil:
+			kids, ok := m["children"].([]any)
+			if !ok {
+				return nil, fmt.Errorf("specfile: container %v needs a children list", m["container"])
+			}
+			children, err := d.nodes(kids)
+			if err != nil {
+				return nil, err
+			}
+			c := &spec.Container{
+				Name:         d.str(m, "container", ""),
+				MeshX:        int(d.num(m, "mesh_x", 0)),
+				MeshY:        int(d.num(m, "mesh_y", 0)),
+				SpatialReuse: map[tensor.Kind]bool{},
+				Children:     children,
+			}
+			for _, t := range d.tensors(m, "spatial_reuse") {
+				c.SpatialReuse[t] = true
+			}
+			out = append(out, c)
+		default:
+			return nil, fmt.Errorf("specfile: hierarchy entry %d needs 'component' or 'container'", i)
+		}
+	}
+	return out, nil
+}
+
+// mapperGuidance decodes the optional mapping section: per-level spatial
+// preferences (by level name), inner dims, and slice placements.
+func (d *decoder) mapperGuidance(root map[string]any, arch *core.Arch) error {
+	mv, ok := root["mapping"]
+	if !ok || mv == nil {
+		return nil
+	}
+	m, ok := mv.(map[string]any)
+	if !ok {
+		return fmt.Errorf("specfile: mapping must be a mapping")
+	}
+	levelIdx := func(name string) (int, error) {
+		for i := range arch.Levels {
+			if arch.Levels[i].Name == name || arch.Levels[i].Name == name+".mesh" {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("specfile: mapping references unknown level %q", name)
+	}
+	if sp, ok := m["spatial_prefs"].(map[string]any); ok {
+		arch.SpatialPrefs = map[int][]string{}
+		for name, v := range sp {
+			idx, err := levelIdx(name)
+			if err != nil {
+				return err
+			}
+			list, ok := v.([]any)
+			if !ok {
+				return fmt.Errorf("specfile: spatial_prefs for %q must be a list", name)
+			}
+			for _, it := range list {
+				s, ok := it.(string)
+				if !ok {
+					return fmt.Errorf("specfile: spatial_prefs entries must be strings")
+				}
+				arch.SpatialPrefs[idx] = append(arch.SpatialPrefs[idx], s)
+			}
+		}
+	}
+	if id, ok := m["inner_dims"].([]any); ok {
+		for _, it := range id {
+			s, ok := it.(string)
+			if !ok {
+				return fmt.Errorf("specfile: inner_dims entries must be strings")
+			}
+			arch.InnerDims = append(arch.InnerDims, s)
+		}
+	}
+	if s := d.str(m, "weight_slice_level", ""); s != "" {
+		idx, err := levelIdx(s)
+		if err != nil {
+			return err
+		}
+		arch.WeightSliceLevel = idx
+	}
+	if s := d.str(m, "input_slice_level", ""); s != "" {
+		idx, err := levelIdx(s)
+		if err != nil {
+			return err
+		}
+		arch.InputSliceLevel = idx
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package system composes CiM macros into full systems (paper §V-B4,
+// Fig. 15): a DRAM backing store, an on-chip global buffer, a router, and
+// a mesh of parallel macros. It implements the figure's three data-
+// placement scenarios:
+//
+//   - AllDRAM: every tensor streams from DRAM with no weight
+//     stationarity (the reload-per-use loop order).
+//   - WeightStationary: weights pre-loaded into the arrays once per
+//     layer; inputs/outputs still travel to/from DRAM each layer.
+//   - OnChipIO: weights stationary and inputs/outputs pinned in the
+//     global buffer between layers (the layer-fusion regime).
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/tensor"
+)
+
+// Scenario selects the Fig. 15 data placement.
+type Scenario int
+
+// The three scenarios of Fig. 15.
+const (
+	AllDRAM Scenario = iota
+	WeightStationary
+	OnChipIO
+)
+
+// String names the scenario as the figure does.
+func (s Scenario) String() string {
+	switch s {
+	case AllDRAM:
+		return "all-tensors-from-dram"
+	case WeightStationary:
+		return "weight-stationary"
+	case OnChipIO:
+		return "weight-stationary+onchip-io"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// Config parameterizes a full system.
+type Config struct {
+	// Macros is the number of parallel macros on the chip.
+	Macros int
+	// GlobalBufferKB sizes the shared on-chip buffer.
+	GlobalBufferKB float64
+	// DRAMBandwidthGbps sets the off-chip channel (0: default).
+	DRAMBandwidthGbps float64
+}
+
+// Build wraps a macro architecture into a full system for the given
+// scenario. The macro's own levels are preserved; DRAM, global buffer,
+// router, and the macro mesh are prepended, and the macro's mapper
+// guidance is re-indexed.
+func Build(macro *core.Arch, sc Scenario, cfg Config) (*core.Arch, error) {
+	if macro == nil {
+		return nil, fmt.Errorf("system: nil macro architecture")
+	}
+	if err := macro.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Macros == 0 {
+		cfg.Macros = 4
+	}
+	if cfg.Macros < 1 || cfg.Macros > 4096 {
+		return nil, fmt.Errorf("system: macro count %d out of [1,4096]", cfg.Macros)
+	}
+	if cfg.GlobalBufferKB == 0 {
+		cfg.GlobalBufferKB = 1024
+	}
+	if sc < AllDRAM || sc > OnChipIO {
+		return nil, fmt.Errorf("system: unknown scenario %d", sc)
+	}
+
+	// DRAM holds weights always; inputs/outputs only when they travel
+	// off-chip between layers.
+	dramKeeps := map[tensor.Kind]bool{tensor.Weight: true}
+	if sc != OnChipIO {
+		dramKeeps[tensor.Input] = true
+		dramKeeps[tensor.Output] = true
+	}
+	prepended := []spec.Level{
+		{
+			Name: "dram", Kind: spec.StorageLevel, Class: "dram",
+			Attrs: map[string]float64{"bandwidth_gbps": cfg.DRAMBandwidthGbps},
+			Keeps: dramKeeps, Mesh: 1, MeshX: 1, MeshY: 1,
+		},
+		{
+			Name: "global_buffer", Kind: spec.StorageLevel, Class: "sram-buffer",
+			Attrs: map[string]float64{"capacity_kb": cfg.GlobalBufferKB, "word_bits": 256},
+			Keeps: map[tensor.Kind]bool{tensor.Input: true, tensor.Output: true},
+			Mesh:  1, MeshX: 1, MeshY: 1,
+		},
+		{
+			Name: "router", Kind: spec.TransitLevel, Class: "wire",
+			Attrs:     map[string]float64{"bits": 64, "length_mm": 3},
+			Transits:  map[tensor.Kind]bool{tensor.Input: true, tensor.Output: true},
+			CoalesceT: map[tensor.Kind]bool{},
+			Mesh:      1, MeshX: 1, MeshY: 1,
+		},
+		{
+			Name: "macro_mesh", Kind: spec.SpatialLevel,
+			Mesh: cfg.Macros, MeshX: cfg.Macros, MeshY: 1,
+			SpatialReuse: map[tensor.Kind]bool{tensor.Input: true},
+		},
+	}
+	offset := len(prepended)
+	levels := append(prepended, macro.Levels...)
+
+	out := *macro
+	out.Name = fmt.Sprintf("system(%s,%s)", macro.Name, sc)
+	out.Levels = levels
+	out.SpatialPrefs = map[int][]string{
+		// Parallel macros split output channels.
+		offset - 1: {"K", "P"},
+	}
+	for k, v := range macro.SpatialPrefs {
+		out.SpatialPrefs[k+offset] = append([]string(nil), v...)
+	}
+	if macro.WeightSliceLevel >= 0 {
+		out.WeightSliceLevel = macro.WeightSliceLevel + offset
+	}
+	if macro.InputSliceLevel >= 0 {
+		out.InputSliceLevel = macro.InputSliceLevel + offset
+	}
+	// Loop placement encodes the scenario. Weight-stationary scenarios
+	// cache pixel/batch dims (M, N, P, Q) at the global buffer inside the
+	// weight-tile dims, so each weight tile streams from DRAM exactly
+	// once while inputs are served on-chip. The AllDRAM strawman keeps
+	// everything at DRAM with weight dims innermost, re-streaming weights
+	// from DRAM for every output-pixel tile.
+	out.TemporalLevel = -1
+	switch sc {
+	case AllDRAM:
+		out.InnerDims = append([]string{"K", "C", "R", "S"}, macro.InnerDims...)
+		out.TemporalTargets = nil
+	default:
+		// K innermost among the DRAM loops keeps inputs resident across
+		// weight-tile changes.
+		out.InnerDims = []string{"K"}
+		out.TemporalTargets = map[string]int{"M": 1, "N": 1, "P": 1, "Q": 1}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BreakdownBuckets groups a full-system result's per-level energies into
+// the Fig. 15 reporting buckets: off-chip DRAM, global buffer, and
+// macro + other on-chip data movement.
+func BreakdownBuckets(r *core.Result) (dram, globalBuffer, macroOnChip float64) {
+	for _, le := range r.Levels {
+		switch le.Name {
+		case "dram":
+			dram += le.Total
+		case "global_buffer":
+			globalBuffer += le.Total
+		default:
+			macroOnChip += le.Total
+		}
+	}
+	return dram, globalBuffer, macroOnChip
+}

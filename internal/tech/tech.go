@@ -1,0 +1,111 @@
+// Package tech models CMOS technology scaling in the style of the
+// Stillmaker–Baas scaling equations the paper's Library plug-in uses
+// (paper ref [58]): each node carries relative dynamic-energy, area, and
+// delay factors plus a nominal supply voltage. Component models are
+// calibrated at a reference node and scaled to the target node, and supply
+// voltage sweeps (Fig. 7) scale energy as V² and frequency with an
+// alpha-power-law delay model.
+package tech
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node describes one technology node. Energy, Area, and Delay are relative
+// factors normalized to the 65 nm node.
+type Node struct {
+	Nm     int     // feature size in nanometers
+	Vdd    float64 // nominal supply voltage in volts
+	Energy float64 // dynamic energy factor (relative to 65 nm)
+	Area   float64 // area factor (relative to 65 nm)
+	Delay  float64 // gate delay factor (relative to 65 nm)
+}
+
+// nodes lists supported nodes, finest first. Factors follow the published
+// general-purpose scaling trends of Stillmaker & Baas (2017).
+var nodes = []Node{
+	{Nm: 7, Vdd: 0.70, Energy: 0.080, Area: 0.025, Delay: 0.30},
+	{Nm: 10, Vdd: 0.75, Energy: 0.12, Area: 0.040, Delay: 0.35},
+	{Nm: 14, Vdd: 0.80, Energy: 0.17, Area: 0.065, Delay: 0.40},
+	{Nm: 16, Vdd: 0.80, Energy: 0.20, Area: 0.080, Delay: 0.42},
+	{Nm: 22, Vdd: 0.85, Energy: 0.28, Area: 0.14, Delay: 0.52},
+	{Nm: 32, Vdd: 0.95, Energy: 0.42, Area: 0.28, Delay: 0.65},
+	{Nm: 45, Vdd: 1.00, Energy: 0.60, Area: 0.50, Delay: 0.80},
+	{Nm: 65, Vdd: 1.10, Energy: 1.00, Area: 1.00, Delay: 1.00},
+	{Nm: 90, Vdd: 1.20, Energy: 1.90, Area: 2.00, Delay: 1.50},
+	{Nm: 130, Vdd: 1.30, Energy: 3.40, Area: 4.00, Delay: 2.20},
+	{Nm: 180, Vdd: 1.80, Energy: 6.00, Area: 7.50, Delay: 3.00},
+}
+
+// ByNm returns the node with the given feature size.
+func ByNm(nm int) (Node, error) {
+	for _, n := range nodes {
+		if n.Nm == nm {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("tech: unsupported node %d nm (supported: %v)", nm, SupportedNm())
+}
+
+// SupportedNm lists the supported node sizes in increasing order.
+func SupportedNm() []int {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Nm
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ScaleEnergy converts an energy calibrated at node from to node to.
+func ScaleEnergy(e float64, from, to Node) float64 {
+	return e * to.Energy / from.Energy
+}
+
+// ScaleArea converts an area calibrated at node from to node to.
+func ScaleArea(a float64, from, to Node) float64 {
+	return a * to.Area / from.Area
+}
+
+// ScaleDelay converts a delay calibrated at node from to node to.
+func ScaleDelay(d float64, from, to Node) float64 {
+	return d * to.Delay / from.Delay
+}
+
+// thresholdVoltage is the effective transistor threshold used by the
+// alpha-power-law delay model, as a fraction of nominal Vdd.
+const thresholdFraction = 0.35
+
+// alphaPower is the velocity-saturation exponent of the delay model.
+const alphaPower = 1.3
+
+// EnergyAtVoltage scales a dynamic energy from the node's nominal supply
+// to voltage v (E ∝ V²). v must be positive.
+func (n Node) EnergyAtVoltage(e, v float64) (float64, error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("tech: supply voltage %g must be positive", v)
+	}
+	r := v / n.Vdd
+	return e * r * r, nil
+}
+
+// FrequencyAtVoltage returns the relative operating frequency at supply v,
+// normalized to 1.0 at the node's nominal Vdd, using the alpha-power law
+// f ∝ (V - Vt)^α / V. Voltages at or below threshold are an error.
+func (n Node) FrequencyAtVoltage(v float64) (float64, error) {
+	vt := thresholdFraction * n.Vdd
+	if v <= vt {
+		return 0, fmt.Errorf("tech: supply voltage %gV at or below threshold %.3gV for %dnm", v, vt, n.Nm)
+	}
+	f := math.Pow(v-vt, alphaPower) / v
+	fNom := math.Pow(n.Vdd-vt, alphaPower) / n.Vdd
+	return f / fNom, nil
+}
+
+// VoltageRange returns a reasonable sweepable supply range for the node:
+// from just above threshold to 25% above nominal.
+func (n Node) VoltageRange() (lo, hi float64) {
+	return thresholdFraction*n.Vdd + 0.1, 1.25 * n.Vdd
+}

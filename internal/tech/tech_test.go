@@ -1,0 +1,153 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByNm(t *testing.T) {
+	n, err := ByNm(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Energy != 1 || n.Area != 1 || n.Delay != 1 {
+		t.Fatalf("65nm must be the normalization point: %+v", n)
+	}
+	if _, err := ByNm(3); err == nil {
+		t.Fatal("want error for unsupported node")
+	}
+}
+
+func TestSupportedNmSortedAndMonotonic(t *testing.T) {
+	nms := SupportedNm()
+	if len(nms) < 8 {
+		t.Fatalf("too few nodes: %v", nms)
+	}
+	var prev Node
+	for i, nm := range nms {
+		n, err := ByNm(nm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if nm <= nms[i-1] {
+				t.Fatalf("nodes not sorted: %v", nms)
+			}
+			// Coarser nodes must cost more energy, area, delay, voltage.
+			if n.Energy <= prev.Energy || n.Area <= prev.Area || n.Delay <= prev.Delay || n.Vdd < prev.Vdd {
+				t.Fatalf("scaling not monotonic between %dnm and %dnm", nms[i-1], nm)
+			}
+		}
+		prev = n
+	}
+}
+
+func TestScaleEnergyRoundTrip(t *testing.T) {
+	from, _ := ByNm(65)
+	to, _ := ByNm(7)
+	e := 100.0
+	down := ScaleEnergy(e, from, to)
+	if down >= e {
+		t.Fatalf("scaling 65->7nm should reduce energy, got %g", down)
+	}
+	back := ScaleEnergy(down, to, from)
+	if math.Abs(back-e) > 1e-9 {
+		t.Fatalf("round trip = %g, want %g", back, e)
+	}
+	a := ScaleArea(50, from, to)
+	if a >= 50 {
+		t.Fatalf("area should shrink, got %g", a)
+	}
+	d := ScaleDelay(10, from, to)
+	if d >= 10 {
+		t.Fatalf("delay should shrink, got %g", d)
+	}
+}
+
+func TestEnergyAtVoltage(t *testing.T) {
+	n, _ := ByNm(22)
+	e, err := n.EnergyAtVoltage(100, n.Vdd)
+	if err != nil || math.Abs(e-100) > 1e-9 {
+		t.Fatalf("nominal voltage should not change energy: %g, %v", e, err)
+	}
+	half, err := n.EnergyAtVoltage(100, n.Vdd/2)
+	if err != nil || math.Abs(half-25) > 1e-9 {
+		t.Fatalf("half voltage should quarter energy: %g, %v", half, err)
+	}
+	if _, err := n.EnergyAtVoltage(100, 0); err == nil {
+		t.Fatal("want error for zero voltage")
+	}
+	if _, err := n.EnergyAtVoltage(100, -1); err == nil {
+		t.Fatal("want error for negative voltage")
+	}
+}
+
+func TestFrequencyAtVoltage(t *testing.T) {
+	n, _ := ByNm(65)
+	f, err := n.FrequencyAtVoltage(n.Vdd)
+	if err != nil || math.Abs(f-1) > 1e-9 {
+		t.Fatalf("nominal frequency should be 1: %g, %v", f, err)
+	}
+	higher, err := n.FrequencyAtVoltage(n.Vdd * 1.2)
+	if err != nil || higher <= 1 {
+		t.Fatalf("overdrive should speed up: %g, %v", higher, err)
+	}
+	lower, err := n.FrequencyAtVoltage(n.Vdd * 0.8)
+	if err != nil || lower >= 1 {
+		t.Fatalf("underdrive should slow down: %g, %v", lower, err)
+	}
+	if _, err := n.FrequencyAtVoltage(0.1); err == nil {
+		t.Fatal("want error below threshold")
+	}
+}
+
+func TestVoltageRange(t *testing.T) {
+	n, _ := ByNm(22)
+	lo, hi := n.VoltageRange()
+	if lo >= hi {
+		t.Fatalf("range inverted: [%g, %g]", lo, hi)
+	}
+	if _, err := n.FrequencyAtVoltage(lo); err != nil {
+		t.Fatalf("low end of range must be operable: %v", err)
+	}
+	if _, err := n.FrequencyAtVoltage(hi); err != nil {
+		t.Fatalf("high end of range must be operable: %v", err)
+	}
+}
+
+// Property: frequency is strictly increasing in voltage above threshold.
+func TestQuickFrequencyMonotonic(t *testing.T) {
+	n, _ := ByNm(45)
+	lo, hi := n.VoltageRange()
+	f := func(a, b float64) bool {
+		va := lo + math.Mod(math.Abs(a), hi-lo)
+		vb := lo + math.Mod(math.Abs(b), hi-lo)
+		if va > vb {
+			va, vb = vb, va
+		}
+		if vb-va < 1e-6 {
+			return true
+		}
+		fa, err1 := n.FrequencyAtVoltage(va)
+		fb, err2 := n.FrequencyAtVoltage(vb)
+		return err1 == nil && err2 == nil && fa < fb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: energy-voltage scaling is exactly quadratic.
+func TestQuickEnergyQuadratic(t *testing.T) {
+	n, _ := ByNm(7)
+	f := func(raw float64) bool {
+		v := 0.2 + math.Mod(math.Abs(raw), 1.0)
+		e1, err1 := n.EnergyAtVoltage(1, v)
+		e2, err2 := n.EnergyAtVoltage(1, 2*v)
+		return err1 == nil && err2 == nil && math.Abs(e2-4*e1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConv2DValidatesAndCounts(t *testing.T) {
+	e, err := Conv2D("conv", 1, 64, 3, 112, 112, 7, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMACs := int64(1) * 64 * 3 * 112 * 112 * 7 * 7
+	if got := e.MACs(); got != wantMACs {
+		t.Fatalf("MACs = %d, want %d", got, wantMACs)
+	}
+	wv, err := e.Volume("Weights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(64 * 3 * 7 * 7); wv != want {
+		t.Fatalf("weight volume = %d, want %d", wv, want)
+	}
+	ov, err := e.Volume("Outputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(64 * 112 * 112); ov != want {
+		t.Fatalf("output volume = %d, want %d", ov, want)
+	}
+	// Input halo: stride 2, P=112, R=7 -> extent 2*111 + 6 + 1 = 229.
+	iv, err := e.Volume("Inputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3 * 229 * 229); iv != want {
+		t.Fatalf("input volume = %d, want %d", iv, want)
+	}
+}
+
+func TestConv2DErrors(t *testing.T) {
+	if _, err := Conv2D("bad", 1, 1, 1, 1, 1, 1, 1, 0); err == nil {
+		t.Fatal("want error for stride 0")
+	}
+	if _, err := Conv2D("bad", 0, 1, 1, 1, 1, 1, 1, 1); err == nil {
+		t.Fatal("want error for zero bound")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	e, err := MatMul("mm", 4, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MACs() != 4*8*16 {
+		t.Fatalf("MACs = %d", e.MACs())
+	}
+	rd, err := e.RelevantDims("Inputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd) != 2 || rd[0] != "C" || rd[1] != "M" {
+		t.Fatalf("relevant dims of Inputs = %v", rd)
+	}
+	rd, _ = e.RelevantDims("Outputs")
+	if len(rd) != 2 || rd[0] != "K" || rd[1] != "M" {
+		t.Fatalf("relevant dims of Outputs = %v", rd)
+	}
+}
+
+func TestDepthwise(t *testing.T) {
+	e, err := DepthwiseConv2D("dw", 1, 32, 56, 56, 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MACs() != int64(32)*56*56*3*3 {
+		t.Fatalf("MACs = %d", e.MACs())
+	}
+	wv, _ := e.Volume("Weights")
+	if wv != 32*3*3 {
+		t.Fatalf("weight volume = %d", wv)
+	}
+	if _, err := DepthwiseConv2D("dw", 1, 1, 1, 1, 1, 1, 0); err == nil {
+		t.Fatal("want stride error")
+	}
+}
+
+func TestValidateCatchesBadEinsums(t *testing.T) {
+	base := func() *Einsum {
+		e, _ := MatMul("mm", 2, 2, 2)
+		return e
+	}
+	e := base()
+	e.Name = ""
+	if err := e.Validate(); err == nil {
+		t.Error("want error for empty name")
+	}
+	e = base()
+	e.Dims = append(e.Dims, Dim{Name: "M", Bound: 2})
+	if err := e.Validate(); err == nil {
+		t.Error("want error for duplicate dim")
+	}
+	e = base()
+	e.Spaces[0].Axes[0][0].Dim = "Z"
+	if err := e.Validate(); err == nil {
+		t.Error("want error for unknown dim reference")
+	}
+	e = base()
+	e.Spaces[2].Kind = Input
+	if err := e.Validate(); err == nil {
+		t.Error("want error for missing output")
+	}
+	e = base()
+	e.Spaces[0].Axes[0][0].Coeff = 0
+	if err := e.Validate(); err == nil {
+		t.Error("want error for zero coefficient")
+	}
+	e = base()
+	e.Spaces[1].Name = "Inputs"
+	if err := e.Validate(); err == nil {
+		t.Error("want error for duplicate space name")
+	}
+	e = base()
+	e.Dims = nil
+	if err := e.Validate(); err == nil {
+		t.Error("want error for no dims")
+	}
+}
+
+func TestDimBoundAndLookups(t *testing.T) {
+	e, _ := MatMul("mm", 3, 5, 7)
+	b, err := e.DimBound("C")
+	if err != nil || b != 5 {
+		t.Fatalf("DimBound(K) = %d, %v", b, err)
+	}
+	if _, err := e.DimBound("Z"); err == nil {
+		t.Fatal("want error for unknown dim")
+	}
+	if _, err := e.Space("Nope"); err == nil {
+		t.Fatal("want error for unknown space")
+	}
+	s, err := e.SpaceOfKind(Weight)
+	if err != nil || s.Name != "Weights" {
+		t.Fatalf("SpaceOfKind(Weight) = %v, %v", s.Name, err)
+	}
+	if _, err := e.RelevantDims("Nope"); err == nil {
+		t.Fatal("want error for unknown space in RelevantDims")
+	}
+}
+
+func TestCoordIsBijectiveOnMatMul(t *testing.T) {
+	e, _ := MatMul("mm", 3, 4, 5)
+	in, _ := e.Space("Inputs")
+	seen := map[int64]bool{}
+	for m := 0; m < 3; m++ {
+		for k := 0; k < 4; k++ {
+			c := in.Coord(map[string]int{"M": m, "C": k, "K": 0}, e.Dims)
+			if seen[c] {
+				t.Fatalf("coord collision at m=%d k=%d", m, k)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != 12 {
+		t.Fatalf("expected 12 unique coords, got %d", len(seen))
+	}
+}
+
+func TestCoordConvHaloSharing(t *testing.T) {
+	// Stride-1 3x3 conv: input coord for (P=1,R=0) equals (P=0,R=1).
+	e, err := Conv2D("c", 1, 1, 1, 4, 4, 3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := e.Space("Inputs")
+	a := in.Coord(map[string]int{"K": 0, "C": 0, "P": 1, "R": 0, "Q": 0, "S": 0}, e.Dims)
+	b := in.Coord(map[string]int{"K": 0, "C": 0, "P": 0, "R": 1, "Q": 0, "S": 0}, e.Dims)
+	if a != b {
+		t.Fatalf("halo coords differ: %d vs %d", a, b)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Input.String() != "Inputs" || Weight.String() != "Weights" || Output.String() != "Outputs" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestStringRendersDims(t *testing.T) {
+	e, _ := MatMul("mm", 2, 3, 4)
+	if s := e.String(); s != "mm[M=2,C=3,K=4]" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// Property: for any valid conv shape, MACs == output volume * per-output
+// MACs (C*R*S), and all tile volumes with full bounds match Volume().
+func TestQuickConvAccounting(t *testing.T) {
+	f := func(k, c, p, r uint8) bool {
+		K, C, P, R := int(k%8)+1, int(c%8)+1, int(p%8)+1, int(r%3)+1
+		e, err := Conv2D("c", 1, K, C, P, P, R, R, 1)
+		if err != nil {
+			return false
+		}
+		ov, err := e.Volume("Outputs")
+		if err != nil {
+			return false
+		}
+		if e.MACs() != ov*int64(C*R*R) {
+			return false
+		}
+		// TileVolume with full bounds equals Volume for every space.
+		full := map[string]int{}
+		for _, d := range e.Dims {
+			full[d.Name] = d.Bound
+		}
+		for _, s := range e.Spaces {
+			v, err := e.Volume(s.Name)
+			if err != nil || s.TileVolume(full) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package valuesim is the value-level ground-truth simulator: the role
+// NeuroSim plays in the paper's evaluation (§IV). It executes concrete
+// sampled tensors through a CiM macro step by step, bit-slice by
+// bit-slice, computing every component's energy from the actual values it
+// propagates — no distributions, no independence assumption, no
+// mapping-invariance assumption.
+//
+// Critically, it consumes the same circuit models (via the engine's
+// bindings) and the same encodings as the statistical model, so the
+// difference between the two isolates exactly the statistical
+// approximation — what Fig. 6 measures — and the speed gap between the two
+// is what Table II measures.
+//
+// The simulator covers the macro compute path (DACs, cells, analog
+// adders/accumulators, ADCs, digital accumulation). Buffer traffic is
+// value-independent and identical in both models by construction, so
+// comparisons are made over the compute-path components.
+package valuesim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/enc"
+	"repro/internal/spec"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// macroShape is the structural view of a flattened CiM macro hierarchy.
+type macroShape struct {
+	dacIdx      int // input converter/driver transit (-1 if none)
+	shiftAddIdx int // digital output accumulator (-1 if none)
+	adcIdx      int // output converter transit (-1 if none)
+	adderIdx    int // analog output coalescer (-1 if none)
+	accumIdx    int // analog accumulator storage (-1 if none)
+	computeIdx  int
+	rows        int // innermost output-reduced mesh
+	groupCols   int // columns merged per ADC read (analog adder groups)
+	physCols    int // physical column count outside the groups
+}
+
+// detectShape maps a flattened hierarchy onto the canonical macro
+// structure (the Base/A/B/C/D/Digital topologies of package macros).
+func detectShape(levels []spec.Level) (*macroShape, error) {
+	s := &macroShape{
+		dacIdx: -1, shiftAddIdx: -1, adcIdx: -1,
+		adderIdx: -1, accumIdx: -1, computeIdx: -1,
+		rows: 1, groupCols: 1, physCols: 1,
+	}
+	haveBuffer := false
+	var meshes []int
+	for i := range levels {
+		lv := &levels[i]
+		switch lv.Kind {
+		case spec.StorageLevel:
+			switch lv.Class {
+			case "sram-buffer", "dram":
+				haveBuffer = true
+			case "analog-accumulator":
+				s.accumIdx = i
+			case "shift-add", "register":
+				if lv.Keeps[tensor.Output] {
+					s.shiftAddIdx = i
+				}
+				// Input/weight registers are cheap staging; they are not
+				// part of the simulated compute path.
+			default:
+				return nil, fmt.Errorf("valuesim: unsupported storage class %q", lv.Class)
+			}
+		case spec.TransitLevel:
+			switch lv.Class {
+			case "dac", "row-driver":
+				s.dacIdx = i
+			case "adc":
+				s.adcIdx = i
+			case "analog-adder", "digital-adder":
+				if lv.CoalesceT[tensor.Output] {
+					s.adderIdx = i
+				}
+			case "wire", "sense-amp", "multiplexer":
+				// Fixed-energy pass-throughs; negligible and skipped.
+			default:
+				return nil, fmt.Errorf("valuesim: unsupported transit class %q", lv.Class)
+			}
+		case spec.SpatialLevel:
+			meshes = append(meshes, i)
+		case spec.ComputeLevel:
+			s.computeIdx = i
+		}
+	}
+	if !haveBuffer || s.computeIdx < 0 {
+		return nil, errors.New("valuesim: hierarchy lacks a buffer or compute level")
+	}
+	for _, mi := range meshes {
+		lv := &levels[mi]
+		switch {
+		case lv.SpatialReuse[tensor.Output]:
+			s.rows *= lv.Mesh
+		case s.adderIdx >= 0 && mi > s.adderIdx:
+			s.groupCols *= lv.Mesh
+		default:
+			s.physCols *= lv.Mesh
+		}
+	}
+	return s, nil
+}
+
+// Result is the outcome of one value-level simulation.
+type Result struct {
+	// Energy is the compute-path energy in joules for the simulated steps.
+	Energy float64
+	// ByComponent maps level names to their energy.
+	ByComponent map[string]float64
+	// MACs is the number of MAC-slice operations executed.
+	MACs int64
+	// Steps is the number of input vectors streamed.
+	Steps int
+	// Rows and LogicalCols describe the simulated matrix-vector shape.
+	Rows, LogicalCols int
+}
+
+// Config controls a simulation.
+type Config struct {
+	// Steps is the number of input vectors streamed through the array.
+	Steps int
+	// Seed drives operand sampling.
+	Seed int64
+}
+
+// Simulate runs sampled operands matching the layer's statistics through
+// the macro and returns per-value energies plus the empirical operand PMFs
+// (the profiling step of Algorithm 1 line 3, for feeding the statistical
+// model the same marginals).
+func Simulate(eng *core.Engine, layer workload.Layer, cfg Config) (*Result, *dist.PMF, *dist.PMF, error) {
+	if cfg.Steps <= 0 {
+		return nil, nil, nil, fmt.Errorf("valuesim: steps %d must be positive", cfg.Steps)
+	}
+	a := eng.Arch()
+	shape, err := detectShape(a.Levels)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wbSlices := a.WeightSlices()
+	ibSlices := a.InputSlices()
+
+	// Resolve where weight slices live: within an analog-added group
+	// (Macro B), across separate logical columns (Base), or inside one
+	// device (Macros C/D, wbSlices == 1).
+	logicalCols := shape.physCols
+	if shape.groupCols > 1 {
+		if wbSlices > shape.groupCols {
+			return nil, nil, nil, fmt.Errorf("valuesim: %d weight slices exceed %d grouped columns", wbSlices, shape.groupCols)
+		}
+	} else if wbSlices > 1 {
+		if logicalCols%wbSlices != 0 {
+			return nil, nil, nil, fmt.Errorf("valuesim: %d weight slices do not divide %d columns", wbSlices, logicalCols)
+		}
+		logicalCols /= wbSlices
+	}
+
+	ops, err := layer.SampleOperands(shape.rows, logicalCols, cfg.Steps, a.InputBits, a.WeightBits, cfg.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	inEnc, err := enc.ByName(a.ResolveInputEncoding(layer.Act.Signed), a.InputBits)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wEnc, err := enc.ByName(a.ResolveWeightEncoding(), a.WeightBits)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inSlicing, err := enc.NewSlicing(a.InputBits, a.DACBits)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wSlicing, err := enc.NewSlicing(a.WeightBits, a.CellBits)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Pre-encode weights into per-slice cell values; record raw levels.
+	wCells := make([][][]int, shape.rows) // [row][logicalCol][slice]
+	wSamples := make([]float64, 0, shape.rows*logicalCols)
+	for r := 0; r < shape.rows; r++ {
+		wCells[r] = make([][]int, logicalCols)
+		for c := 0; c < logicalCols; c++ {
+			raw := ops.Weights[r][c]
+			wSamples = append(wSamples, float64(raw))
+			rails, err := wEnc.Encode(raw)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			slices := make([]int, wbSlices)
+			for k := 0; k < wbSlices; k++ {
+				slices[k] = wSlicing.SliceValue(rails[0], k)
+			}
+			wCells[r][c] = slices
+		}
+	}
+	inSamples := make([]float64, 0, cfg.Steps*shape.rows)
+	for t := range ops.Inputs {
+		for _, v := range ops.Inputs[t] {
+			inSamples = append(inSamples, float64(v))
+		}
+	}
+
+	models := shapeModels(eng, shape)
+	if models.cell == nil {
+		return nil, nil, nil, errors.New("valuesim: no compute model bound")
+	}
+	res := &Result{
+		ByComponent: map[string]float64{},
+		Steps:       cfg.Steps,
+		Rows:        shape.rows,
+		LogicalCols: logicalCols,
+	}
+	adcFullScale := a.ColumnFullScale(shape.adcBoundary())
+	adcBits := 8
+	if adc, ok := models.adc.(*circuits.ADC); ok {
+		adcBits = adc.Bits()
+	}
+	charge := func(idx int, joules float64) {
+		if idx < 0 || joules == 0 {
+			return
+		}
+		res.Energy += joules
+		res.ByComponent[a.Levels[idx].Name] += joules
+	}
+
+	accum := make([]float64, logicalCols)
+	inSlice := make([]int, shape.rows)
+	for t := 0; t < cfg.Steps; t++ {
+		for c := range accum {
+			accum[c] = 0
+		}
+		for ib := 0; ib < ibSlices; ib++ {
+			for r := 0; r < shape.rows; r++ {
+				rails, err := inEnc.Encode(ops.Inputs[t][r])
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				v := inSlicing.SliceValue(rails[0], ib)
+				inSlice[r] = v
+				if models.dac != nil {
+					charge(shape.dacIdx, models.dac.EnergyAt(float64(v), 0, 0))
+				}
+			}
+			for c := 0; c < logicalCols; c++ {
+				groupSum := 0.0
+				for k := 0; k < wbSlices; k++ {
+					colSum := 0
+					for r := 0; r < shape.rows; r++ {
+						w := wCells[r][c][k]
+						charge(shape.computeIdx, models.cell.EnergyAt(float64(inSlice[r]), float64(w), 0))
+						colSum += inSlice[r] * w
+						res.MACs++
+					}
+					if models.adder != nil {
+						// The analog adder consumes each member column;
+						// the group reads out once below.
+						charge(shape.adderIdx, models.adder.EnergyAt(0, 0, float64(colSum)))
+						groupSum += float64(colSum) * float64(int64(1)<<uint(k*a.CellBits))
+						continue
+					}
+					// Each weight-slice column reads out individually.
+					readout(res, charge, models, shape, a, adcBits, adcFullScale, float64(colSum), accum, c, ib, ibSlices)
+				}
+				if models.adder != nil {
+					readout(res, charge, models, shape, a, adcBits, adcFullScale, groupSum, accum, c, ib, ibSlices)
+				}
+			}
+		}
+	}
+
+	inPMF, err := dist.FromSamples(inSamples)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wPMF, err := dist.FromSamples(wSamples)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res, inPMF, wPMF, nil
+}
+
+// adcBoundary returns the boundary index for the ADC full-scale.
+func (s *macroShape) adcBoundary() int {
+	if s.adcIdx >= 0 {
+		return s.adcIdx + 1
+	}
+	return s.computeIdx
+}
+
+// shapeModelsSet carries the bound circuit models for the macro shape.
+type shapeModelsSet struct {
+	dac, cell, adc, adder, accumM, shiftAdd circuits.Model
+}
+
+func shapeModels(eng *core.Engine, s *macroShape) *shapeModelsSet {
+	m := &shapeModelsSet{cell: eng.ComponentModel(s.computeIdx)}
+	if s.dacIdx >= 0 {
+		m.dac = eng.ComponentModel(s.dacIdx)
+	}
+	if s.adcIdx >= 0 {
+		m.adc = eng.ComponentModel(s.adcIdx)
+	}
+	if s.adderIdx >= 0 {
+		m.adder = eng.ComponentModel(s.adderIdx)
+	}
+	if s.accumIdx >= 0 {
+		m.accumM = eng.ComponentModel(s.accumIdx)
+	}
+	if s.shiftAddIdx >= 0 {
+		m.shiftAdd = eng.ComponentModel(s.shiftAddIdx)
+	}
+	return m
+}
+
+// readout models the output path for one column sum at one input slice:
+// analog accumulation across input slices (Macro C) or immediate ADC
+// conversion, followed by digital accumulation.
+func readout(res *Result, charge func(int, float64), m *shapeModelsSet, s *macroShape, a *core.Arch, adcBits int, adcFullScale, sum float64, accum []float64, col, ib, ibSlices int) {
+	if m.accumM != nil {
+		accum[col] += sum * float64(int64(1)<<uint(ib*a.DACBits))
+		charge(s.accumIdx, m.accumM.EnergyAt(0, 0, accum[col]))
+		if ib == ibSlices-1 && m.adc != nil {
+			full := adcFullScale * (math.Exp2(float64(a.InputBits)) - 1) / (math.Exp2(float64(a.DACBits)) - 1)
+			charge(s.adcIdx, m.adc.EnergyAt(0, 0, quantizeCode(accum[col], full, adcBits)))
+		}
+		return
+	}
+	if m.adc != nil {
+		charge(s.adcIdx, m.adc.EnergyAt(0, 0, quantizeCode(sum, adcFullScale, adcBits)))
+	}
+	if m.shiftAdd != nil {
+		charge(s.shiftAddIdx, m.shiftAdd.EnergyAt(0, 0, sum))
+	}
+}
+
+// quantizeCode maps an analog sum onto an ADC output code, matching the
+// statistical model's quantization.
+func quantizeCode(v, fullScale float64, bits int) float64 {
+	if fullScale <= 0 {
+		return 0
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > fullScale {
+		v = fullScale
+	}
+	return v / fullScale * float64(int64(1)<<uint(bits)-1)
+}

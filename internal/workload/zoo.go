@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// cnnStats derives per-layer activation statistics for a CNN layer.
+// ReLU sparsity and value spread vary layer to layer (seeded by index),
+// which is exactly the effect that separates the data-value-dependent model
+// from the fixed-energy model in Fig. 6.
+func cnnStats(idx int) ActStats {
+	// Deterministic pseudo-variation in [0.35, 0.75] for sparsity and
+	// [0.10, 0.30] for std, following typical ReLU activation profiles.
+	s := 0.55 + 0.20*math.Sin(1.7*float64(idx)+0.4)
+	std := 0.20 + 0.10*math.Sin(2.3*float64(idx)+1.1)
+	corr := 0.35 + 0.25*math.Sin(1.1*float64(idx))
+	return ActStats{Signed: false, Sparsity: s, Mean: 0.18, Std: std, Corr: corr}
+}
+
+// transformerStats derives statistics for transformer activations: signed,
+// dense, approximately zero-mean.
+func transformerStats(idx int) ActStats {
+	std := 0.22 + 0.08*math.Sin(1.9*float64(idx)+0.3)
+	corr := 0.25 + 0.20*math.Sin(0.9*float64(idx)+0.7)
+	return ActStats{Signed: true, Sparsity: 0, Mean: 0, Std: std, Corr: corr}
+}
+
+func mustConv(name string, n, k, c, p, q, r, s, stride int) *tensor.Einsum {
+	e, err := tensor.Conv2D(name, n, k, c, p, q, r, s, stride)
+	if err != nil {
+		panic("workload zoo: " + err.Error())
+	}
+	return e
+}
+
+func mustMatMul(name string, m, k, n int) *tensor.Einsum {
+	e, err := tensor.MatMul(name, m, k, n)
+	if err != nil {
+		panic("workload zoo: " + err.Error())
+	}
+	return e
+}
+
+func mustDepthwise(name string, n, c, p, q, r, s, stride int) *tensor.Einsum {
+	e, err := tensor.DepthwiseConv2D(name, n, c, p, q, r, s, stride)
+	if err != nil {
+		panic("workload zoo: " + err.Error())
+	}
+	return e
+}
+
+// ResNet18 returns the 21 distinct layers of ResNet18 at 224x224 ImageNet
+// resolution — the layer count plotted in Fig. 6. Weight std ~0.18 gives
+// int8 weights that exercise most of the dynamic range.
+func ResNet18() *Network {
+	type c struct {
+		name                   string
+		k, ch, p, q, r, s, str int
+	}
+	convs := []c{
+		{"conv1", 64, 3, 112, 112, 7, 7, 2},
+		{"l1.b1.c1", 64, 64, 56, 56, 3, 3, 1},
+		{"l1.b1.c2", 64, 64, 56, 56, 3, 3, 1},
+		{"l1.b2.c1", 64, 64, 56, 56, 3, 3, 1},
+		{"l1.b2.c2", 64, 64, 56, 56, 3, 3, 1},
+		{"l2.b1.c1", 128, 64, 28, 28, 3, 3, 2},
+		{"l2.b1.c2", 128, 128, 28, 28, 3, 3, 1},
+		{"l2.b1.down", 128, 64, 28, 28, 1, 1, 2},
+		{"l2.b2.c1", 128, 128, 28, 28, 3, 3, 1},
+		{"l2.b2.c2", 128, 128, 28, 28, 3, 3, 1},
+		{"l3.b1.c1", 256, 128, 14, 14, 3, 3, 2},
+		{"l3.b1.c2", 256, 256, 14, 14, 3, 3, 1},
+		{"l3.b1.down", 256, 128, 14, 14, 1, 1, 2},
+		{"l3.b2.c1", 256, 256, 14, 14, 3, 3, 1},
+		{"l3.b2.c2", 256, 256, 14, 14, 3, 3, 1},
+		{"l4.b1.c1", 512, 256, 7, 7, 3, 3, 2},
+		{"l4.b1.c2", 512, 512, 7, 7, 3, 3, 1},
+		{"l4.b1.down", 512, 256, 7, 7, 1, 1, 2},
+		{"l4.b2.c1", 512, 512, 7, 7, 3, 3, 1},
+		{"l4.b2.c2", 512, 512, 7, 7, 3, 3, 1},
+	}
+	layers := make([]Layer, 0, len(convs)+1)
+	for i, cc := range convs {
+		st := cnnStats(i)
+		if i == 0 {
+			// Raw image input: dense, unsigned.
+			st.Sparsity = 0.02
+			st.Mean = 0.45
+			st.Std = 0.25
+		}
+		layers = append(layers, Layer{
+			Name:   cc.name,
+			Op:     mustConv(cc.name, 1, cc.k, cc.ch, cc.p, cc.q, cc.r, cc.s, cc.str),
+			Repeat: 1,
+			Act:    st,
+			Wgt:    WeightStats{Std: 0.18},
+		})
+	}
+	layers = append(layers, Layer{
+		Name:   "fc",
+		Op:     mustMatMul("fc", 1, 512, 1000),
+		Repeat: 1,
+		Act:    cnnStats(len(convs)),
+		Wgt:    WeightStats{Std: 0.18},
+	})
+	return &Network{Name: "resnet18", Layers: layers}
+}
+
+// ViTBase returns ViT-Base/16 at 224x224 (196 patches + class token ≈ 197
+// tokens, rounded to 196 for tiling regularity): the large-tensor-size
+// workload of Fig. 14.
+func ViTBase() *Network {
+	const tokens, dim, mlp, heads = 196, 768, 3072, 12
+	headDim := dim / heads
+	layers := []Layer{
+		{Name: "patch_embed", Op: mustMatMul("patch_embed", tokens, 3*16*16, dim), Repeat: 1,
+			Act: ActStats{Signed: false, Sparsity: 0.02, Mean: 0.45, Std: 0.25, Corr: 0.5}, Wgt: WeightStats{Std: 0.16}},
+		{Name: "attn_qkv", Op: mustMatMul("attn_qkv", tokens, dim, 3*dim), Repeat: 12,
+			Act: transformerStats(1), Wgt: WeightStats{Std: 0.16}},
+		{Name: "attn_qk", Op: mustMatMul("attn_qk", tokens, headDim, tokens), Repeat: 12 * heads,
+			Act: transformerStats(2), Wgt: WeightStats{Std: 0.20}},
+		{Name: "attn_av", Op: mustMatMul("attn_av", tokens, tokens, headDim), Repeat: 12 * heads,
+			Act: ActStats{Signed: false, Sparsity: 0.30, Mean: 0.10, Std: 0.12, Corr: 0.4}, Wgt: WeightStats{Std: 0.20}},
+		{Name: "attn_proj", Op: mustMatMul("attn_proj", tokens, dim, dim), Repeat: 12,
+			Act: transformerStats(3), Wgt: WeightStats{Std: 0.16}},
+		{Name: "mlp_fc1", Op: mustMatMul("mlp_fc1", tokens, dim, mlp), Repeat: 12,
+			Act: transformerStats(4), Wgt: WeightStats{Std: 0.16}},
+		{Name: "mlp_fc2", Op: mustMatMul("mlp_fc2", tokens, mlp, dim), Repeat: 12,
+			Act: ActStats{Signed: false, Sparsity: 0.5, Mean: 0.12, Std: 0.15, Corr: 0.4}, Wgt: WeightStats{Std: 0.16}},
+		{Name: "head", Op: mustMatMul("head", 1, dim, 1000), Repeat: 1,
+			Act: transformerStats(5), Wgt: WeightStats{Std: 0.16}},
+	}
+	return &Network{Name: "vit-base", Layers: layers}
+}
+
+// MobileNetV3Large returns a representative subset of MobileNetV3-Large:
+// the small-tensor-size workload of Fig. 14. Depthwise layers and small
+// late-stage feature maps underutilize large CiM arrays.
+func MobileNetV3Large() *Network {
+	layers := []Layer{
+		{Name: "conv_stem", Op: mustConv("conv_stem", 1, 16, 3, 112, 112, 3, 3, 2), Repeat: 1,
+			Act: ActStats{Signed: false, Sparsity: 0.02, Mean: 0.45, Std: 0.25, Corr: 0.5}, Wgt: WeightStats{Std: 0.2}},
+		{Name: "b1.dw", Op: mustDepthwise("b1.dw", 1, 16, 112, 112, 3, 3, 1), Repeat: 1,
+			Act: cnnStats(1), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b2.pw_exp", Op: mustConv("b2.pw_exp", 1, 64, 16, 56, 56, 1, 1, 1), Repeat: 1,
+			Act: cnnStats(2), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b2.dw", Op: mustDepthwise("b2.dw", 1, 64, 56, 56, 3, 3, 2), Repeat: 1,
+			Act: cnnStats(3), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b2.pw_proj", Op: mustConv("b2.pw_proj", 1, 24, 64, 56, 56, 1, 1, 1), Repeat: 1,
+			Act: cnnStats(4), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b4.pw_exp", Op: mustConv("b4.pw_exp", 1, 120, 40, 28, 28, 1, 1, 1), Repeat: 2,
+			Act: cnnStats(5), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b4.dw5", Op: mustDepthwise("b4.dw5", 1, 120, 28, 28, 5, 5, 1), Repeat: 2,
+			Act: cnnStats(6), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b6.pw_exp", Op: mustConv("b6.pw_exp", 1, 200, 80, 14, 14, 1, 1, 1), Repeat: 3,
+			Act: cnnStats(7), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b6.dw", Op: mustDepthwise("b6.dw", 1, 200, 14, 14, 3, 3, 1), Repeat: 3,
+			Act: cnnStats(8), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b6.pw_proj", Op: mustConv("b6.pw_proj", 1, 80, 200, 14, 14, 1, 1, 1), Repeat: 3,
+			Act: cnnStats(9), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b9.pw_exp", Op: mustConv("b9.pw_exp", 1, 672, 112, 7, 7, 1, 1, 1), Repeat: 2,
+			Act: cnnStats(10), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b9.dw5", Op: mustDepthwise("b9.dw5", 1, 672, 7, 7, 5, 5, 1), Repeat: 2,
+			Act: cnnStats(11), Wgt: WeightStats{Std: 0.2}},
+		{Name: "b9.pw_proj", Op: mustConv("b9.pw_proj", 1, 160, 672, 7, 7, 1, 1, 1), Repeat: 2,
+			Act: cnnStats(12), Wgt: WeightStats{Std: 0.2}},
+		{Name: "conv_head", Op: mustConv("conv_head", 1, 960, 160, 7, 7, 1, 1, 1), Repeat: 1,
+			Act: cnnStats(13), Wgt: WeightStats{Std: 0.2}},
+		{Name: "fc", Op: mustMatMul("fc", 1, 1280, 1000), Repeat: 1,
+			Act: cnnStats(14), Wgt: WeightStats{Std: 0.2}},
+	}
+	return &Network{Name: "mobilenetv3-large", Layers: layers}
+}
+
+// GPT2 returns GPT-2 small (124M) at sequence length 1024: the
+// large-tensor (large language model) workload of Fig. 15.
+func GPT2() *Network {
+	const seq, dim, mlp = 1024, 768, 3072
+	layers := []Layer{
+		{Name: "attn_qkv", Op: mustMatMul("attn_qkv", seq, dim, 3*dim), Repeat: 12,
+			Act: transformerStats(1), Wgt: WeightStats{Std: 0.15}},
+		{Name: "attn_proj", Op: mustMatMul("attn_proj", seq, dim, dim), Repeat: 12,
+			Act: transformerStats(2), Wgt: WeightStats{Std: 0.15}},
+		{Name: "mlp_fc", Op: mustMatMul("mlp_fc", seq, dim, mlp), Repeat: 12,
+			Act: transformerStats(3), Wgt: WeightStats{Std: 0.15}},
+		{Name: "mlp_proj", Op: mustMatMul("mlp_proj", seq, mlp, dim), Repeat: 12,
+			Act: ActStats{Signed: false, Sparsity: 0.45, Mean: 0.12, Std: 0.15, Corr: 0.35}, Wgt: WeightStats{Std: 0.15}},
+	}
+	return &Network{Name: "gpt2", Layers: layers}
+}
+
+// MaxUtilization returns a single matrix multiply whose reduction and
+// output dimensions exactly match a rows×cols CiM array — the maximum-
+// utilization workload of Figs. 12 and 14. vectors is the number of input
+// vectors streamed through.
+func MaxUtilization(rows, cols, vectors int) (*Network, error) {
+	if rows <= 0 || cols <= 0 || vectors <= 0 {
+		return nil, fmt.Errorf("workload: MaxUtilization(%d, %d, %d)", rows, cols, vectors)
+	}
+	return &Network{
+		Name: fmt.Sprintf("maxutil-%dx%d", rows, cols),
+		Layers: []Layer{{
+			Name:   "mvm",
+			Op:     mustMatMul("mvm", vectors, rows, cols),
+			Repeat: 1,
+			Act:    ActStats{Signed: false, Sparsity: 0.3, Mean: 0.2, Std: 0.2, Corr: 0.3},
+			Wgt:    WeightStats{Std: 0.2},
+		}},
+	}, nil
+}
+
+// Toy returns a small network used by tests and the quickstart example.
+func Toy() *Network {
+	return &Network{
+		Name: "toy",
+		Layers: []Layer{
+			{Name: "conv", Op: mustConv("conv", 1, 8, 4, 6, 6, 3, 3, 1), Repeat: 1,
+				Act: cnnStats(0), Wgt: WeightStats{Std: 0.2}},
+			{Name: "fc", Op: mustMatMul("fc", 1, 32, 16), Repeat: 1,
+				Act: cnnStats(1), Wgt: WeightStats{Std: 0.2}},
+		},
+	}
+}
+
+// ByName returns a zoo network by its canonical name.
+func ByName(name string) (*Network, error) {
+	switch name {
+	case "resnet18":
+		return ResNet18(), nil
+	case "vit-base", "vit":
+		return ViTBase(), nil
+	case "mobilenetv3-large", "mobilenetv3":
+		return MobileNetV3Large(), nil
+	case "gpt2":
+		return GPT2(), nil
+	case "toy":
+		return Toy(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown network %q", name)
+}

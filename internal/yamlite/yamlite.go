@@ -1,0 +1,361 @@
+// Package yamlite parses the YAML subset used by CiMLoop-style textual
+// specifications (paper Fig. 5b): indentation-nested mappings, "- " list
+// items, inline flow lists [a, b] and maps {k: v}, and scalar strings,
+// numbers, and booleans. Comments start with '#'.
+//
+// It is deliberately small: no anchors, no multi-document streams, no
+// block scalars — just enough to describe container-hierarchies without a
+// third-party dependency.
+package yamlite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse decodes a document into nested map[string]any / []any / scalar
+// values (string, float64, bool, nil).
+func Parse(text string) (any, error) {
+	p := &parser{}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.ContainsRune(line, '\t') {
+			return nil, fmt.Errorf("yamlite: line %d: tabs are not allowed for indentation", ln+1)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		p.lines = append(p.lines, srcLine{no: ln + 1, indent: indent, text: strings.TrimSpace(line)})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("yamlite: empty document")
+	}
+	v, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("yamlite: line %d: unexpected dedent/content", p.lines[next].no)
+	}
+	return v, nil
+}
+
+type srcLine struct {
+	no     int
+	indent int
+	text   string
+}
+
+type parser struct {
+	lines []srcLine
+}
+
+// parseBlock parses the consecutive lines starting at index i whose indent
+// is exactly `indent`, returning the value and the next unconsumed index.
+func (p *parser) parseBlock(i, indent int) (any, int, error) {
+	if i >= len(p.lines) {
+		return nil, i, fmt.Errorf("yamlite: unexpected end of document")
+	}
+	if strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-" {
+		return p.parseList(i, indent)
+	}
+	return p.parseMap(i, indent)
+}
+
+func (p *parser) parseMap(i, indent int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, fmt.Errorf("yamlite: line %d: unexpected indent", ln.no)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, i, fmt.Errorf("yamlite: line %d: list item inside mapping", ln.no)
+		}
+		key, rest, err := splitKey(ln.text, ln.no)
+		if err != nil {
+			return nil, i, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, i, fmt.Errorf("yamlite: line %d: duplicate key %q", ln.no, key)
+		}
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, ln.no)
+			if err != nil {
+				return nil, i, err
+			}
+			m[key] = v
+			i++
+			continue
+		}
+		// Nested block value.
+		i++
+		if i >= len(p.lines) || p.lines[i].indent <= indent {
+			m[key] = nil
+			continue
+		}
+		v, next, err := p.parseBlock(i, p.lines[i].indent)
+		if err != nil {
+			return nil, i, err
+		}
+		m[key] = v
+		i = next
+	}
+	return m, i, nil
+}
+
+func (p *parser) parseList(i, indent int) (any, int, error) {
+	var list []any
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, i, fmt.Errorf("yamlite: line %d: unexpected indent", ln.no)
+		}
+		if !strings.HasPrefix(ln.text, "-") {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			// Nested block item.
+			i++
+			if i >= len(p.lines) || p.lines[i].indent <= indent {
+				list = append(list, nil)
+				continue
+			}
+			v, next, err := p.parseBlock(i, p.lines[i].indent)
+			if err != nil {
+				return nil, i, err
+			}
+			list = append(list, v)
+			i = next
+			continue
+		}
+		if key, after, err := splitKey(rest, ln.no); err == nil && !strings.HasPrefix(rest, "[") && !strings.HasPrefix(rest, "{") {
+			// "- key: value" starts an inline map item whose further keys
+			// sit at indent+2 (aligned under the key).
+			item := map[string]any{}
+			if after != "" {
+				v, err := parseScalarOrFlow(after, ln.no)
+				if err != nil {
+					return nil, i, err
+				}
+				item[key] = v
+			} else {
+				// value is a nested block under this line
+				childIndent := indent + 2
+				if i+1 < len(p.lines) && p.lines[i+1].indent > indent+2 {
+					childIndent = p.lines[i+1].indent
+					v, next, err := p.parseBlock(i+1, childIndent)
+					if err != nil {
+						return nil, i, err
+					}
+					item[key] = v
+					i = next - 1
+				} else {
+					item[key] = nil
+				}
+			}
+			// Continuation keys of this item.
+			j := i + 1
+			for j < len(p.lines) && p.lines[j].indent == indent+2 &&
+				!strings.HasPrefix(p.lines[j].text, "- ") && p.lines[j].text != "-" {
+				k2, rest2, err := splitKey(p.lines[j].text, p.lines[j].no)
+				if err != nil {
+					return nil, i, err
+				}
+				if _, dup := item[k2]; dup {
+					return nil, i, fmt.Errorf("yamlite: line %d: duplicate key %q", p.lines[j].no, k2)
+				}
+				if rest2 != "" {
+					v, err := parseScalarOrFlow(rest2, p.lines[j].no)
+					if err != nil {
+						return nil, i, err
+					}
+					item[k2] = v
+					j++
+					continue
+				}
+				j++
+				if j >= len(p.lines) || p.lines[j].indent <= indent+2 {
+					item[k2] = nil
+					continue
+				}
+				v, next, err := p.parseBlock(j, p.lines[j].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				item[k2] = v
+				j = next
+			}
+			list = append(list, item)
+			i = j
+			continue
+		}
+		v, err := parseScalarOrFlow(rest, ln.no)
+		if err != nil {
+			return nil, i, err
+		}
+		list = append(list, v)
+		i++
+	}
+	return list, i, nil
+}
+
+// splitKey splits "key: rest"; rest may be empty.
+func splitKey(s string, lineNo int) (key, rest string, err error) {
+	idx := -1
+	inQuote := false
+	depth := 0
+	for i, r := range s {
+		switch r {
+		case '"':
+			inQuote = !inQuote
+		case '[', '{':
+			if !inQuote {
+				depth++
+			}
+		case ']', '}':
+			if !inQuote {
+				depth--
+			}
+		case ':':
+			if !inQuote && depth == 0 {
+				if i+1 >= len(s) || s[i+1] == ' ' {
+					idx = i
+				}
+			}
+		}
+		if idx >= 0 {
+			break
+		}
+	}
+	if idx < 0 {
+		return "", "", fmt.Errorf("yamlite: line %d: expected 'key: value', got %q", lineNo, s)
+	}
+	key = strings.TrimSpace(s[:idx])
+	if key == "" {
+		return "", "", fmt.Errorf("yamlite: line %d: empty key", lineNo)
+	}
+	return key, strings.TrimSpace(s[idx+1:]), nil
+}
+
+// parseScalarOrFlow decodes an inline value: flow list, flow map, quoted
+// string, number, boolean, null, or bare string.
+func parseScalarOrFlow(s string, lineNo int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "["):
+		items, err := splitFlow(s, '[', ']', lineNo)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, 0, len(items))
+		for _, it := range items {
+			v, err := parseScalarOrFlow(it, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "{"):
+		items, err := splitFlow(s, '{', '}', lineNo)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]any, len(items))
+		for _, it := range items {
+			k, rest, err := splitKey(it, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseScalarOrFlow(rest, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+		}
+		return out, nil
+	}
+	return parseScalar(s, lineNo)
+}
+
+// splitFlow splits "[a, b, {c: d}]"-style content at top-level commas.
+func splitFlow(s string, open, close rune, lineNo int) ([]string, error) {
+	if !strings.HasSuffix(s, string(close)) {
+		return nil, fmt.Errorf("yamlite: line %d: unterminated %c...%c", lineNo, open, close)
+	}
+	inner := s[1 : len(s)-1]
+	var items []string
+	depth := 0
+	inQuote := false
+	start := 0
+	for i, r := range inner {
+		switch r {
+		case '"':
+			inQuote = !inQuote
+		case '[', '{':
+			if !inQuote {
+				depth++
+			}
+		case ']', '}':
+			if !inQuote {
+				depth--
+			}
+		case ',':
+			if !inQuote && depth == 0 {
+				items = append(items, strings.TrimSpace(inner[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(inner[start:])
+	if last != "" {
+		items = append(items, last)
+	}
+	return items, nil
+}
+
+func parseScalar(s string, lineNo int) (any, error) {
+	switch s {
+	case "null", "~", "":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if strings.HasPrefix(s, `"`) {
+		if !strings.HasSuffix(s, `"`) || len(s) < 2 {
+			return nil, fmt.Errorf("yamlite: line %d: unterminated string %s", lineNo, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], `\"`, `"`), nil
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	return s, nil
+}
+
+func stripComment(line string) string {
+	inQuote := false
+	for i, r := range line {
+		switch r {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}

@@ -1,0 +1,193 @@
+package yamlite
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, text string) any {
+	t.Helper()
+	v, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	return v
+}
+
+func TestScalars(t *testing.T) {
+	v := mustParse(t, `
+a: 1.5
+b: hello
+c: "quoted: text"
+d: true
+e: null
+f: -3
+`)
+	m := v.(map[string]any)
+	want := map[string]any{
+		"a": 1.5, "b": "hello", "c": "quoted: text",
+		"d": true, "e": nil, "f": -3.0,
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("got %#v, want %#v", m, want)
+	}
+}
+
+func TestNestedMaps(t *testing.T) {
+	v := mustParse(t, `
+outer:
+  inner:
+    leaf: 7
+  other: x
+`)
+	m := v.(map[string]any)
+	outer := m["outer"].(map[string]any)
+	inner := outer["inner"].(map[string]any)
+	if inner["leaf"] != 7.0 || outer["other"] != "x" {
+		t.Fatalf("nesting wrong: %#v", m)
+	}
+}
+
+func TestLists(t *testing.T) {
+	v := mustParse(t, `
+items:
+  - 1
+  - two
+  - [3, 4]
+`)
+	items := v.(map[string]any)["items"].([]any)
+	if len(items) != 3 || items[0] != 1.0 || items[1] != "two" {
+		t.Fatalf("items = %#v", items)
+	}
+	flow := items[2].([]any)
+	if flow[0] != 3.0 || flow[1] != 4.0 {
+		t.Fatalf("flow = %#v", flow)
+	}
+}
+
+func TestListOfMaps(t *testing.T) {
+	v := mustParse(t, `
+hierarchy:
+  - component: buffer
+    class: sram-buffer
+    temporal_reuse: [Inputs, Outputs]
+  - container: columns
+    mesh_x: 128
+    children:
+      - component: cell
+        compute: true
+`)
+	h := v.(map[string]any)["hierarchy"].([]any)
+	if len(h) != 2 {
+		t.Fatalf("hierarchy = %#v", h)
+	}
+	buf := h[0].(map[string]any)
+	if buf["component"] != "buffer" || buf["class"] != "sram-buffer" {
+		t.Fatalf("buffer = %#v", buf)
+	}
+	reuse := buf["temporal_reuse"].([]any)
+	if len(reuse) != 2 || reuse[0] != "Inputs" {
+		t.Fatalf("reuse = %#v", reuse)
+	}
+	cont := h[1].(map[string]any)
+	if cont["mesh_x"] != 128.0 {
+		t.Fatalf("container = %#v", cont)
+	}
+	children := cont["children"].([]any)
+	cell := children[0].(map[string]any)
+	if cell["compute"] != true {
+		t.Fatalf("cell = %#v", cell)
+	}
+}
+
+func TestInlineMaps(t *testing.T) {
+	v := mustParse(t, `attrs: {capacity_kb: 64, word_bits: 32}`)
+	attrs := v.(map[string]any)["attrs"].(map[string]any)
+	if attrs["capacity_kb"] != 64.0 || attrs["word_bits"] != 32.0 {
+		t.Fatalf("attrs = %#v", attrs)
+	}
+}
+
+func TestComments(t *testing.T) {
+	v := mustParse(t, `
+a: 1 # trailing comment
+# full-line comment
+b: "text # not a comment"
+`)
+	m := v.(map[string]any)
+	if m["a"] != 1.0 || m["b"] != "text # not a comment" {
+		t.Fatalf("got %#v", m)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"\t a: 1",
+		"a: 1\na: 2",
+		"a: [1, 2",
+		"a: \"unterminated",
+		"- x\nkey: value\n- y",
+		"key value without colon",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): want error", c)
+		}
+	}
+}
+
+func TestEmptyValueBecomesNil(t *testing.T) {
+	v := mustParse(t, "a:\nb: 1")
+	m := v.(map[string]any)
+	if m["a"] != nil || m["b"] != 1.0 {
+		t.Fatalf("got %#v", m)
+	}
+}
+
+func TestTopLevelList(t *testing.T) {
+	v := mustParse(t, "- 1\n- 2\n- 3")
+	l := v.([]any)
+	if len(l) != 3 || l[2] != 3.0 {
+		t.Fatalf("got %#v", l)
+	}
+}
+
+// Property: numbers round-trip through rendering as scalars.
+func TestQuickNumbersParse(t *testing.T) {
+	f := func(x float64) bool {
+		if x != x || x > 1e300 || x < -1e300 { // NaN/overflow guard
+			return true
+		}
+		v, err := Parse("n: " + trimFloat(x))
+		if err != nil {
+			return false
+		}
+		got, ok := v.(map[string]any)["n"].(float64)
+		if !ok {
+			return false
+		}
+		return almostEqual(got, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	return d <= 1e-9*scale+1e-12
+}
