@@ -179,6 +179,76 @@ func BenchmarkMappingsPerSecond(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "mappings/s")
 }
 
+// Batch-service benchmarks: the cross-request amortization of package
+// serve. The sweep grid is 3 macros x 2 networks with a small mapping
+// budget, so per-layer setup (what the cache elides) dominates.
+
+// benchSweepGrid is the 3-macro x 2-network grid the serve benchmarks run.
+func benchSweepGrid() []EvalRequest {
+	return SweepGrid(
+		[]string{"base", "macro-b", "macro-d"},
+		[]string{"toy", "mobilenetv3-large"},
+		nil,
+		2, // first layers of each network
+		4, // small mapping budget: setup dominates
+	)
+}
+
+func runSweep(b *testing.B, srv *Server, workers int) {
+	b.Helper()
+	results, err := srv.SweepN(benchSweepGrid(), workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			b.Fatal(r.Err)
+		}
+	}
+}
+
+// BenchmarkSweepColdCache measures a first-contact sweep: every request
+// compiles its engine and prepares every layer context.
+func BenchmarkSweepColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		srv := NewServer(BatchOptions{Workers: 1})
+		runSweep(b, srv, 1)
+	}
+}
+
+// BenchmarkSweepWarmCache measures the same sweep against a warmed cache:
+// engines and layer contexts are shared, only mapping search runs.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	srv := NewServer(BatchOptions{Workers: 1})
+	runSweep(b, srv, 1) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweep(b, srv, 1)
+	}
+}
+
+// BenchmarkSweep1Worker and BenchmarkSweepNWorkers measure the worker
+// pool's scaling on a warm cache, so the comparison isolates the
+// executor (mapping search fan-out) from one-time compile costs. The
+// cold-cache 1-worker baseline is BenchmarkSweepColdCache above.
+func BenchmarkSweep1Worker(b *testing.B) {
+	srv := NewServer(BatchOptions{})
+	runSweep(b, srv, 1) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweep(b, srv, 1)
+	}
+}
+
+func BenchmarkSweepNWorkers(b *testing.B) {
+	srv := NewServer(BatchOptions{})
+	runSweep(b, srv, 0) // prime
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweep(b, srv, 0) // 0 = one per CPU
+	}
+}
+
 // Example-style sanity: the facade compiles and evaluates end to end.
 func BenchmarkFacadeQuickstart(b *testing.B) {
 	for i := 0; i < b.N; i++ {

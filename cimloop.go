@@ -24,6 +24,43 @@
 //	net, _ := cimloop.NetworkByName("resnet18")
 //	res, _ := eng.EvaluateNetwork(net, 100, 0)
 //	fmt.Println(res.TOPSPerW())
+//
+// # Batch evaluation and serving
+//
+// For many evaluations — sweeping macros, networks, and full-system
+// scenarios — use the batch service instead of compiling engines per
+// call. A Server owns a bounded worker pool and a content-addressed LRU
+// cache keyed by (architecture, layer, encoding): engines and per-layer
+// amortized contexts compile once and are shared across requests, so a
+// warm sweep pays only the per-mapping count analysis.
+//
+//	srv := cimloop.NewServer(cimloop.BatchOptions{Workers: 8})
+//	reqs := cimloop.SweepGrid(
+//	    []string{"macro-a", "macro-b", "macro-d"},
+//	    []string{"resnet18", "vit-base"},
+//	    nil,  // no system wrap; pass scenario names for Fig. 15 systems
+//	    0, 0) // default layer count and mapping budget
+//	results, _ := srv.Sweep(reqs)
+//	fmt.Println(cimloop.SweepResultsTable(results).String())
+//	fmt.Printf("cache: %+v\n", srv.CacheStats())
+//
+// The same service speaks JSON over HTTP:
+//
+//	cimloop serve -addr :8080 -workers 8
+//
+// exposes GET /healthz (liveness + cache counters), POST /v1/evaluate
+// (one request), POST /v1/sweep (a request list or a macro x network x
+// scenario grid), GET /v1/macros, GET /v1/networks, and GET+POST
+// /v1/experiments (list and run paper reproductions). For example:
+//
+//	curl -s localhost:8080/v1/evaluate -d \
+//	    '{"macro": "macro-b", "network": "resnet18", "max_mappings": 20}'
+//	curl -s localhost:8080/v1/sweep -d \
+//	    '{"macros": ["macro-a", "macro-b"], "networks": ["resnet18"]}'
+//
+// The experiment runner itself routes its grid sweeps (Fig. 2, Fig. 15)
+// through the same executor, so reproductions get the parallel speedup
+// and cache reuse for free.
 package cimloop
 
 import (
@@ -31,6 +68,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/macros"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/specfile"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -124,6 +162,46 @@ func ParseSpec(text string) (*Arch, error) { return specfile.Parse(text) }
 func BuildSystem(macro *Arch, sc Scenario, cfg SystemConfig) (*Arch, error) {
 	return system.Build(macro, sc, cfg)
 }
+
+// Batch-evaluation service types (package serve).
+type (
+	// Server is the concurrent batch-evaluation service: a worker pool
+	// plus a content-addressed cache of engines and layer contexts that
+	// outlives individual calls.
+	Server = serve.Server
+	// BatchOptions tunes the service (workers, mapping budget, cache
+	// bound). The zero value is usable.
+	BatchOptions = serve.BatchOptions
+	// EvalRequest describes one batch evaluation: an architecture source
+	// (macro name, spec text, or prebuilt Arch), an optional full-system
+	// scenario, and a workload.
+	EvalRequest = serve.Request
+	// EvalResult is one completed batch evaluation.
+	EvalResult = serve.Result
+	// CacheStats snapshots the service cache's hit/miss/eviction counters.
+	CacheStats = serve.Stats
+)
+
+// NewServer constructs the batch-evaluation service with the experiment
+// runner wired in, so its HTTP API can also list and regenerate paper
+// artifacts.
+func NewServer(opts BatchOptions) *Server {
+	s := serve.NewServer(opts)
+	s.ExperimentNames = experiments.Names
+	s.RunExperiment = func(name string, fast bool, maxMappings int, seed int64) ([]*report.Table, error) {
+		return experiments.Run(name, experiments.Options{Fast: fast, MaxMappings: maxMappings, Seed: seed})
+	}
+	return s
+}
+
+// SweepGrid builds the cross product of macros x networks x scenarios as
+// a batch of evaluation requests.
+func SweepGrid(macroNames, networks, scenarios []string, layers, maxMappings int) []EvalRequest {
+	return serve.Grid(macroNames, networks, scenarios, layers, maxMappings)
+}
+
+// SweepResultsTable renders sweep results as a report table.
+func SweepResultsTable(results []*EvalResult) *Table { return serve.SweepTable(results) }
 
 // Experiments lists the reproducible paper tables and figures.
 func Experiments() []string { return experiments.Names() }

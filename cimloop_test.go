@@ -118,3 +118,50 @@ func TestFacadeExperimentsRegistry(t *testing.T) {
 		t.Fatalf("table3 wrong shape: %+v", tables)
 	}
 }
+
+func TestFacadeBatchServer(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 4, MaxMappings: 2})
+	reqs := SweepGrid([]string{"base", "macro-b"}, []string{"toy"}, nil, 0, 2)
+	results, err := srv.Sweep(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("%s: %s", r.Tag, r.Err)
+		}
+		if r.EnergyJ <= 0 || r.TOPSPerW <= 0 {
+			t.Fatalf("%s: bad metrics %+v", r.Tag, r)
+		}
+	}
+	table := SweepResultsTable(results)
+	if !strings.Contains(table.String(), "toy") {
+		t.Fatalf("table:\n%s", table.String())
+	}
+	// A second identical sweep must be served from cache.
+	if _, err := srv.Sweep(reqs); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.CacheStats()
+	if st.Hits == 0 || st.HitRate() <= 0 {
+		t.Fatalf("warm sweep did not hit the cache: %+v", st)
+	}
+	// The facade wires the experiment runner into the service.
+	if srv.ExperimentNames == nil || srv.RunExperiment == nil {
+		t.Fatal("experiment hooks not wired")
+	}
+	names := srv.ExperimentNames()
+	if len(names) == 0 {
+		t.Fatal("no experiments listed")
+	}
+	tables, err := srv.RunExperiment("table3", true, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no tables from experiment run")
+	}
+}

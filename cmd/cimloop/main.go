@@ -8,6 +8,7 @@
 //	cimloop run <experiment|all> [-fast] [-csv] [-mappings N] [-seed N]
 //	cimloop macros
 //	cimloop spec <file.yaml> [-network NAME] [-mappings N]
+//	cimloop serve [-addr :8080] [-workers N] [-mappings N] [-cache N]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	cimloop "repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/macros"
@@ -47,6 +49,8 @@ func run(args []string) error {
 		return listMacros()
 	case "spec":
 		return runSpec(args[1:])
+	case "serve":
+		return runServe(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -60,7 +64,28 @@ func usage() {
   cimloop list                                       list experiments
   cimloop run <experiment|all> [-fast] [-csv] ...    regenerate paper tables/figures
   cimloop macros                                     show macro parameters (Table III)
-  cimloop spec <file.yaml> [-network NAME] ...       evaluate a textual specification`)
+  cimloop spec <file.yaml> [-network NAME] ...       evaluate a textual specification
+  cimloop serve [-addr :8080] [-workers N] ...       run the batch-evaluation HTTP service`)
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "evaluation goroutines (0 = one per CPU)")
+	mappings := fs.Int("mappings", 0, "default per-layer mapping budget (0 = 60)")
+	cacheEntries := fs.Int("cache", 0, "engine/context cache entries (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The facade's constructor wires the experiment runner so
+	// /v1/experiments can list and regenerate paper artifacts.
+	srv := cimloop.NewServer(cimloop.BatchOptions{
+		Workers:      *workers,
+		MaxMappings:  *mappings,
+		CacheEntries: *cacheEntries,
+	})
+	fmt.Fprintf(os.Stderr, "cimloop: serving on %s\n", *addr)
+	return srv.ListenAndServe(*addr)
 }
 
 func runExperiments(args []string) error {

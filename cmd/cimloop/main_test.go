@@ -94,3 +94,9 @@ hierarchy:
 		t.Fatal("want error for unknown network")
 	}
 }
+
+func TestRunServeFlagErrors(t *testing.T) {
+	if err := run([]string{"serve", "-no-such-flag"}); err == nil {
+		t.Fatal("bad serve flag must error")
+	}
+}

@@ -1,0 +1,345 @@
+// Package dist implements the discrete value distributions (probability
+// mass functions) that carry CiMLoop's data-value dependence (paper
+// §III-C/§III-D): operand PMFs are synthesized from workload statistics or
+// recorded from tensors, transformed by encodings and bit slicing, and
+// finally reduced by the circuit plug-ins to an expected energy per action.
+//
+// A PMF is an immutable, sorted, normalized list of (value, probability)
+// points. All combinators return new PMFs; a *PMF is safe to share across
+// goroutines, which is what lets layer contexts be cached and reused by
+// concurrent sweeps (package serve).
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one atom of probability mass.
+type Point struct {
+	Value float64
+	Prob  float64
+}
+
+// PMF is a discrete probability distribution over float64 values. Points
+// are sorted by value, duplicates merged, and probabilities normalized to
+// sum to one. The zero value is not usable; construct via FromPoints,
+// FromSamples, Delta, or UniformInts.
+type PMF struct {
+	pts []Point
+}
+
+// FromPoints builds a PMF from arbitrary points: duplicates are merged,
+// zero-mass points dropped, values sorted, and probabilities normalized.
+// It rejects empty input, non-finite values, and negative probabilities.
+func FromPoints(pts []Point) (*PMF, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("dist: no points")
+	}
+	cp := make([]Point, 0, len(pts))
+	total := 0.0
+	for _, pt := range pts {
+		if math.IsNaN(pt.Value) || math.IsInf(pt.Value, 0) {
+			return nil, fmt.Errorf("dist: non-finite value %g", pt.Value)
+		}
+		if math.IsNaN(pt.Prob) || pt.Prob < 0 {
+			return nil, fmt.Errorf("dist: invalid probability %g at value %g", pt.Prob, pt.Value)
+		}
+		if pt.Prob == 0 {
+			continue
+		}
+		cp = append(cp, pt)
+		total += pt.Prob
+	}
+	if total <= 0 {
+		return nil, errors.New("dist: zero total probability")
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Value < cp[j].Value })
+	out := cp[:0]
+	for _, pt := range cp {
+		if n := len(out); n > 0 && out[n-1].Value == pt.Value {
+			out[n-1].Prob += pt.Prob
+			continue
+		}
+		out = append(out, pt)
+	}
+	if total != 1 {
+		for i := range out {
+			out[i].Prob /= total
+		}
+	}
+	return &PMF{pts: out}, nil
+}
+
+// FromSamples builds an empirical PMF from observed values, each sample
+// carrying equal mass (the paper's RecordOperandPMFs).
+func FromSamples(samples []float64) (*PMF, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("dist: no samples")
+	}
+	counts := make(map[float64]float64, 64)
+	for _, s := range samples {
+		counts[s]++
+	}
+	pts := make([]Point, 0, len(counts))
+	for v, c := range counts {
+		pts = append(pts, Point{Value: v, Prob: c})
+	}
+	return FromPoints(pts)
+}
+
+// Delta returns the degenerate distribution concentrated at v.
+func Delta(v float64) *PMF {
+	return &PMF{pts: []Point{{Value: v, Prob: 1}}}
+}
+
+// UniformInts returns the uniform distribution over the integers
+// lo, lo+1, ..., hi inclusive.
+func UniformInts(lo, hi int) (*PMF, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("dist: uniform range [%d, %d] is empty", lo, hi)
+	}
+	n := hi - lo + 1
+	pts := make([]Point, n)
+	p := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		pts[i] = Point{Value: float64(lo + i), Prob: p}
+	}
+	return &PMF{pts: pts}, nil
+}
+
+// Points returns the distribution's atoms in increasing value order. The
+// returned slice is shared; callers must not modify it.
+func (p *PMF) Points() []Point { return p.pts }
+
+// Validate checks the PMF's invariants: non-empty, strictly increasing
+// finite values, positive probabilities, and unit total mass.
+func (p *PMF) Validate() error {
+	if p == nil || len(p.pts) == 0 {
+		return errors.New("dist: empty PMF")
+	}
+	total := 0.0
+	for i, pt := range p.pts {
+		if math.IsNaN(pt.Value) || math.IsInf(pt.Value, 0) {
+			return fmt.Errorf("dist: non-finite value %g", pt.Value)
+		}
+		if pt.Prob <= 0 || math.IsNaN(pt.Prob) {
+			return fmt.Errorf("dist: non-positive probability %g at value %g", pt.Prob, pt.Value)
+		}
+		if i > 0 && p.pts[i-1].Value >= pt.Value {
+			return fmt.Errorf("dist: values not strictly increasing at index %d", i)
+		}
+		total += pt.Prob
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return fmt.Errorf("dist: total probability %g != 1", total)
+	}
+	return nil
+}
+
+// ProbAt returns P(X == v), zero when v is not in the support.
+func (p *PMF) ProbAt(v float64) float64 {
+	i := sort.Search(len(p.pts), func(i int) bool { return p.pts[i].Value >= v })
+	if i < len(p.pts) && p.pts[i].Value == v {
+		return p.pts[i].Prob
+	}
+	return 0
+}
+
+// ProbZero returns P(X == 0), the sparsity of the distribution.
+func (p *PMF) ProbZero() float64 { return p.ProbAt(0) }
+
+// Len returns the number of distinct support values.
+func (p *PMF) Len() int { return len(p.pts) }
+
+// Min returns the smallest support value.
+func (p *PMF) Min() float64 { return p.pts[0].Value }
+
+// Max returns the largest support value.
+func (p *PMF) Max() float64 { return p.pts[len(p.pts)-1].Value }
+
+// Mean returns the expected value.
+func (p *PMF) Mean() float64 {
+	m := 0.0
+	for _, pt := range p.pts {
+		m += pt.Value * pt.Prob
+	}
+	return m
+}
+
+// Expected returns E[f(X)], the probability-weighted mean of f over the
+// support. This is the reduction every circuit model applies to turn a
+// value distribution into an average energy per action.
+func (p *PMF) Expected(f func(float64) float64) float64 {
+	e := 0.0
+	for _, pt := range p.pts {
+		e += pt.Prob * f(pt.Value)
+	}
+	return e
+}
+
+// Map transforms every support value through f, merging collisions.
+func (p *PMF) Map(f func(float64) float64) *PMF {
+	pts := make([]Point, len(p.pts))
+	for i, pt := range p.pts {
+		pts[i] = Point{Value: f(pt.Value), Prob: pt.Prob}
+	}
+	out, err := FromPoints(pts)
+	if err != nil {
+		// Probabilities are untouched, so the only failure mode is f
+		// producing non-finite values; collapse those to a point mass.
+		return Delta(0)
+	}
+	return out
+}
+
+// Rebin merges the support down to at most n bins. Each bin keeps its
+// conditional mean value, so the overall mean is preserved exactly while
+// the support (and thus downstream convolution cost) is bounded.
+func (p *PMF) Rebin(n int) *PMF {
+	if n <= 0 || len(p.pts) <= n {
+		return p
+	}
+	lo, hi := p.Min(), p.Max()
+	width := (hi - lo) / float64(n)
+	if width <= 0 {
+		return p
+	}
+	type bin struct{ mass, moment float64 }
+	bins := make([]bin, n)
+	for _, pt := range p.pts {
+		i := int((pt.Value - lo) / width)
+		if i >= n {
+			i = n - 1
+		}
+		bins[i].mass += pt.Prob
+		bins[i].moment += pt.Prob * pt.Value
+	}
+	pts := make([]Point, 0, n)
+	for _, b := range bins {
+		if b.mass <= 0 {
+			continue
+		}
+		pts = append(pts, Point{Value: b.moment / b.mass, Prob: b.mass})
+	}
+	return &PMF{pts: pts}
+}
+
+// Mix returns the mixture w·a + (1-w)·b: a value drawn from a with
+// probability w, from b otherwise.
+func Mix(a, b *PMF, w float64) (*PMF, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("dist: mix of nil PMF")
+	}
+	if w < 0 || w > 1 || math.IsNaN(w) {
+		return nil, fmt.Errorf("dist: mixture weight %g out of [0,1]", w)
+	}
+	if w == 0 {
+		return b, nil
+	}
+	if w == 1 {
+		return a, nil
+	}
+	pts := make([]Point, 0, a.Len()+b.Len())
+	for _, pt := range a.pts {
+		pts = append(pts, Point{Value: pt.Value, Prob: pt.Prob * w})
+	}
+	for _, pt := range b.pts {
+		pts = append(pts, Point{Value: pt.Value, Prob: pt.Prob * (1 - w)})
+	}
+	return FromPoints(pts)
+}
+
+// Mul returns the distribution of X·Y for independent X ~ a, Y ~ b.
+// Callers typically Rebin the result to bound downstream cost.
+func Mul(a, b *PMF) *PMF {
+	acc := make(map[float64]float64, a.Len()*b.Len())
+	for _, pa := range a.pts {
+		for _, pb := range b.pts {
+			acc[pa.Value*pb.Value] += pa.Prob * pb.Prob
+		}
+	}
+	return fromMap(acc)
+}
+
+// convBins bounds the support of intermediate convolution results. 512
+// bins keep SumN over tens of thousands of terms fast while the
+// conditional-mean rebinning keeps the running mean exact.
+const convBins = 512
+
+// conv returns the distribution of X+Y for independent X ~ a, Y ~ b,
+// rebinned to at most convBins points.
+func conv(a, b *PMF) *PMF {
+	acc := make(map[float64]float64, a.Len()*b.Len())
+	for _, pa := range a.pts {
+		for _, pb := range b.pts {
+			acc[pa.Value+pb.Value] += pa.Prob * pb.Prob
+		}
+	}
+	return fromMap(acc).Rebin(convBins)
+}
+
+// fromMap assembles a PMF from an accumulator map without renormalizing
+// precision loss (mass sums to one up to rounding by construction).
+func fromMap(acc map[float64]float64) *PMF {
+	pts := make([]Point, 0, len(acc))
+	for v, p := range acc {
+		if p > 0 {
+			pts = append(pts, Point{Value: v, Prob: p})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Value < pts[j].Value })
+	return &PMF{pts: pts}
+}
+
+// SumN returns the distribution of the sum of n independent draws from p,
+// computed by binary-exponentiation convolution (log2 n convolutions) with
+// bounded intermediate support.
+func SumN(p *PMF, n int) (*PMF, error) {
+	return sumN(p, n, math.Inf(1))
+}
+
+// SumNCapped is SumN with saturation: the running sum clips at cap, the
+// partial-sum clipping real macros apply when the analog swing saturates
+// (the "+1 bit per 4x rows" coupling of the ADC sizing study). For the
+// non-negative slice-product PMFs this models, clipping each partial sum
+// is identical to clipping the final sum.
+func SumNCapped(p *PMF, n int, cap float64) (*PMF, error) {
+	if cap <= 0 || math.IsNaN(cap) {
+		return nil, fmt.Errorf("dist: sum cap %g must be positive", cap)
+	}
+	return sumN(p, n, cap)
+}
+
+func sumN(p *PMF, n int, cap float64) (*PMF, error) {
+	if p == nil {
+		return nil, errors.New("dist: sum of nil PMF")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: sum of %d draws", n)
+	}
+	clip := func(q *PMF) *PMF {
+		if math.IsInf(cap, 1) || q.Max() <= cap {
+			return q
+		}
+		return q.Map(func(v float64) float64 { return math.Min(v, cap) })
+	}
+	base := clip(p.Rebin(convBins))
+	var acc *PMF
+	for n > 0 {
+		if n&1 == 1 {
+			if acc == nil {
+				acc = base
+			} else {
+				acc = clip(conv(acc, base))
+			}
+		}
+		n >>= 1
+		if n > 0 {
+			base = clip(conv(base, base))
+		}
+	}
+	return acc, nil
+}

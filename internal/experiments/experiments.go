@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -121,6 +122,30 @@ func evalNet(arch *core.Arch, net *workload.Network, o Options) (*core.NetworkRe
 		return nil, err
 	}
 	return eng.EvaluateNetwork(net, o.mappings(), o.Seed)
+}
+
+// sweeper is the shared batch executor: design-point grids (Fig. 2's
+// array sizes, Fig. 15's scenario matrix) fan across its worker pool, and
+// its content-addressed cache keeps engines and layer contexts warm
+// across experiment runs — the cross-request extension of the paper's
+// per-layer amortization.
+var sweeper = serve.NewServer(serve.BatchOptions{})
+
+// sweepNets runs prebuilt (arch, net) requests through the shared
+// executor and unwraps the per-layer network results in request order.
+func sweepNets(reqs []serve.Request, o Options) ([]*core.NetworkResult, error) {
+	results, err := sweeper.SweepN(reqs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.NetworkResult, len(results))
+	for i, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("experiments: sweep request %d (%s): %s", i, r.Tag, r.Err)
+		}
+		out[i] = r.NetworkResult
+	}
+	return out, nil
 }
 
 // bucketEnergy sums network per-layer level energies into named buckets by

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/macros"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -50,6 +51,8 @@ func Fig2a(o Options) ([]*report.Table, error) {
 	type point struct{ macroE, sysE float64 }
 	var pts []point
 	sizes := fig2Sizes(o)
+	// One request per array size, fanned across the batch executor.
+	reqs := make([]serve.Request, 0, len(sizes))
 	for _, size := range sizes {
 		macroArch, err := macros.Base(macros.Config{
 			Rows: size, Cols: size,
@@ -62,10 +65,17 @@ func Fig2a(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := evalNet(sys, net, o)
-		if err != nil {
-			return nil, err
-		}
+		reqs = append(reqs, serve.Request{
+			Tag: fmt.Sprintf("%dx%d", size, size),
+			Arch: sys, Net: net,
+			MaxMappings: o.mappings(), Seed: o.Seed,
+		})
+	}
+	resList, err := sweepNets(reqs, o)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range resList {
 		buckets := bucketEnergy(res, net, map[string][]string{
 			"offmacro": {"dram", "global_buffer", "router"},
 		}, "macro")
@@ -118,7 +128,7 @@ func Fig2b(o Options) ([]*report.Table, error) {
 	}
 	t := report.NewTable("Fig. 2b: co-optimizing circuits and architecture (ResNet18 system energy)",
 		"configuration", "system energy (norm)")
-	var energies []float64
+	reqs := make([]serve.Request, 0, len(configs))
 	for _, c := range configs {
 		macroArch, err := macros.Base(macros.Config{
 			Rows: c.size, Cols: c.size, DACBits: c.dacBits,
@@ -131,10 +141,17 @@ func Fig2b(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := evalNet(sys, net, o)
-		if err != nil {
-			return nil, err
-		}
+		reqs = append(reqs, serve.Request{
+			Tag: c.name, Arch: sys, Net: net,
+			MaxMappings: o.mappings(), Seed: o.Seed,
+		})
+	}
+	resList, err := sweepNets(reqs, o)
+	if err != nil {
+		return nil, err
+	}
+	var energies []float64
+	for _, res := range resList {
 		energies = append(energies, res.Energy)
 	}
 	maxE := 0.0
@@ -346,7 +363,17 @@ func Fig15(o Options) ([]*report.Table, error) {
 	}
 	t := report.NewTable("Fig. 15: Macro D full-system energy per MAC",
 		"scenario", "workload", "DRAM (pJ)", "global buffer (pJ)", "macro+on-chip (pJ)", "total (pJ)")
-	for _, sc := range []system.Scenario{system.AllDRAM, system.WeightStationary, system.OnChipIO} {
+	// The scenario x workload matrix is a grid sweep: fan it across the
+	// batch executor. Scenario studies pin the dataflow (budget 1).
+	scenarios := []system.Scenario{system.AllDRAM, system.WeightStationary, system.OnChipIO}
+	type cell struct {
+		sc   system.Scenario
+		name string
+		net  *workload.Network
+	}
+	var cells []cell
+	var reqs []serve.Request
+	for _, sc := range scenarios {
 		for _, n := range nets {
 			macroArch, err := macros.D(macroCfg)
 			if err != nil {
@@ -356,30 +383,33 @@ func Fig15(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			eng, err := core.NewEngine(sys)
-			if err != nil {
-				return nil, err
-			}
-			// Scenario studies pin the dataflow (greedy only).
-			var dram, gb, macroE float64
-			var macs int64
-			for _, l := range n.net.Layers {
-				r, err := eng.EvaluateLayer(l, 1, o.Seed)
-				if err != nil {
-					return nil, err
-				}
-				d, g, m := system.BreakdownBuckets(r)
-				rep := float64(l.Repeat)
-				dram += d * rep
-				gb += g * rep
-				macroE += m * rep
-				macs += r.MACs * int64(l.Repeat)
-			}
-			perMAC := 1e12 / float64(macs)
-			t.AddRow(sc.String(), n.name,
-				report.Num(dram*perMAC), report.Num(gb*perMAC), report.Num(macroE*perMAC),
-				report.Num((dram+gb+macroE)*perMAC))
+			cells = append(cells, cell{sc, n.name, n.net})
+			reqs = append(reqs, serve.Request{
+				Tag: sc.String() + "/" + n.name,
+				Arch: sys, Net: n.net,
+				MaxMappings: 1, Seed: o.Seed,
+			})
 		}
+	}
+	resList, err := sweepNets(reqs, o)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range resList {
+		var dram, gb, macroE float64
+		var macs int64
+		for li, r := range res.PerLayer {
+			d, g, m := system.BreakdownBuckets(r)
+			rep := float64(cells[i].net.Layers[li].Repeat)
+			dram += d * rep
+			gb += g * rep
+			macroE += m * rep
+			macs += r.MACs * int64(cells[i].net.Layers[li].Repeat)
+		}
+		perMAC := 1e12 / float64(macs)
+		t.AddRow(cells[i].sc.String(), cells[i].name,
+			report.Num(dram*perMAC), report.Num(gb*perMAC), report.Num(macroE*perMAC),
+			report.Num((dram+gb+macroE)*perMAC))
 	}
 	t.Note = "weight-stationary cuts DRAM energy; keeping inputs/outputs on-chip removes most of the rest"
 	return []*report.Table{t}, nil

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), zero before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache memoizes compiled engines and per-layer amortized contexts under
+// content-addressed keys, bounded by an LRU policy. It is the state that
+// outlives a single evaluation call: across requests — and across users —
+// the same (arch, layer, encoding) triple compiles once and is reused, the
+// cross-request extension of the paper's per-layer amortization.
+//
+// Concurrent lookups of the same missing key compute the value once; the
+// losers block on the winner's result. All methods are safe for concurrent
+// use, and cached values are immutable once published.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+// cacheEntry is one LRU slot. The compute closure is stored on the entry
+// so that every waiter — inserter or concurrent hit — runs the same
+// once.Do(fill): whoever gets there first computes, everyone else blocks
+// until the value is published.
+type cacheEntry struct {
+	key     string
+	compute func() (any, error)
+	once    sync.Once
+	val     any
+	err     error
+}
+
+func (e *cacheEntry) fill() {
+	e.val, e.err = e.compute()
+	e.compute = nil
+}
+
+// DefaultCacheEntries bounds the LRU when BatchOptions leave it zero. An
+// engine entry plus the contexts of the deepest zoo network fit ~60 slots,
+// so 512 holds several macro/network working sets at once.
+const DefaultCacheEntries = 512
+
+// NewCache returns a cache bounded to maxEntries (DefaultCacheEntries if
+// maxEntries <= 0).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{
+		capacity: maxEntries,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, maxEntries),
+	}
+}
+
+// Stats snapshots the hit/miss/eviction counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}
+
+// getOrCompute returns the cached value for key, computing and inserting
+// it on miss. Failed computations are not cached: the entry is removed so
+// a later request retries.
+func (c *Cache) getOrCompute(key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		entry := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		entry.once.Do(entry.fill)
+		return entry.val, entry.err
+	}
+	c.misses++
+	entry := &cacheEntry{key: key, compute: compute}
+	el := c.ll.PushFront(entry)
+	c.items[key] = el
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.mu.Unlock()
+
+	entry.once.Do(entry.fill)
+	if entry.err != nil {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok && el.Value == entry {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+		c.mu.Unlock()
+	}
+	return entry.val, entry.err
+}
+
+// Engine returns the compiled engine for an architecture, compiling it at
+// most once per content fingerprint.
+func (c *Cache) Engine(arch *core.Arch) (*core.Engine, error) {
+	key := "eng|" + ArchFingerprint(arch)
+	v, err := c.getOrCompute(key, func() (any, error) {
+		return core.NewEngine(arch)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Engine), nil
+}
+
+// LayerContext returns the amortized per-layer state for (engine, layer),
+// running the data-value-dependent pipeline (Algorithm 1 lines 3-7) at
+// most once per (arch, layer, encoding) fingerprint.
+func (c *Cache) LayerContext(eng *core.Engine, l workload.Layer) (*core.LayerContext, error) {
+	key := "ctx|" + ArchFingerprint(eng.Arch()) + "|" + LayerFingerprint(l)
+	v, err := c.getOrCompute(key, func() (any, error) {
+		return eng.PrepareLayer(l)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.LayerContext), nil
+}

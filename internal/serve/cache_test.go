@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/macros"
+	"repro/internal/workload"
+)
+
+func TestFingerprintStability(t *testing.T) {
+	a1, err := macros.Base(macros.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := macros.Base(macros.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ArchFingerprint(a1) != ArchFingerprint(a2) {
+		t.Fatal("identical arch specs must hash identically")
+	}
+	b, err := macros.Base(macros.Config{Rows: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ArchFingerprint(a1) == ArchFingerprint(b) {
+		t.Fatal("different array sizes must hash differently")
+	}
+	// Encoding is part of the content address.
+	enc := *a1
+	enc.InputEncoding = "offset"
+	if ArchFingerprint(a1) == ArchFingerprint(&enc) {
+		t.Fatal("different encodings must hash differently")
+	}
+
+	net := workload.ResNet18()
+	if LayerFingerprint(net.Layers[0]) == LayerFingerprint(net.Layers[5]) {
+		t.Fatal("different layers must hash differently")
+	}
+	if LayerFingerprint(net.Layers[3]) != LayerFingerprint(workload.ResNet18().Layers[3]) {
+		t.Fatal("identical layers must hash identically")
+	}
+}
+
+func TestCacheHitMissCounts(t *testing.T) {
+	c := NewCache(8)
+	arch, err := macros.Base(macros.Config{Rows: 16, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1, err := c.Engine(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := c.Engine(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng1 != eng2 {
+		t.Fatal("second lookup must return the cached engine")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	layer := workload.Toy().Layers[0]
+	ctx1, err := c.LayerContext(eng1, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, err := c.LayerContext(eng1, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx1 != ctx2 {
+		t.Fatal("second lookup must return the cached layer context")
+	}
+	st = c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 2 hits / 2 misses / 2 entries", st)
+	}
+	if hr := st.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate %g, want 0.5", hr)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 3; i++ {
+		if _, err := c.getOrCompute(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, err := c.getOrCompute("k0", func() (any, error) { t.Fatal("k0 must be cached"); return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.getOrCompute("k3", func() (any, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v, want 1 eviction / 3 entries", st)
+	}
+	recomputed := false
+	if _, err := c.getOrCompute("k1", func() (any, error) { recomputed = true; return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("k1 must have been evicted as least recently used")
+	}
+	for _, k := range []string{"k0", "k3"} {
+		k := k
+		if _, err := c.getOrCompute(k, func() (any, error) { return nil, fmt.Errorf("%s must still be cached", k) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(4)
+	calls := 0
+	fail := func() (any, error) { calls++; return nil, errors.New("boom") }
+	if _, err := c.getOrCompute("k", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := c.getOrCompute("k", fail); err == nil {
+		t.Fatal("want error on retry")
+	}
+	if calls != 2 {
+		t.Fatalf("failed computations must not be cached; got %d calls", calls)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed entries must be removed, have %d", st.Entries)
+	}
+}
+
+// TestCacheConcurrentAccess hammers the cache from many goroutines (run
+// under -race by CI). Concurrent misses on one key must compute once.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(16)
+	arch, err := macros.Base(macros.Config{Rows: 16, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := workload.Toy()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	engines := make(map[any]bool)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				eng, err := c.Engine(arch)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				engines[eng] = true
+				mu.Unlock()
+				for _, l := range net.Layers {
+					if _, err := c.LayerContext(eng, l); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(engines) != 1 {
+		t.Fatalf("concurrent misses compiled %d engines, want 1", len(engines))
+	}
+	st := c.Stats()
+	wantMisses := uint64(1 + len(net.Layers)) // one engine + one context per layer
+	if st.Misses != wantMisses {
+		t.Fatalf("misses = %d, want %d (singleflight)", st.Misses, wantMisses)
+	}
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/macros"
+	"repro/internal/workload"
+)
+
+// Handler returns the HTTP JSON API:
+//
+//	GET  /healthz         liveness + cache counters
+//	POST /v1/evaluate     one Request -> Result
+//	POST /v1/sweep        {"requests": [...]} or a macro/network/scenario
+//	                      grid -> {"results": [...], "table": "..."}
+//	GET  /v1/macros       published macro models (Table III)
+//	GET  /v1/networks     model-zoo workloads
+//	GET  /v1/experiments  reproducible paper artifacts
+//	POST /v1/experiments  {"name": "fig2a", ...} -> rendered tables
+//
+// All endpoints speak JSON; errors return {"error": "..."} with a 4xx/5xx
+// status.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/macros", s.handleMacros)
+	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("POST /v1/experiments", s.handleExperimentRun)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.start).Seconds(),
+		"cache":      s.CacheStats(),
+	})
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	res, err := s.Evaluate(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// sweepRequest is the /v1/sweep body: either an explicit request list or
+// a grid specification, not both.
+type sweepRequest struct {
+	Requests []Request `json:"requests,omitempty"`
+
+	Macros      []string `json:"macros,omitempty"`
+	Networks    []string `json:"networks,omitempty"`
+	Scenarios   []string `json:"scenarios,omitempty"`
+	Layers      int      `json:"layers,omitempty"`
+	MaxMappings int      `json:"max_mappings,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var body sweepRequest
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	reqs := body.Requests
+	if len(reqs) == 0 {
+		reqs = Grid(body.Macros, body.Networks, body.Scenarios, body.Layers, body.MaxMappings)
+	}
+	results, err := s.Sweep(reqs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results": results,
+		"table":   SweepTable(results).String(),
+		"cache":   s.CacheStats(),
+	})
+}
+
+func (s *Server) handleMacros(w http.ResponseWriter, r *http.Request) {
+	type macroInfo struct {
+		Macro      string `json:"macro"`
+		Node       string `json:"node"`
+		Device     string `json:"device"`
+		InputBits  string `json:"input_bits"`
+		WeightBits string `json:"weight_bits"`
+		Array      string `json:"array"`
+		ADCBits    string `json:"adc_bits"`
+	}
+	var out []macroInfo
+	for _, m := range macros.TableIII() {
+		out = append(out, macroInfo{m.Macro, m.Node, m.Device, m.InputBits, m.WeightBits, m.Array, m.ADCBits})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"macros": out})
+}
+
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	type netInfo struct {
+		Name   string `json:"name"`
+		Layers int    `json:"layers"`
+		MACs   int64  `json:"macs"`
+	}
+	var out []netInfo
+	for _, name := range workload.Names() {
+		n, err := workload.ByName(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, netInfo{n.Name, len(n.Layers), n.MACs()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"networks": out})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	if s.ExperimentNames == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("serve: experiment listing not wired"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": s.ExperimentNames()})
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	if s.RunExperiment == nil {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("serve: experiment runner not wired"))
+		return
+	}
+	var body struct {
+		Name        string `json:"name"`
+		Fast        bool   `json:"fast,omitempty"`
+		MaxMappings int    `json:"max_mappings,omitempty"`
+		Seed        int64  `json:"seed,omitempty"`
+	}
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	tables, err := s.RunExperiment(body.Name, body.Fast, body.MaxMappings, body.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rendered := make([]string, 0, len(tables))
+	for _, t := range tables {
+		rendered = append(rendered, t.String())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": rendered})
+}
+
+// ListenAndServe starts the HTTP API on addr and blocks. It exists so
+// `cimloop serve` is one call; tests use Handler with httptest instead.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

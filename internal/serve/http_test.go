@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func testClient(t *testing.T, srv *Server) (*httptest.Server, func(method, path, body string) (int, map[string]any)) {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	do := func(method, path, body string) (int, map[string]any) {
+		t.Helper()
+		var rdr *bytes.Reader
+		if body == "" {
+			rdr = bytes.NewReader(nil)
+		} else {
+			rdr = bytes.NewReader([]byte(body))
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+		return resp.StatusCode, out
+	}
+	return ts, do
+}
+
+func TestHealthzAndEvaluateRoundTrip(t *testing.T) {
+	srv := NewServer(BatchOptions{MaxMappings: 2})
+	_, do := testClient(t, srv)
+
+	status, health := do("GET", "/healthz", "")
+	if status != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", status, health)
+	}
+	if _, ok := health["cache"].(map[string]any); !ok {
+		t.Fatalf("healthz must expose cache stats: %v", health)
+	}
+
+	status, res := do("POST", "/v1/evaluate",
+		`{"macro": "macro-b", "network": "toy", "max_mappings": 2, "seed": 1}`)
+	if status != http.StatusOK {
+		t.Fatalf("evaluate: %d %v", status, res)
+	}
+	if e, _ := res["energy_j"].(float64); e <= 0 {
+		t.Fatalf("evaluate energy: %v", res)
+	}
+	if res["arch"] == "" || res["network"] != "toy" {
+		t.Fatalf("evaluate labels: %v", res)
+	}
+
+	// The cache must have warmed: a second identical call hits.
+	do("POST", "/v1/evaluate", `{"macro": "macro-b", "network": "toy", "max_mappings": 2, "seed": 1}`)
+	_, health = do("GET", "/healthz", "")
+	cache := health["cache"].(map[string]any)
+	if hits, _ := cache["hits"].(float64); hits == 0 {
+		t.Fatalf("repeated evaluate must hit the cache: %v", cache)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	_, do := testClient(t, srv)
+
+	status, out := do("POST", "/v1/evaluate", `{"macro": "no-such", "network": "toy"}`)
+	if status != http.StatusBadRequest || out["error"] == "" {
+		t.Fatalf("bad macro: %d %v", status, out)
+	}
+	status, out = do("POST", "/v1/evaluate", `{"unknown_field": 1}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d %v", status, out)
+	}
+	status, _ = do("POST", "/v1/sweep", `{}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty sweep: %d", status)
+	}
+}
+
+func TestSweepEndpointGrid(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 4})
+	_, do := testClient(t, srv)
+
+	status, out := do("POST", "/v1/sweep",
+		`{"macros": ["base", "macro-b"], "networks": ["toy"], "max_mappings": 2}`)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: %d %v", status, out)
+	}
+	results, ok := out["results"].([]any)
+	if !ok || len(results) != 2 {
+		t.Fatalf("sweep results: %v", out["results"])
+	}
+	table, _ := out["table"].(string)
+	if !strings.Contains(table, "toy") {
+		t.Fatalf("sweep table:\n%s", table)
+	}
+}
+
+func TestCatalogEndpoints(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	_, do := testClient(t, srv)
+
+	status, out := do("GET", "/v1/macros", "")
+	if status != http.StatusOK {
+		t.Fatalf("macros: %d", status)
+	}
+	if ms, _ := out["macros"].([]any); len(ms) == 0 {
+		t.Fatalf("macros empty: %v", out)
+	}
+
+	status, out = do("GET", "/v1/networks", "")
+	if status != http.StatusOK {
+		t.Fatalf("networks: %d", status)
+	}
+	nets, _ := out["networks"].([]any)
+	if len(nets) != len(workload.Names()) {
+		t.Fatalf("networks: %v", out)
+	}
+}
+
+func TestExperimentEndpoints(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	_, do := testClient(t, srv)
+
+	// Unwired: explicit 501, not a crash.
+	status, _ := do("GET", "/v1/experiments", "")
+	if status != http.StatusNotImplemented {
+		t.Fatalf("unwired list: %d", status)
+	}
+
+	srv.ExperimentNames = func() []string { return []string{"fig2a"} }
+	srv.RunExperiment = func(name string, fast bool, mm int, seed int64) ([]*report.Table, error) {
+		if name != "fig2a" {
+			return nil, fmt.Errorf("unknown %q", name)
+		}
+		tbl := report.NewTable("stub", "col")
+		tbl.AddRow("v")
+		return []*report.Table{tbl}, nil
+	}
+	status, out := do("GET", "/v1/experiments", "")
+	if status != http.StatusOK {
+		t.Fatalf("list: %d %v", status, out)
+	}
+	status, out = do("POST", "/v1/experiments", `{"name": "fig2a", "fast": true}`)
+	if status != http.StatusOK {
+		t.Fatalf("run: %d %v", status, out)
+	}
+	if tables, _ := out["tables"].([]any); len(tables) != 1 {
+		t.Fatalf("run tables: %v", out)
+	}
+	status, _ = do("POST", "/v1/experiments", `{"name": "nope"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad experiment: %d", status)
+	}
+}

@@ -1,0 +1,390 @@
+// Package serve is the concurrent batch-evaluation service: a bounded
+// worker pool that fans evaluation requests (macro x network x system
+// scenario grids) across goroutines, backed by a content-addressed LRU
+// cache of compiled engines and per-layer contexts so amortized state is
+// shared across requests instead of recompiled per call.
+//
+// The paper's speed claim rests on computing per-layer action energies
+// once and reusing them across thousands of mappings; serve extends that
+// amortization across requests: many clients sweeping the same macros and
+// networks share cached state, and a warm sweep pays only the per-mapping
+// count analysis.
+//
+// Use it directly:
+//
+//	srv := serve.NewServer(serve.BatchOptions{Workers: 8})
+//	results, _ := srv.Sweep(serve.Grid([]string{"macro-a", "macro-b"},
+//	    []string{"resnet18"}, nil, 0, 0))
+//	fmt.Println(serve.SweepTable(results).String())
+//
+// or over HTTP via Server.Handler (see http.go and `cimloop serve`).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/macros"
+	"repro/internal/report"
+	"repro/internal/specfile"
+	"repro/internal/system"
+	"repro/internal/workload"
+)
+
+// BatchOptions tunes the service. The zero value is usable: one worker
+// per CPU, the default mapping budget, and the default cache bound.
+type BatchOptions struct {
+	// Workers bounds the evaluation goroutines (default: NumCPU).
+	Workers int
+	// MaxMappings is the default per-layer mapping search budget for
+	// requests that do not set their own (default 60, matching the
+	// experiment runner).
+	MaxMappings int
+	// CacheEntries bounds the engine/context LRU (default
+	// DefaultCacheEntries).
+	CacheEntries int
+}
+
+func (o BatchOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (o BatchOptions) mappings() int {
+	if o.MaxMappings > 0 {
+		return o.MaxMappings
+	}
+	return 60
+}
+
+// Server owns the shared cache and worker bound. It is safe for
+// concurrent use; one Server is meant to outlive many requests.
+type Server struct {
+	opts  BatchOptions
+	cache *Cache
+	start time.Time
+
+	// ExperimentNames and RunExperiment are injected by the facade so the
+	// HTTP API can list and run paper reproductions without this package
+	// importing the experiments package (which itself routes sweeps
+	// through serve).
+	ExperimentNames func() []string
+	RunExperiment   func(name string, fast bool, maxMappings int, seed int64) ([]*report.Table, error)
+}
+
+// NewServer constructs a service with its own cache.
+func NewServer(opts BatchOptions) *Server {
+	return &Server{
+		opts:  opts,
+		cache: NewCache(opts.CacheEntries),
+		start: time.Now(),
+	}
+}
+
+// CacheStats snapshots the shared cache counters.
+func (s *Server) CacheStats() Stats { return s.cache.Stats() }
+
+// Request describes one evaluation: an architecture source, an optional
+// full-system wrap, and a workload. Exactly one of Macro, Spec, or Arch
+// must be set, and exactly one of Network or Net.
+type Request struct {
+	// Tag labels the result row; defaults to "arch/network[/scenario]".
+	Tag string `json:"tag,omitempty"`
+
+	// Macro names a published macro model ("base", "macro-a", ...,
+	// "digital-cim").
+	Macro string `json:"macro,omitempty"`
+	// Spec is a textual container-hierarchy specification.
+	Spec string `json:"spec,omitempty"`
+	// Arch is a prebuilt architecture (programmatic callers only).
+	Arch *core.Arch `json:"-"`
+
+	// Scenario optionally wraps the macro into a full system:
+	// "all-tensors-from-dram", "weight-stationary", or
+	// "weight-stationary+onchip-io".
+	Scenario string `json:"scenario,omitempty"`
+	// SystemMacros is the parallel macro count for the system wrap
+	// (default 1; ignored without Scenario).
+	SystemMacros int `json:"system_macros,omitempty"`
+
+	// Network names a model-zoo workload ("resnet18", "vit-base", ...).
+	Network string `json:"network,omitempty"`
+	// Net is a prebuilt workload (programmatic callers only).
+	Net *workload.Network `json:"-"`
+	// Layers caps the evaluated layer count (0 = all).
+	Layers int `json:"layers,omitempty"`
+
+	// MaxMappings overrides the server's per-layer mapping budget.
+	MaxMappings int `json:"max_mappings,omitempty"`
+	// Seed drives the mapping search (layer i uses Seed+i, matching the
+	// sequential evaluator).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Result is one completed evaluation, JSON-ready for the HTTP API. Err is
+// set instead of the metrics when the request failed; a sweep always
+// yields one Result per Request, in request order.
+type Result struct {
+	Tag     string `json:"tag"`
+	Arch    string `json:"arch,omitempty"`
+	Network string `json:"network,omitempty"`
+	Err     string `json:"error,omitempty"`
+
+	EnergyJ        float64 `json:"energy_j,omitempty"`
+	EnergyPerMACpJ float64 `json:"energy_per_mac_pj,omitempty"`
+	TOPSPerW       float64 `json:"tops_per_w,omitempty"`
+	GOPS           float64 `json:"gops,omitempty"`
+	AreaMM2        float64 `json:"area_mm2,omitempty"`
+	MACs           int64   `json:"macs,omitempty"`
+	TimeSec        float64 `json:"time_sec,omitempty"`
+	ElapsedSec     float64 `json:"elapsed_sec,omitempty"`
+
+	// NetworkResult carries the full per-layer breakdown for programmatic
+	// callers (experiments); it is not serialized.
+	NetworkResult *core.NetworkResult `json:"-"`
+}
+
+// resolveArch materializes the request's architecture, applying the
+// optional full-system wrap.
+func (r *Request) resolveArch() (*core.Arch, error) {
+	sources := 0
+	for _, set := range []bool{r.Macro != "", r.Spec != "", r.Arch != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, errors.New("serve: request needs exactly one of macro, spec, or arch")
+	}
+	var arch *core.Arch
+	var err error
+	switch {
+	case r.Arch != nil:
+		arch = r.Arch
+	case r.Macro != "":
+		arch, err = macros.ByName(r.Macro)
+	default:
+		arch, err = specfile.Parse(r.Spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.Scenario == "" {
+		return arch, nil
+	}
+	sc, err := scenarioByName(r.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	n := r.SystemMacros
+	if n <= 0 {
+		n = 1
+	}
+	return system.Build(arch, sc, system.Config{Macros: n})
+}
+
+// scenarioByName parses the Fig. 15 scenario names as Scenario.String
+// prints them.
+func scenarioByName(name string) (system.Scenario, error) {
+	for _, sc := range []system.Scenario{system.AllDRAM, system.WeightStationary, system.OnChipIO} {
+		if sc.String() == name {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown scenario %q (have %q, %q, %q)", name,
+		system.AllDRAM, system.WeightStationary, system.OnChipIO)
+}
+
+// resolveNet materializes the request's workload.
+func (r *Request) resolveNet() (*workload.Network, error) {
+	if (r.Network != "") == (r.Net != nil) {
+		return nil, errors.New("serve: request needs exactly one of network name or prebuilt net")
+	}
+	net := r.Net
+	if r.Network != "" {
+		var err error
+		net, err = workload.ByName(r.Network)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if r.Layers > 0 && r.Layers < len(net.Layers) {
+		cp := *net
+		cp.Layers = net.Layers[:r.Layers]
+		net = &cp
+	}
+	return net, nil
+}
+
+// Evaluate runs one request through the cache: the engine and every layer
+// context are fetched (or compiled once) from the content-addressed
+// cache, and only the per-mapping count analysis runs unconditionally.
+func (s *Server) Evaluate(req Request) (*Result, error) {
+	started := time.Now()
+	arch, err := req.resolveArch()
+	if err != nil {
+		return nil, err
+	}
+	net, err := req.resolveNet()
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := s.cache.Engine(arch)
+	if err != nil {
+		return nil, err
+	}
+	mappings := req.MaxMappings
+	if mappings <= 0 {
+		mappings = s.opts.mappings()
+	}
+	// Mirror core.Engine.EvaluateNetwork, but fetch each layer's
+	// amortized context through the cache instead of re-preparing it.
+	nr := &core.NetworkResult{Arch: eng.Arch().Name, Network: net.Name, AreaUm2: eng.Area()}
+	for i, l := range net.Layers {
+		ctx, err := s.cache.LayerContext(eng, l)
+		if err != nil {
+			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
+		}
+		r, _, err := eng.SearchLayer(ctx, mappings, req.Seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
+		}
+		nr.PerLayer = append(nr.PerLayer, r)
+		rep := float64(l.Repeat)
+		nr.Energy += r.Energy * rep
+		nr.TimeSec += r.TimeSec * rep
+		nr.MACs += r.MACs * int64(l.Repeat)
+	}
+	res := &Result{
+		Tag:            req.tag(arch.Name, net.Name),
+		Arch:           arch.Name,
+		Network:        net.Name,
+		EnergyJ:        nr.Energy,
+		EnergyPerMACpJ: nr.EnergyPerMAC() * 1e12,
+		TOPSPerW:       nr.TOPSPerW(),
+		GOPS:           nr.GOPS(),
+		AreaMM2:        nr.AreaUm2 / 1e6,
+		MACs:           nr.MACs,
+		TimeSec:        nr.TimeSec,
+		ElapsedSec:     time.Since(started).Seconds(),
+		NetworkResult:  nr,
+	}
+	return res, nil
+}
+
+func (r *Request) tag(archName, netName string) string {
+	if r.Tag != "" {
+		return r.Tag
+	}
+	t := archName + "/" + netName
+	// System-wrapped archs already carry the scenario in their name.
+	if r.Scenario != "" && !strings.Contains(archName, r.Scenario) {
+		t += "/" + r.Scenario
+	}
+	return t
+}
+
+// Sweep evaluates a batch of requests across the worker pool, streaming
+// completions through a channel and returning results in request order.
+// Per-request failures land in Result.Err; the sweep itself only fails on
+// an empty batch.
+func (s *Server) Sweep(reqs []Request) ([]*Result, error) {
+	return s.SweepN(reqs, s.opts.workers())
+}
+
+// SweepN is Sweep with an explicit worker bound overriding the server's
+// (callers like the experiment runner carry their own parallelism knob).
+func (s *Server) SweepN(reqs []Request, workers int) ([]*Result, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("serve: empty sweep")
+	}
+	if workers <= 0 {
+		workers = s.opts.workers()
+	}
+	type indexed struct {
+		i   int
+		res *Result
+	}
+	jobs := make(chan int)
+	done := make(chan indexed)
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := s.Evaluate(reqs[i])
+				if err != nil {
+					res = &Result{Tag: reqs[i].tag(reqs[i].Macro, reqs[i].Network), Err: err.Error()}
+				}
+				done <- indexed{i, res}
+			}
+		}()
+	}
+	go func() {
+		for i := range reqs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(done)
+	}()
+	out := make([]*Result, len(reqs))
+	for d := range done {
+		out[d.i] = d.res
+	}
+	return out, nil
+}
+
+// Grid builds the cross product of macros x networks x scenarios as a
+// request batch. An empty scenario list means bare macros; layers and
+// maxMappings apply to every request (0 keeps defaults).
+func Grid(macroNames, networks, scenarios []string, layers, maxMappings int) []Request {
+	if len(scenarios) == 0 {
+		scenarios = []string{""}
+	}
+	var reqs []Request
+	for _, m := range macroNames {
+		for _, n := range networks {
+			for _, sc := range scenarios {
+				reqs = append(reqs, Request{
+					Macro: m, Network: n, Scenario: sc,
+					Layers: layers, MaxMappings: maxMappings,
+				})
+			}
+		}
+	}
+	return reqs
+}
+
+// SweepTable aggregates sweep results into a report table, one row per
+// request, mirroring the metric set of `cimloop spec`.
+func SweepTable(results []*Result) *report.Table {
+	t := report.NewTable("Batch sweep",
+		"request", "energy (J)", "energy/MAC (pJ)", "TOPS/W", "GOPS", "area (mm^2)", "status")
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Err != "" {
+			t.AddRow(r.Tag, "-", "-", "-", "-", "-", r.Err)
+			continue
+		}
+		t.AddRow(r.Tag, report.Num(r.EnergyJ), report.Num(r.EnergyPerMACpJ),
+			report.Num(r.TOPSPerW), report.Num(r.GOPS), report.Num(r.AreaMM2), "ok")
+	}
+	return t
+}

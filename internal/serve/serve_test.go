@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/macros"
+	"repro/internal/workload"
+)
+
+// TestEvaluateMatchesSequential checks the cached, pooled path computes
+// exactly what the sequential core evaluator computes.
+func TestEvaluateMatchesSequential(t *testing.T) {
+	arch, err := macros.Base(macros.Config{Rows: 16, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := workload.Toy()
+	want, err := eng.EvaluateNetwork(net, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(BatchOptions{})
+	got, err := srv.Evaluate(Request{Arch: arch, Net: net, MaxMappings: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.EnergyJ-want.Energy)/want.Energy > 1e-12 {
+		t.Fatalf("energy %g, want %g", got.EnergyJ, want.Energy)
+	}
+	if got.MACs != want.MACs {
+		t.Fatalf("MACs %d, want %d", got.MACs, want.MACs)
+	}
+	if got.NetworkResult == nil || len(got.NetworkResult.PerLayer) != len(net.Layers) {
+		t.Fatal("per-layer breakdown missing")
+	}
+}
+
+func TestSweepGridAndCacheReuse(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 4, MaxMappings: 4})
+	reqs := Grid([]string{"base", "macro-b"}, []string{"toy"}, nil, 0, 4)
+	if len(reqs) != 2 {
+		t.Fatalf("grid size %d, want 2", len(reqs))
+	}
+	cold, err := srv.Sweep(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cold {
+		if r.Err != "" {
+			t.Fatalf("request %d failed: %s", i, r.Err)
+		}
+		if r.EnergyJ <= 0 {
+			t.Fatalf("request %d energy %g", i, r.EnergyJ)
+		}
+	}
+	afterCold := srv.CacheStats()
+	if afterCold.Hits != 0 {
+		t.Fatalf("cold sweep must miss everywhere, got %d hits", afterCold.Hits)
+	}
+
+	warm, err := srv.Sweep(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterWarm := srv.CacheStats()
+	if afterWarm.Misses != afterCold.Misses {
+		t.Fatalf("warm sweep recompiled state: misses %d -> %d", afterCold.Misses, afterWarm.Misses)
+	}
+	if afterWarm.Hits == 0 {
+		t.Fatal("warm sweep must hit the cache")
+	}
+	// Same seeds, same cached state: identical results.
+	for i := range cold {
+		if cold[i].EnergyJ != warm[i].EnergyJ {
+			t.Fatalf("request %d energy changed across identical sweeps: %g vs %g",
+				i, cold[i].EnergyJ, warm[i].EnergyJ)
+		}
+	}
+}
+
+func TestSweepOrderAndErrors(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 8, MaxMappings: 2})
+	reqs := []Request{
+		{Macro: "base", Network: "toy", Tag: "first"},
+		{Macro: "no-such-macro", Network: "toy", Tag: "second"},
+		{Macro: "base", Network: "no-such-network", Tag: "third"},
+		{Macro: "base", Network: "toy", Tag: "fourth"},
+	}
+	results, err := srv.Sweep(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, want := range []string{"first", "second", "third", "fourth"} {
+		if results[i].Tag != want {
+			t.Fatalf("result %d tag %q, want %q (order must follow requests)", i, results[i].Tag, want)
+		}
+	}
+	if results[1].Err == "" || results[2].Err == "" {
+		t.Fatal("bad requests must report per-request errors")
+	}
+	if results[0].Err != "" || results[3].Err != "" {
+		t.Fatal("good requests must not be poisoned by bad ones")
+	}
+
+	table := SweepTable(results)
+	s := table.String()
+	if !strings.Contains(s, "first") || !strings.Contains(s, "ok") {
+		t.Fatalf("table missing rows:\n%s", s)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("table rows %d, want 4", len(table.Rows))
+	}
+
+	if _, err := srv.Sweep(nil); err == nil {
+		t.Fatal("empty sweep must error")
+	}
+}
+
+func TestScenarioRequests(t *testing.T) {
+	srv := NewServer(BatchOptions{MaxMappings: 2})
+	res, err := srv.Evaluate(Request{
+		Macro: "macro-d", Network: "toy",
+		Scenario: "weight-stationary", SystemMacros: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyJ <= 0 {
+		t.Fatalf("energy %g", res.EnergyJ)
+	}
+	if !strings.Contains(res.Tag, "weight-stationary") {
+		t.Fatalf("tag %q should mention the scenario", res.Tag)
+	}
+	if _, err := srv.Evaluate(Request{Macro: "base", Network: "toy", Scenario: "nope"}); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	cases := []Request{
+		{},                             // no arch, no net
+		{Macro: "base"},                // no net
+		{Network: "toy"},               // no arch
+		{Macro: "base", Spec: "name:"}, // two arch sources
+		{Macro: "base", Network: "toy", Net: workload.Toy()}, // two nets
+	}
+	for i, req := range cases {
+		if _, err := srv.Evaluate(req); err == nil {
+			t.Fatalf("case %d: want validation error", i)
+		}
+	}
+}
+
+// TestLayersCap checks the fast-path layer subset.
+func TestLayersCap(t *testing.T) {
+	srv := NewServer(BatchOptions{MaxMappings: 2})
+	res, err := srv.Evaluate(Request{Macro: "base", Network: "resnet18", Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.NetworkResult.PerLayer); n != 2 {
+		t.Fatalf("evaluated %d layers, want 2", n)
+	}
+}

@@ -225,6 +225,12 @@ func Toy() *Network {
 	}
 }
 
+// Names lists the zoo's canonical network names, in ByName order. Keep
+// in step with the switch below when adding a network.
+func Names() []string {
+	return []string{"resnet18", "vit-base", "mobilenetv3-large", "gpt2", "toy"}
+}
+
 // ByName returns a zoo network by its canonical name.
 func ByName(name string) (*Network, error) {
 	switch name {
