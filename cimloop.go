@@ -48,19 +48,42 @@
 //
 //	cimloop serve -addr :8080 -workers 8
 //
-// exposes GET /healthz (liveness + cache counters), POST /v1/evaluate
-// (one request), POST /v1/sweep (a request list or a macro x network x
-// scenario grid), GET /v1/macros, GET /v1/networks, and GET+POST
-// /v1/experiments (list and run paper reproductions). For example:
+// exposes GET /healthz (liveness + cache counters + job occupancy), POST
+// /v1/evaluate (one request), POST /v1/sweep (a request list or a macro
+// x network x scenario grid), GET /v1/macros, GET /v1/networks, and
+// GET+POST /v1/experiments (list and run paper reproductions). For
+// example:
 //
 //	curl -s localhost:8080/v1/evaluate -d \
 //	    '{"macro": "macro-b", "network": "resnet18", "max_mappings": 20}'
 //	curl -s localhost:8080/v1/sweep -d \
 //	    '{"macros": ["macro-a", "macro-b"], "networks": ["resnet18"]}'
 //
-// The experiment runner itself routes its grid sweeps (Fig. 2, Fig. 15)
-// through the same executor, so reproductions get the parallel speedup
-// and cache reuse for free.
+// # Async jobs, cancellation, and backpressure
+//
+// Grid-sized sweeps do not hold the connection open: a sweep at or
+// beyond the server's async threshold (or submitted with "async": true,
+// or POSTed to /v1/jobs) returns 202 Accepted with a job whose progress
+// streams from the worker pool's completion path:
+//
+//	curl -s localhost:8080/v1/jobs -d \
+//	    '{"macros": ["base", "macro-a", "macro-b"], "networks": ["resnet18", "vit-base"]}'
+//	curl -s localhost:8080/v1/jobs/job-000001          # completed/total, partial results
+//	curl -s -X POST localhost:8080/v1/jobs/job-000001/cancel
+//
+// Cancellation is plumbed through the evaluation pipeline — a cancelled
+// job (or a dropped synchronous connection) stops dispatching grid items
+// and aborts in-flight per-layer mapping searches via context. When the
+// bounded job queue is full the service answers 429 with a Retry-After
+// header instead of queueing unboundedly. The same flow drives
+// programmatic use: Server.SubmitSweep, Server.Job, Server.CancelJob,
+// Server.WaitJob, and Server.SweepCtx for a context-aware synchronous
+// sweep. The `cimloop jobs` subcommand (submit/list/status/wait/cancel)
+// is the CLI client for these endpoints.
+//
+// The experiment runner itself routes its grid sweeps (Fig. 2, Fig.
+// 13-16) through the same executor, so reproductions get the parallel
+// speedup and cache reuse for free.
 package cimloop
 
 import (
@@ -69,6 +92,7 @@ import (
 	"repro/internal/macros"
 	"repro/internal/report"
 	"repro/internal/serve"
+	"repro/internal/serve/jobs"
 	"repro/internal/specfile"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -180,7 +204,27 @@ type (
 	EvalResult = serve.Result
 	// CacheStats snapshots the service cache's hit/miss/eviction counters.
 	CacheStats = serve.Stats
+	// JobSnapshot is a point-in-time copy of one async job: status,
+	// completed/total progress, partial results, and first error.
+	JobSnapshot = jobs.Snapshot
+	// JobStatus is an async job's lifecycle state.
+	JobStatus = jobs.Status
+	// JobStats counts retained jobs by lifecycle stage.
+	JobStats = jobs.Stats
 )
+
+// Async job lifecycle states.
+const (
+	JobQueued    = jobs.StatusQueued
+	JobRunning   = jobs.StatusRunning
+	JobSucceeded = jobs.StatusSucceeded
+	JobFailed    = jobs.StatusFailed
+	JobCancelled = jobs.StatusCancelled
+)
+
+// ErrJobQueueFull is returned by Server.SubmitSweep when the bounded
+// pending-job queue is saturated; retry after Server.RetryAfter.
+var ErrJobQueueFull = jobs.ErrQueueFull
 
 // NewServer constructs the batch-evaluation service with the experiment
 // runner wired in, so its HTTP API can also list and regenerate paper

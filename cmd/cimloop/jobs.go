@@ -1,0 +1,318 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/serve/jobs"
+)
+
+// runJobs is the `cimloop jobs` subcommand: an HTTP client for the async
+// job API of a running `cimloop serve` instance.
+//
+//	cimloop jobs submit -macros a,b -networks x[,y] [...]   -> job ID
+//	cimloop jobs list
+//	cimloop jobs status <id>
+//	cimloop jobs wait <id> [-interval 500ms] [-timeout 0]
+//	cimloop jobs cancel <id>
+func runJobs(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("jobs: missing verb (submit, list, status, wait, cancel)")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "submit":
+		return jobsSubmit(rest)
+	case "list":
+		return jobsList(rest)
+	case "status", "wait", "cancel":
+		if len(rest) == 0 {
+			return fmt.Errorf("jobs %s: missing job ID", verb)
+		}
+		id, rest := rest[0], rest[1:]
+		switch verb {
+		case "status":
+			return jobsStatus(id, rest)
+		case "wait":
+			return jobsWait(id, rest)
+		default:
+			return jobsCancel(id, rest)
+		}
+	}
+	return fmt.Errorf("jobs: unknown verb %q (have submit, list, status, wait, cancel)", verb)
+}
+
+// addrFlag registers the shared -addr flag.
+func addrFlag(fs *flag.FlagSet) *string {
+	return fs.String("addr", "http://localhost:8080", "base URL of the cimloop serve instance")
+}
+
+// httpError is a non-2xx response with its decoded error envelope.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.status, e.msg)
+}
+
+// jobsClient wraps the HTTP round trips. Errors from the server's JSON
+// error envelope are surfaced as Go errors.
+type jobsClient struct {
+	base string
+	hc   *http.Client
+}
+
+func newJobsClient(addr string) *jobsClient {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &jobsClient{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// do issues one request and decodes the JSON response into out,
+// translating non-2xx statuses (and their error envelopes) into errors.
+func (c *jobsClient) do(method, path string, body any, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rdr)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			msg = envelope.Error
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				msg += "; retry after " + ra + "s"
+			}
+		}
+		return &httpError{status: resp.StatusCode, msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// sweepBody mirrors the server's sweep/jobs request body.
+type sweepBody struct {
+	Macros      []string `json:"macros,omitempty"`
+	Networks    []string `json:"networks,omitempty"`
+	Scenarios   []string `json:"scenarios,omitempty"`
+	Layers      int      `json:"layers,omitempty"`
+	MaxMappings int      `json:"max_mappings,omitempty"`
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func jobsSubmit(args []string) error {
+	fs := flag.NewFlagSet("jobs submit", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	macroList := fs.String("macros", "", "comma-separated macro models to sweep")
+	networks := fs.String("networks", "", "comma-separated workloads to sweep")
+	scenarios := fs.String("scenarios", "", "comma-separated full-system scenarios (optional)")
+	layers := fs.Int("layers", 0, "cap evaluated layers per network (0 = all)")
+	mappings := fs.Int("mappings", 0, "per-layer mapping budget (0 = server default)")
+	wait := fs.Bool("wait", false, "block until the job finishes and print its table")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval with -wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body := sweepBody{
+		Macros:    splitList(*macroList),
+		Networks:  splitList(*networks),
+		Scenarios: splitList(*scenarios),
+		Layers:    *layers, MaxMappings: *mappings,
+	}
+	if len(body.Macros) == 0 || len(body.Networks) == 0 {
+		return fmt.Errorf("jobs submit: need -macros and -networks")
+	}
+	c := newJobsClient(*addr)
+	var accepted struct {
+		Job       jobs.Snapshot `json:"job"`
+		StatusURL string        `json:"status_url"`
+	}
+	if err := c.do("POST", "/v1/jobs", body, &accepted); err != nil {
+		return err
+	}
+	fmt.Printf("accepted %s (%d requests): poll with `cimloop jobs status %s` or `cimloop jobs wait %s`\n",
+		accepted.Job.ID, accepted.Job.Total, accepted.Job.ID, accepted.Job.ID)
+	if !*wait {
+		return nil
+	}
+	return waitAndPrint(c, accepted.Job.ID, *interval, 0)
+}
+
+func jobsList(args []string) error {
+	fs := flag.NewFlagSet("jobs list", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var out struct {
+		Jobs []jobs.Snapshot `json:"jobs"`
+	}
+	if err := newJobsClient(*addr).do("GET", "/v1/jobs", nil, &out); err != nil {
+		return err
+	}
+	t := report.NewTable("Jobs", "id", "label", "status", "progress", "first error")
+	for _, j := range out.Jobs {
+		firstErr := j.FirstError
+		if firstErr == "" {
+			firstErr = "-"
+		}
+		t.AddRow(j.ID, j.Label, string(j.Status),
+			fmt.Sprintf("%d/%d", j.Completed, j.Total), firstErr)
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+// printSnapshot renders one job snapshot as key/value rows.
+func printSnapshot(j jobs.Snapshot) {
+	t := report.NewTable("Job "+j.ID, "field", "value")
+	t.AddRow("label", j.Label)
+	t.AddRow("status", string(j.Status))
+	t.AddRow("progress", fmt.Sprintf("%d/%d", j.Completed, j.Total))
+	if j.FirstError != "" {
+		t.AddRow("first error", j.FirstError)
+	}
+	if j.Error != "" {
+		t.AddRow("error", j.Error)
+	}
+	t.AddRow("elapsed (s)", strconv.FormatFloat(j.ElapsedSec, 'f', 3, 64))
+	fmt.Println(t.String())
+	if table, ok := j.Result.(string); ok && table != "" {
+		fmt.Println(table)
+	}
+}
+
+func jobsStatus(id string, args []string) error {
+	fs := flag.NewFlagSet("jobs status", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var snap jobs.Snapshot
+	if err := newJobsClient(*addr).do("GET", "/v1/jobs/"+id, nil, &snap); err != nil {
+		return err
+	}
+	printSnapshot(snap)
+	return nil
+}
+
+func jobsWait(id string, args []string) error {
+	fs := flag.NewFlagSet("jobs wait", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return waitAndPrint(newJobsClient(*addr), id, *interval, *timeout)
+}
+
+// waitAndPrint polls the job to a terminal state, echoing progress
+// transitions to stderr, then prints the final snapshot. A failed or
+// cancelled job is a non-zero exit.
+func waitAndPrint(c *jobsClient, id string, interval, timeout time.Duration) error {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	lastCompleted := -1
+	seen := false
+	for {
+		var snap jobs.Snapshot
+		if err := c.do("GET", "/v1/jobs/"+id, nil, &snap); err != nil {
+			// A job that existed and then 404s was evicted by retention
+			// between polls; name the real condition instead of blaming
+			// the ID.
+			var he *httpError
+			if seen && errors.As(err, &he) && he.status == http.StatusNotFound {
+				return fmt.Errorf("job %s finished but was evicted from retention before its result was read; raise the server's -job-retention or poll faster", id)
+			}
+			return err
+		}
+		seen = true
+		if snap.Completed != lastCompleted {
+			lastCompleted = snap.Completed
+			fmt.Fprintf(os.Stderr, "%s: %s %d/%d\n", snap.ID, snap.Status, snap.Completed, snap.Total)
+		}
+		if snap.Status.Terminal() {
+			printSnapshot(snap)
+			if snap.Status != jobs.StatusSucceeded {
+				return fmt.Errorf("job %s %s", snap.ID, snap.Status)
+			}
+			return nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after %s", id, snap.Status, timeout)
+		}
+		time.Sleep(interval)
+	}
+}
+
+func jobsCancel(id string, args []string) error {
+	fs := flag.NewFlagSet("jobs cancel", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var snap jobs.Snapshot
+	if err := newJobsClient(*addr).do("POST", "/v1/jobs/"+id+"/cancel", nil, &snap); err != nil {
+		return err
+	}
+	fmt.Printf("cancel requested: %s is %s (%d/%d)\n", snap.ID, snap.Status, snap.Completed, snap.Total)
+	return nil
+}

@@ -9,6 +9,7 @@
 //	cimloop macros
 //	cimloop spec <file.yaml> [-network NAME] [-mappings N]
 //	cimloop serve [-addr :8080] [-workers N] [-mappings N] [-cache N]
+//	cimloop jobs submit|list|status|wait|cancel [...] [-addr URL]
 package main
 
 import (
@@ -51,6 +52,8 @@ func run(args []string) error {
 		return runSpec(args[1:])
 	case "serve":
 		return runServe(args[1:])
+	case "jobs":
+		return runJobs(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -65,7 +68,9 @@ func usage() {
   cimloop run <experiment|all> [-fast] [-csv] ...    regenerate paper tables/figures
   cimloop macros                                     show macro parameters (Table III)
   cimloop spec <file.yaml> [-network NAME] ...       evaluate a textual specification
-  cimloop serve [-addr :8080] [-workers N] ...       run the batch-evaluation HTTP service`)
+  cimloop serve [-addr :8080] [-workers N] ...       run the batch-evaluation HTTP service
+  cimloop jobs submit -macros a,b -networks x ...    submit an async sweep to a serve instance
+  cimloop jobs list|status <id>|wait <id>|cancel <id>  inspect and control async jobs`)
 }
 
 func runServe(args []string) error {
@@ -74,15 +79,22 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "evaluation goroutines (0 = one per CPU)")
 	mappings := fs.Int("mappings", 0, "default per-layer mapping budget (0 = 60)")
 	cacheEntries := fs.Int("cache", 0, "engine/context cache entries (0 = default)")
+	asyncThreshold := fs.Int("async-threshold", 0,
+		"sweep size that returns 202 + a job instead of blocking (0 = default; negative = only on explicit \"async\": true or /v1/jobs)")
+	jobQueue := fs.Int("job-queue", 0, "pending async jobs before 429 + Retry-After (0 = default)")
+	jobRetention := fs.Int("job-retention", 0, "finished jobs kept for /v1/jobs (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	// The facade's constructor wires the experiment runner so
 	// /v1/experiments can list and regenerate paper artifacts.
 	srv := cimloop.NewServer(cimloop.BatchOptions{
-		Workers:      *workers,
-		MaxMappings:  *mappings,
-		CacheEntries: *cacheEntries,
+		Workers:        *workers,
+		MaxMappings:    *mappings,
+		CacheEntries:   *cacheEntries,
+		AsyncThreshold: *asyncThreshold,
+		MaxQueuedJobs:  *jobQueue,
+		JobRetention:   *jobRetention,
 	})
 	fmt.Fprintf(os.Stderr, "cimloop: serving on %s\n", *addr)
 	return srv.ListenAndServe(*addr)

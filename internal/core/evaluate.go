@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mapper"
@@ -201,10 +202,19 @@ func (e *Engine) GreedyMapping(ctx *LayerContext) (*mapping.Mapping, error) {
 // evaluating up to maxMappings candidates. It returns the best result and
 // the number of mappings evaluated.
 func (e *Engine) SearchLayer(ctx *LayerContext, maxMappings int, seed int64) (*Result, int, error) {
+	return e.SearchLayerCtx(context.Background(), ctx, maxMappings, seed)
+}
+
+// SearchLayerCtx is SearchLayer under a context: the candidate loop
+// checks for cancellation before each mapping evaluation, so a cancelled
+// or expired context makes the search return ctx.Err() promptly instead
+// of finishing the whole budget. Deadlines and job cancellation in the
+// serving layer reach in-flight work through this path.
+func (e *Engine) SearchLayerCtx(ctx context.Context, lctx *LayerContext, maxMappings int, seed int64) (*Result, int, error) {
 	opts := e.arch.MapperOptions(maxMappings, seed)
 	var best *Result
 	cost := func(m *mapping.Mapping) (float64, error) {
-		r, err := e.EvaluateMapping(ctx, m)
+		r, err := e.EvaluateMapping(lctx, m)
 		if err != nil {
 			return 0, err
 		}
@@ -213,7 +223,7 @@ func (e *Engine) SearchLayer(ctx *LayerContext, maxMappings int, seed int64) (*R
 		}
 		return r.Energy, nil
 	}
-	_, evaluated, err := mapper.Search(e.arch.Levels, ctx.Sliced, opts, cost)
+	_, evaluated, err := mapper.SearchCtx(ctx, e.arch.Levels, lctx.Sliced, opts, cost)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -222,11 +232,19 @@ func (e *Engine) SearchLayer(ctx *LayerContext, maxMappings int, seed int64) (*R
 
 // EvaluateLayer prepares a layer and searches for its best mapping.
 func (e *Engine) EvaluateLayer(l workload.Layer, maxMappings int, seed int64) (*Result, error) {
-	ctx, err := e.PrepareLayer(l)
+	return e.EvaluateLayerCtx(context.Background(), l, maxMappings, seed)
+}
+
+// EvaluateLayerCtx is EvaluateLayer under a context (see SearchLayerCtx).
+func (e *Engine) EvaluateLayerCtx(ctx context.Context, l workload.Layer, maxMappings int, seed int64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	lctx, err := e.PrepareLayer(l)
 	if err != nil {
 		return nil, err
 	}
-	r, _, err := e.SearchLayer(ctx, maxMappings, seed)
+	r, _, err := e.SearchLayerCtx(ctx, lctx, maxMappings, seed)
 	return r, err
 }
 
@@ -269,12 +287,18 @@ func (n *NetworkResult) EnergyPerMAC() float64 {
 // EvaluateNetwork searches the best mapping for every layer of a network
 // and aggregates energy and time across repeats.
 func (e *Engine) EvaluateNetwork(n *workload.Network, maxMappings int, seed int64) (*NetworkResult, error) {
+	return e.EvaluateNetworkCtx(context.Background(), n, maxMappings, seed)
+}
+
+// EvaluateNetworkCtx is EvaluateNetwork under a context: cancellation is
+// checked between layers and inside each layer's mapping search.
+func (e *Engine) EvaluateNetworkCtx(ctx context.Context, n *workload.Network, maxMappings int, seed int64) (*NetworkResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
 	out := &NetworkResult{Arch: e.arch.Name, Network: n.Name, AreaUm2: e.area}
 	for i, l := range n.Layers {
-		r, err := e.EvaluateLayer(l, maxMappings, seed+int64(i))
+		r, err := e.EvaluateLayerCtx(ctx, l, maxMappings, seed+int64(i))
 		if err != nil {
 			return nil, fmt.Errorf("core: network %q layer %q: %w", n.Name, l.Name, err)
 		}

@@ -258,8 +258,21 @@ func convOnly(n *workload.Network) *workload.Network {
 	return &cp
 }
 
+// maxUtilRequest wraps an arch and its matched maximum-utilization
+// workload as one executor request — the batch form of evalMaxUtil, so
+// design-point grids fan across the shared worker pool.
+func maxUtilRequest(arch *core.Arch, tag string, o Options) (serve.Request, error) {
+	layer, err := maxUtilLayer(arch, "")
+	if err != nil {
+		return serve.Request{}, err
+	}
+	net := &workload.Network{Name: "max-utilization", Layers: []workload.Layer{layer}}
+	return serve.Request{Tag: tag, Arch: arch, Net: net, MaxMappings: 2, Seed: o.Seed}, nil
+}
+
 // Fig13 reproduces the Macro B circuits study: analog adder width trades
-// flexibility for compute density across weight precisions.
+// flexibility for compute density across weight precisions. The width x
+// precision design grid runs through the batch executor.
 func Fig13(o Options) ([]*report.Table, error) {
 	t := report.NewTable("Fig. 13: Macro B analog adder width vs. weight bits",
 		"adder operands", "weight bits", "TOPS/mm^2")
@@ -272,6 +285,9 @@ func Fig13(o Options) ([]*report.Table, error) {
 	if o.Fast {
 		size = 16
 	}
+	type point struct{ w, bits int }
+	var pts []point
+	var reqs []serve.Request
 	for _, w := range widths {
 		for _, bits := range bitsList {
 			arch, err := macros.B(macros.Config{
@@ -281,13 +297,22 @@ func Fig13(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r, err := evalMaxUtil(arch, o)
+			req, err := maxUtilRequest(arch, fmt.Sprintf("adder%d/wb%d", w, bits), o)
 			if err != nil {
 				return nil, err
 			}
-			mm2 := r.AreaUm2 / 1e6
-			t.AddRow(fmt.Sprintf("%d", w), fmt.Sprintf("%d", bits), report.Num(r.GOPS()/1e3/mm2))
+			pts = append(pts, point{w, bits})
+			reqs = append(reqs, req)
 		}
+	}
+	resList, err := sweepNets(reqs, o)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range resList {
+		r := res.PerLayer[0]
+		mm2 := r.AreaUm2 / 1e6
+		t.AddRow(fmt.Sprintf("%d", pts[i].w), fmt.Sprintf("%d", pts[i].bits), report.Num(r.GOPS()/1e3/mm2))
 	}
 	t.Note = "wider adders increase density at high weight precision but idle at low precision; 8-operand pays too much area"
 	return []*report.Table{t}, nil
@@ -315,6 +340,15 @@ func Fig14(o Options) ([]*report.Table, error) {
 	}
 	t := report.NewTable("Fig. 14: Macro C energy/MAC across array sizes and workloads",
 		"workload", "array", "DAC+MAC (pJ)", "ADC+Accum (pJ)", "control (pJ)", "total (pJ)")
+	// The workload x array-size matrix is a grid sweep: fan it across the
+	// batch executor.
+	type cell struct {
+		name string
+		net  *workload.Network
+		size int
+	}
+	var cells []cell
+	var reqs []serve.Request
 	for _, n := range nets {
 		for _, size := range sizes {
 			// Macro C's analog weights are read at an effective 2-bit
@@ -327,20 +361,28 @@ func Fig14(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := evalNet(arch, n.net, o)
-			if err != nil {
-				return nil, err
-			}
-			b := bucketEnergy(res, n.net, map[string][]string{
-				"dacmac": {"dac", "cell"},
-				"adc":    {"adc", "analog_accum"},
-			}, "control")
-			perMAC := 1e12 / float64(res.MACs)
-			t.AddRow(n.name, fmt.Sprintf("%dx%d", size, size),
-				report.Num(b["dacmac"]*perMAC), report.Num(b["adc"]*perMAC),
-				report.Num(b["control"]*perMAC),
-				report.Num((b["dacmac"]+b["adc"]+b["control"])*perMAC))
+			cells = append(cells, cell{n.name, n.net, size})
+			reqs = append(reqs, serve.Request{
+				Tag:  fmt.Sprintf("%s/%dx%d", n.name, size, size),
+				Arch: arch, Net: n.net,
+				MaxMappings: o.mappings(), Seed: o.Seed,
+			})
 		}
+	}
+	resList, err := sweepNets(reqs, o)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range resList {
+		b := bucketEnergy(res, cells[i].net, map[string][]string{
+			"dacmac": {"dac", "cell"},
+			"adc":    {"adc", "analog_accum"},
+		}, "control")
+		perMAC := 1e12 / float64(res.MACs)
+		t.AddRow(cells[i].name, fmt.Sprintf("%dx%d", cells[i].size, cells[i].size),
+			report.Num(b["dacmac"]*perMAC), report.Num(b["adc"]*perMAC),
+			report.Num(b["control"]*perMAC),
+			report.Num((b["dacmac"]+b["adc"]+b["control"])*perMAC))
 	}
 	t.Note = "energy falls with array size for large workloads, saturates for medium, and reverses for small tensors"
 	return []*report.Table{t}, nil
@@ -431,10 +473,13 @@ func Fig16(o Options) ([]*report.Table, error) {
 	if o.Fast {
 		size = 16
 	}
+	// One request per (weight bits, input bits, macro): the whole
+	// cross-macro precision grid fans across the batch executor.
+	builds := []func(macros.Config) (*core.Arch, error){macros.A, macros.B, macros.D}
+	macroNames := []string{"A", "B", "D"}
+	var reqs []serve.Request
 	for _, wb := range weightBits {
 		for _, ib := range inputBits {
-			eff := make([]float64, 3)
-			builds := []func(macros.Config) (*core.Arch, error){macros.A, macros.B, macros.D}
 			for i, build := range builds {
 				cfg := macros.Config{
 					NodeNm: 7, ADCBits: 8,
@@ -456,11 +501,26 @@ func Fig16(o Options) ([]*report.Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				r, err := evalMaxUtil(arch, o)
+				req, err := maxUtilRequest(arch,
+					fmt.Sprintf("macro-%s/wb%d/ib%d", macroNames[i], wb, ib), o)
 				if err != nil {
 					return nil, err
 				}
-				eff[i] = r.TOPSPerW()
+				reqs = append(reqs, req)
+			}
+		}
+	}
+	resList, err := sweepNets(reqs, o)
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, wb := range weightBits {
+		for _, ib := range inputBits {
+			eff := make([]float64, len(builds))
+			for i := range builds {
+				eff[i] = resList[idx].PerLayer[0].TOPSPerW()
+				idx++
 			}
 			t.AddRow(fmt.Sprintf("%d", wb), fmt.Sprintf("%d", ib),
 				report.Num(eff[0]), report.Num(eff[1]), report.Num(eff[2]))

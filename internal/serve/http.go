@@ -2,24 +2,39 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/macros"
+	"repro/internal/serve/jobs"
 	"repro/internal/workload"
 )
 
 // Handler returns the HTTP JSON API:
 //
-//	GET  /healthz         liveness + cache counters
-//	POST /v1/evaluate     one Request -> Result
-//	POST /v1/sweep        {"requests": [...]} or a macro/network/scenario
-//	                      grid -> {"results": [...], "table": "..."}
-//	GET  /v1/macros       published macro models (Table III)
-//	GET  /v1/networks     model-zoo workloads
-//	GET  /v1/experiments  reproducible paper artifacts
-//	POST /v1/experiments  {"name": "fig2a", ...} -> rendered tables
+//	GET  /healthz              liveness + cache counters + job counts
+//	POST /v1/evaluate          one Request -> Result
+//	POST /v1/sweep             {"requests": [...]} or a macro/network/
+//	                           scenario grid -> {"results": [...],
+//	                           "table": "..."}; grids at or beyond the
+//	                           async threshold (or "async": true) return
+//	                           202 Accepted with a job instead
+//	POST /v1/jobs              submit a sweep as an async job -> 202
+//	                           {"job": {...}, "status_url": ...}; a full
+//	                           queue returns 429 with a Retry-After header
+//	GET  /v1/jobs              retained jobs, submission order
+//	GET  /v1/jobs/{id}         one job: status, completed/total, partial
+//	                           results, first error; 404 when unknown
+//	POST /v1/jobs/{id}/cancel  request cancellation (idempotent); stops
+//	                           in-flight layer searches
+//	GET  /v1/macros            published macro models (Table III)
+//	GET  /v1/networks          model-zoo workloads
+//	GET  /v1/experiments       reproducible paper artifacts
+//	POST /v1/experiments       {"name": "fig2a", ...} -> rendered tables
 //
 // All endpoints speak JSON; errors return {"error": "..."} with a 4xx/5xx
 // status.
@@ -28,6 +43,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/macros", s.handleMacros)
 	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
@@ -62,6 +81,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":     "ok",
 		"uptime_sec": time.Since(s.start).Seconds(),
 		"cache":      s.CacheStats(),
+		"jobs":       s.JobStats(),
 	})
 }
 
@@ -70,7 +90,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	res, err := s.Evaluate(req)
+	res, err := s.EvaluateCtx(r.Context(), req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -78,8 +98,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// sweepRequest is the /v1/sweep body: either an explicit request list or
-// a grid specification, not both.
+// sweepRequest is the /v1/sweep and /v1/jobs body: either an explicit
+// request list or a grid specification, not both.
 type sweepRequest struct {
 	Requests []Request `json:"requests,omitempty"`
 
@@ -88,6 +108,17 @@ type sweepRequest struct {
 	Scenarios   []string `json:"scenarios,omitempty"`
 	Layers      int      `json:"layers,omitempty"`
 	MaxMappings int      `json:"max_mappings,omitempty"`
+
+	// Async forces the job path regardless of grid size (/v1/sweep only;
+	// /v1/jobs is always async).
+	Async bool `json:"async,omitempty"`
+}
+
+func (b *sweepRequest) resolve() []Request {
+	if len(b.Requests) > 0 {
+		return b.Requests
+	}
+	return Grid(b.Macros, b.Networks, b.Scenarios, b.Layers, b.MaxMappings)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -95,11 +126,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &body) {
 		return
 	}
-	reqs := body.Requests
-	if len(reqs) == 0 {
-		reqs = Grid(body.Macros, body.Networks, body.Scenarios, body.Layers, body.MaxMappings)
+	reqs := body.resolve()
+	// Grid-sized sweeps don't hold the connection open: hand back a job.
+	if thr := s.opts.asyncThreshold(); body.Async || (thr > 0 && len(reqs) >= thr) {
+		s.acceptJob(w, reqs)
+		return
 	}
-	results, err := s.Sweep(reqs)
+	// The request context stops the feeder when the client disconnects.
+	results, err := s.SweepCtx(r.Context(), reqs, 0, nil)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -109,6 +143,68 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		"table":   SweepTable(results).String(),
 		"cache":   s.CacheStats(),
 	})
+}
+
+// acceptJob submits reqs as an async sweep job and answers 202 (or 429 +
+// Retry-After under backpressure).
+func (s *Server) acceptJob(w http.ResponseWriter, reqs []Request) {
+	snap, err := s.SubmitSweep(reqs, 0)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		secs := int(math.Ceil(s.RetryAfter().Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		// The server is shutting down, not the client misbehaving.
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"job":        snap,
+		"status_url": "/v1/jobs/" + snap.ID,
+	})
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var body sweepRequest
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	s.acceptJob(w, body.resolve())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":  s.Jobs(),
+		"stats": s.JobStats(),
+	})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.CancelJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleMacros(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,506 @@
+// Package jobs is the async half of the batch-evaluation service: an
+// in-memory store of long-running jobs with bounded concurrency, a
+// bounded pending queue (the service's backpressure valve), per-item
+// progress, cancellation, and bounded retention of finished jobs.
+//
+// The store is deliberately ignorant of what a job computes: a job is a
+// function of a context plus a progress reporter. The serving layer wraps
+// grid sweeps into jobs; tests wrap stubs. Cancellation flows through the
+// job's context, which the serving layer plumbs down into the per-layer
+// mapping search, so cancelling a job stops in-flight work rather than
+// merely hiding its result.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Lifecycle: Queued -> Running -> one of the terminal states. Cancelling
+// a queued job skips Running.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusSucceeded Status = "succeeded"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	switch s {
+	case StatusSucceeded, StatusFailed, StatusCancelled:
+		return true
+	}
+	return false
+}
+
+// Report records one completed work item: its index in the job's work
+// list, a JSON-ready partial result, and the item's error (nil on
+// success). Safe for concurrent use from many workers.
+type Report func(index int, partial any, err error)
+
+// Fn is a job body. It must honor ctx — a cancelled job's fn is expected
+// to return promptly with ctx.Err() — and may call report after each
+// completed item. Its return value becomes the job's final result.
+type Fn func(ctx context.Context, report Report) (any, error)
+
+// Options bounds the store. The zero value is usable.
+type Options struct {
+	// MaxRunning bounds concurrently running jobs (default 1: one job at
+	// a time owns the evaluation worker pool).
+	MaxRunning int
+	// MaxQueued bounds the pending queue; Submit returns ErrQueueFull
+	// beyond it (default 8).
+	MaxQueued int
+	// Retention bounds retained terminal jobs; the oldest finished jobs
+	// are evicted beyond it (default 64). Queued and running jobs are
+	// never evicted.
+	Retention int
+	// RetryAfter is the backoff hint paired with ErrQueueFull
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+func (o Options) maxRunning() int {
+	if o.MaxRunning > 0 {
+		return o.MaxRunning
+	}
+	return 1
+}
+
+func (o Options) maxQueued() int {
+	if o.MaxQueued > 0 {
+		return o.MaxQueued
+	}
+	return 8
+}
+
+func (o Options) retention() int {
+	if o.Retention > 0 {
+		return o.Retention
+	}
+	return 64
+}
+
+func (o Options) retryAfter() time.Duration {
+	if o.RetryAfter > 0 {
+		return o.RetryAfter
+	}
+	return time.Second
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at
+// capacity — the caller should retry after Store.RetryAfter.
+var ErrQueueFull = errors.New("jobs: pending queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("jobs: store closed")
+
+// Snapshot is a point-in-time copy of one job, JSON-ready for the HTTP
+// API.
+type Snapshot struct {
+	ID     string `json:"id"`
+	Label  string `json:"label,omitempty"`
+	Status Status `json:"status"`
+
+	// Completed counts reported items; Total is the work-list size.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// FirstError is the first per-item failure (items after it keep
+	// running; a sweep reports per-request errors without poisoning the
+	// batch).
+	FirstError string `json:"first_error,omitempty"`
+
+	// Results holds per-item partial results in work-list order, nil
+	// until the item completes. Populated while the job runs; omitted
+	// from List summaries.
+	Results []any `json:"results,omitempty"`
+	// Result is the job body's return value, set on success; omitted
+	// from List summaries.
+	Result any `json:"result,omitempty"`
+	// Error is the job body's terminal error, set on failure.
+	Error string `json:"error,omitempty"`
+
+	CreatedAt  time.Time `json:"created_at"`
+	ElapsedSec float64   `json:"elapsed_sec"`
+}
+
+// Done reports whether the snapshot is in a terminal state.
+func (s Snapshot) Done() bool { return s.Status.Terminal() }
+
+// job is the store's mutable record. All fields below the fn line are
+// guarded by the store mutex.
+type job struct {
+	id    string
+	label string
+	total int
+	fn    Fn
+
+	status    Status
+	completed int
+	firstErr  string
+	partials  []any
+	result    any
+	err       string
+
+	cancel          context.CancelFunc // non-nil only while running
+	cancelRequested bool
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	done            chan struct{} // closed on terminal transition
+}
+
+// Store owns the jobs, their queue, and the runner goroutines. All
+// methods are safe for concurrent use.
+type Store struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // wakes runners when pending grows or the store closes
+	seq     int
+	jobs    map[string]*job
+	order   []*job // insertion order: List and retention eviction
+	pending []*job // FIFO of queued jobs; cancellation removes in place
+	started bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewStore returns a store. Its opts.maxRunning runner goroutines start
+// lazily on the first Submit, so servers that never use async jobs (the
+// experiment runner's package-level sweeper, say) cost nothing.
+func NewStore(opts Options) *Store {
+	s := &Store{
+		opts: opts,
+		jobs: make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// startLocked launches the runner goroutines once.
+func (s *Store) startLocked() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.opts.maxRunning(); i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+}
+
+// runner drains the pending queue until the store closes.
+func (s *Store) runner() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.run(j)
+		s.mu.Lock()
+	}
+}
+
+// RetryAfter is the backoff hint to pair with ErrQueueFull (the HTTP
+// layer turns it into a Retry-After header).
+func (s *Store) RetryAfter() time.Duration { return s.opts.retryAfter() }
+
+// Stats counts jobs by lifecycle stage.
+type Stats struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Finished int `json:"finished"`
+}
+
+// Stats snapshots the store's occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st Stats
+	for _, j := range s.order {
+		switch {
+		case j.status == StatusQueued:
+			st.Queued++
+		case j.status == StatusRunning:
+			st.Running++
+		default:
+			st.Finished++
+		}
+	}
+	return st
+}
+
+// Submit enqueues a job with a work list of total items and returns its
+// initial snapshot. It fails fast with ErrQueueFull when the pending
+// queue is at capacity — the backpressure contract — and never blocks on
+// a saturated pool. Cancelling a queued job frees its slot immediately.
+func (s *Store) Submit(label string, total int, fn Fn) (Snapshot, error) {
+	if fn == nil {
+		return Snapshot{}, errors.New("jobs: nil job body")
+	}
+	if total < 0 {
+		total = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, ErrClosed
+	}
+	if len(s.pending) >= s.opts.maxQueued() {
+		return Snapshot{}, ErrQueueFull
+	}
+	s.startLocked()
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("job-%06d", s.seq),
+		label:    label,
+		total:    total,
+		fn:       fn,
+		status:   StatusQueued,
+		partials: make([]any, total),
+		created:  time.Now(),
+		done:     make(chan struct{}),
+	}
+	s.pending = append(s.pending, j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.cond.Signal()
+	return j.snapshotLocked(), nil
+}
+
+// run executes one dequeued job to a terminal state.
+func (s *Store) run(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s.mu.Lock()
+	if j.status != StatusQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	s.mu.Unlock()
+
+	report := func(i int, partial any, err error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if i >= 0 && i < len(j.partials) {
+			j.partials[i] = partial
+		}
+		j.completed++
+		if err != nil && j.firstErr == "" {
+			j.firstErr = err.Error()
+		}
+	}
+	result, err := j.fn(ctx, report)
+
+	s.mu.Lock()
+	j.cancel = nil
+	switch {
+	case j.cancelRequested:
+		j.status = StatusCancelled
+		if err != nil && !errors.Is(err, context.Canceled) {
+			j.err = err.Error()
+		}
+	case err != nil:
+		j.status = StatusFailed
+		j.err = err.Error()
+	default:
+		j.status = StatusSucceeded
+		j.result = result
+	}
+	s.finishLocked(j)
+	s.mu.Unlock()
+}
+
+// finishLocked stamps a terminal job, wakes waiters, and applies the
+// retention bound.
+func (s *Store) finishLocked(j *job) {
+	j.fn = nil // the body never runs again; don't pin its captures
+	j.finished = time.Now()
+	close(j.done)
+	terminal := 0
+	for _, o := range s.order {
+		if o.status.Terminal() {
+			terminal++
+		}
+	}
+	for i := 0; i < len(s.order) && terminal > s.opts.retention(); {
+		if !s.order[i].status.Terminal() {
+			i++
+			continue
+		}
+		delete(s.jobs, s.order[i].id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		terminal--
+	}
+}
+
+// Get returns a snapshot of one job.
+func (s *Store) Get(id string) (Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshotLocked(), true
+}
+
+// List snapshots every retained job in submission order. Listings are
+// summaries — per-item Results and the final Result are omitted (a
+// retention's worth of grid-sized payloads would dwarf the listing and
+// stall the progress path, which shares the store mutex); fetch one job
+// with Get for the full payload.
+func (s *Store) List() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Snapshot, 0, len(s.order))
+	for _, j := range s.order {
+		out = append(out, j.summaryLocked())
+	}
+	return out
+}
+
+// Cancel requests cancellation of one job and returns its snapshot. A
+// queued job transitions straight to cancelled; a running job has its
+// context cancelled and reaches the cancelled state when its body
+// returns; a terminal job is untouched. Cancel is idempotent — repeated
+// calls are no-ops — and only reports false for unknown IDs.
+func (s *Store) Cancel(id string) (Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	switch j.status {
+	case StatusQueued:
+		j.cancelRequested = true
+		j.status = StatusCancelled
+		s.dropPendingLocked(j)
+		s.finishLocked(j)
+	case StatusRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			j.cancel()
+		}
+	}
+	return j.snapshotLocked(), true
+}
+
+// dropPendingLocked removes a job from the pending queue so its slot is
+// reusable the moment it is cancelled, not when a runner would have
+// reached it. The job may already be off the queue (a runner popped it
+// but has not yet marked it running); that is fine — the runner skips
+// non-queued jobs.
+func (s *Store) dropPendingLocked(j *job) {
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires,
+// returning the final snapshot.
+func (s *Store) Wait(ctx context.Context, id string) (Snapshot, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Snapshot{}, fmt.Errorf("jobs: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return Snapshot{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.snapshotLocked(), nil
+}
+
+// Close stops accepting jobs, cancels everything queued or running, and
+// waits for the runners to drain.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for _, j := range s.order {
+		switch j.status {
+		case StatusQueued:
+			j.cancelRequested = true
+			j.status = StatusCancelled
+			s.dropPendingLocked(j)
+			s.finishLocked(j)
+		case StatusRunning:
+			if !j.cancelRequested {
+				j.cancelRequested = true
+				j.cancel()
+			}
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// summaryLocked copies the job's scalar fields under the store mutex —
+// everything but the payloads.
+func (j *job) summaryLocked() Snapshot {
+	snap := Snapshot{
+		ID:         j.id,
+		Label:      j.label,
+		Status:     j.status,
+		Completed:  j.completed,
+		Total:      j.total,
+		FirstError: j.firstErr,
+		Error:      j.err,
+		CreatedAt:  j.created,
+	}
+	switch {
+	case j.status.Terminal() && !j.started.IsZero():
+		snap.ElapsedSec = j.finished.Sub(j.started).Seconds()
+	case j.status == StatusRunning:
+		snap.ElapsedSec = time.Since(j.started).Seconds()
+	}
+	return snap
+}
+
+// snapshotLocked is summaryLocked plus the payloads. The partial slice
+// is copied so readers never alias the live buffer; the values themselves
+// are immutable once reported.
+func (j *job) snapshotLocked() Snapshot {
+	snap := j.summaryLocked()
+	snap.Result = j.result
+	if j.completed > 0 {
+		snap.Results = append([]any(nil), j.partials...)
+	}
+	return snap
+}

@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pollJob polls GET /v1/jobs/{id} until the job reaches a terminal state.
+func pollJob(t *testing.T, do func(method, path, body string) (int, map[string]any), id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		status, snap := do("GET", "/v1/jobs/"+id, "")
+		if status != http.StatusOK {
+			t.Fatalf("job get: %d %v", status, snap)
+		}
+		switch snap["status"] {
+		case "succeeded", "failed", "cancelled":
+			return snap
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return nil
+}
+
+// acceptedJobID unwraps a 202 response.
+func acceptedJobID(t *testing.T, status int, out map[string]any) string {
+	t.Helper()
+	if status != http.StatusAccepted {
+		t.Fatalf("status %d, want 202: %v", status, out)
+	}
+	job, ok := out["job"].(map[string]any)
+	if !ok {
+		t.Fatalf("202 without job: %v", out)
+	}
+	id, _ := job["id"].(string)
+	if id == "" {
+		t.Fatalf("202 without job id: %v", out)
+	}
+	if url, _ := out["status_url"].(string); url != "/v1/jobs/"+id {
+		t.Fatalf("status_url %q", url)
+	}
+	return id
+}
+
+// TestHTTPOversizedSweepBecomesJob checks the 202 handoff: a grid at the
+// async threshold returns a job instead of blocking, and polling the job
+// reaches a succeeded state with per-item progress and the sweep table.
+func TestHTTPOversizedSweepBecomesJob(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 2, AsyncThreshold: 2})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+
+	status, out := do("POST", "/v1/sweep",
+		`{"macros": ["base", "macro-b"], "networks": ["toy"], "max_mappings": 2}`)
+	id := acceptedJobID(t, status, out)
+
+	final := pollJob(t, do, id)
+	if final["status"] != "succeeded" {
+		t.Fatalf("final: %v", final)
+	}
+	if c, _ := final["completed"].(float64); c != 2 {
+		t.Fatalf("completed %v, want 2", final["completed"])
+	}
+	if tot, _ := final["total"].(float64); tot != 2 {
+		t.Fatalf("total %v", final["total"])
+	}
+	results, _ := final["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("partial results: %v", final["results"])
+	}
+	table, _ := final["result"].(string)
+	if !strings.Contains(table, "Batch sweep") {
+		t.Fatalf("result table: %v", final["result"])
+	}
+
+	// Under the threshold the endpoint still answers synchronously.
+	status, out = do("POST", "/v1/sweep",
+		`{"macros": ["base"], "networks": ["toy"], "max_mappings": 2}`)
+	if status != http.StatusOK || out["results"] == nil {
+		t.Fatalf("small sweep went async: %d %v", status, out)
+	}
+}
+
+// TestHTTPExplicitAsyncAndJobsEndpoint checks "async": true and the
+// dedicated POST /v1/jobs submission path.
+func TestHTTPExplicitAsyncAndJobsEndpoint(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1, AsyncThreshold: -1})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+
+	// Threshold disabled, but the client opts in explicitly.
+	status, out := do("POST", "/v1/sweep",
+		`{"macros": ["base"], "networks": ["toy"], "max_mappings": 2, "async": true}`)
+	id := acceptedJobID(t, status, out)
+	pollJob(t, do, id)
+
+	// POST /v1/jobs is always async.
+	status, out = do("POST", "/v1/jobs",
+		`{"macros": ["base"], "networks": ["toy"], "max_mappings": 2}`)
+	id2 := acceptedJobID(t, status, out)
+	if id2 == id {
+		t.Fatalf("job IDs not unique: %s", id2)
+	}
+	pollJob(t, do, id2)
+
+	// Both retained and listed in submission order.
+	status, out = do("GET", "/v1/jobs", "")
+	if status != http.StatusOK {
+		t.Fatalf("list: %d", status)
+	}
+	listed, _ := out["jobs"].([]any)
+	if len(listed) != 2 {
+		t.Fatalf("listed %d jobs: %v", len(listed), out)
+	}
+	first, _ := listed[0].(map[string]any)
+	if first["id"] != id {
+		t.Fatalf("list order: %v", listed)
+	}
+
+	// Healthz surfaces job occupancy next to the cache counters.
+	status, health := do("GET", "/healthz", "")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: %d", status)
+	}
+	jstats, ok := health["jobs"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz missing jobs: %v", health)
+	}
+	if f, _ := jstats["finished"].(float64); f != 2 {
+		t.Fatalf("healthz job stats: %v", jstats)
+	}
+}
+
+// TestHTTPJobNotFound checks unknown job IDs 404 on both get and cancel.
+func TestHTTPJobNotFound(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+	status, out := do("GET", "/v1/jobs/job-999999", "")
+	if status != http.StatusNotFound || out["error"] == "" {
+		t.Fatalf("get unknown: %d %v", status, out)
+	}
+	status, out = do("POST", "/v1/jobs/job-999999/cancel", "")
+	if status != http.StatusNotFound || out["error"] == "" {
+		t.Fatalf("cancel unknown: %d %v", status, out)
+	}
+}
+
+// TestHTTPJobCancel submits a heavyweight job over HTTP, cancels it, and
+// polls to the cancelled state.
+func TestHTTPJobCancel(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+
+	status, out := do("POST", "/v1/jobs",
+		`{"macros": ["base", "macro-a", "macro-b", "macro-d"], "networks": ["resnet18"], "max_mappings": 400}`)
+	id := acceptedJobID(t, status, out)
+
+	status, snap := do("POST", "/v1/jobs/"+id+"/cancel", "")
+	if status != http.StatusOK {
+		t.Fatalf("cancel: %d %v", status, snap)
+	}
+	final := pollJob(t, do, id)
+	if final["status"] != "cancelled" {
+		t.Fatalf("final: %v", final)
+	}
+	// Cancelling again after the terminal state stays a 200 no-op.
+	status, snap = do("POST", "/v1/jobs/"+id+"/cancel", "")
+	if status != http.StatusOK || snap["status"] != "cancelled" {
+		t.Fatalf("duplicate cancel: %d %v", status, snap)
+	}
+}
+
+// TestHTTPClosedStore503 checks a shutting-down server answers job
+// submissions with 503, not a client-blaming 400.
+func TestHTTPClosedStore503(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	_, do := testClient(t, srv)
+	srv.Close()
+	status, out := do("POST", "/v1/jobs", `{"macros": ["base"], "networks": ["toy"]}`)
+	if status != http.StatusServiceUnavailable || out["error"] == "" {
+		t.Fatalf("submit after close: %d %v", status, out)
+	}
+}
+
+// TestHTTPQueueFull429 checks the backpressure contract on the wire: a
+// saturated job queue answers 429 with a Retry-After header.
+func TestHTTPQueueFull429(t *testing.T) {
+	srv := NewServer(BatchOptions{
+		MaxRunningJobs: 1, MaxQueuedJobs: 1,
+		JobRetryAfter: 3 * time.Second,
+	})
+	defer srv.Close()
+	ts, do := testClient(t, srv)
+
+	runningID, release := blockingJob(t, srv)
+	defer release()
+	waitRunning(t, srv, runningID)
+	_, releaseQueued := blockingJob(t, srv)
+	defer releaseQueued()
+
+	// The helper hides headers; issue the saturating request manually.
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"macros": ["base"], "networks": ["toy"], "max_mappings": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", ra)
+	}
+
+	// An oversized synchronous sweep hitting the same wall also 429s.
+	srv2 := NewServer(BatchOptions{
+		AsyncThreshold: 1, MaxRunningJobs: 1, MaxQueuedJobs: 1,
+	})
+	defer srv2.Close()
+	ts2, _ := testClient(t, srv2)
+	running2, release2 := blockingJob(t, srv2)
+	defer release2()
+	waitRunning(t, srv2, running2)
+	_, releaseQueued2 := blockingJob(t, srv2)
+	defer releaseQueued2()
+	resp2, err := ts2.Client().Post(ts2.URL+"/v1/sweep", "application/json",
+		strings.NewReader(`{"macros": ["base"], "networks": ["toy"], "max_mappings": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("sweep status %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("sweep 429 without Retry-After")
+	}
+	_ = do
+}

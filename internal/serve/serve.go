@@ -21,6 +21,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -31,10 +32,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/macros"
 	"repro/internal/report"
+	"repro/internal/serve/jobs"
 	"repro/internal/specfile"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
+
+// DefaultAsyncThreshold is the grid size at which /v1/sweep stops
+// answering synchronously and hands back a job instead.
+const DefaultAsyncThreshold = 16
 
 // BatchOptions tunes the service. The zero value is usable: one worker
 // per CPU, the default mapping budget, and the default cache bound.
@@ -48,6 +54,33 @@ type BatchOptions struct {
 	// CacheEntries bounds the engine/context LRU (default
 	// DefaultCacheEntries).
 	CacheEntries int
+
+	// AsyncThreshold promotes /v1/sweep grids of at least this many
+	// requests to async jobs answered with 202 Accepted (default
+	// DefaultAsyncThreshold). Negative disables size-based promotion
+	// only: clients can still opt in per request ("async": true) or use
+	// /v1/jobs directly.
+	AsyncThreshold int
+	// MaxRunningJobs bounds concurrently running async jobs (default 1:
+	// one job at a time owns the evaluation worker pool).
+	MaxRunningJobs int
+	// MaxQueuedJobs bounds the pending job queue; submissions beyond it
+	// are rejected with 429 + Retry-After (default 8).
+	MaxQueuedJobs int
+	// JobRetention bounds retained finished jobs (default 64).
+	JobRetention int
+	// JobRetryAfter is the Retry-After hint paired with a 429 (default 1s).
+	JobRetryAfter time.Duration
+}
+
+func (o BatchOptions) asyncThreshold() int {
+	switch {
+	case o.AsyncThreshold > 0:
+		return o.AsyncThreshold
+	case o.AsyncThreshold < 0:
+		return 0 // disabled
+	}
+	return DefaultAsyncThreshold
 }
 
 func (o BatchOptions) workers() int {
@@ -69,6 +102,7 @@ func (o BatchOptions) mappings() int {
 type Server struct {
 	opts  BatchOptions
 	cache *Cache
+	jobs  *jobs.Store
 	start time.Time
 
 	// ExperimentNames and RunExperiment are injected by the facade so the
@@ -79,17 +113,31 @@ type Server struct {
 	RunExperiment   func(name string, fast bool, maxMappings int, seed int64) ([]*report.Table, error)
 }
 
-// NewServer constructs a service with its own cache.
+// NewServer constructs a service with its own cache and job store.
 func NewServer(opts BatchOptions) *Server {
 	return &Server{
 		opts:  opts,
 		cache: NewCache(opts.CacheEntries),
+		jobs: jobs.NewStore(jobs.Options{
+			MaxRunning: opts.MaxRunningJobs,
+			MaxQueued:  opts.MaxQueuedJobs,
+			Retention:  opts.JobRetention,
+			RetryAfter: opts.JobRetryAfter,
+		}),
 		start: time.Now(),
 	}
 }
 
 // CacheStats snapshots the shared cache counters.
 func (s *Server) CacheStats() Stats { return s.cache.Stats() }
+
+// JobStats snapshots the job store's occupancy.
+func (s *Server) JobStats() jobs.Stats { return s.jobs.Stats() }
+
+// Close cancels every queued or running job and waits for the job
+// runners to drain. The cache stays usable; Close exists so tests and
+// embedding programs shut the async machinery down deterministically.
+func (s *Server) Close() { s.jobs.Close() }
 
 // Request describes one evaluation: an architecture source, an optional
 // full-system wrap, and a workload. Exactly one of Macro, Spec, or Arch
@@ -227,6 +275,14 @@ func (r *Request) resolveNet() (*workload.Network, error) {
 // context are fetched (or compiled once) from the content-addressed
 // cache, and only the per-mapping count analysis runs unconditionally.
 func (s *Server) Evaluate(req Request) (*Result, error) {
+	return s.EvaluateCtx(context.Background(), req)
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation and deadlines
+// are checked between layers and inside each layer's mapping search, so
+// a cancelled request (client disconnect, job cancel) stops in-flight
+// work instead of finishing the evaluation.
+func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) {
 	started := time.Now()
 	arch, err := req.resolveArch()
 	if err != nil {
@@ -251,11 +307,14 @@ func (s *Server) Evaluate(req Request) (*Result, error) {
 	// amortized context through the cache instead of re-preparing it.
 	nr := &core.NetworkResult{Arch: eng.Arch().Name, Network: net.Name, AreaUm2: eng.Area()}
 	for i, l := range net.Layers {
-		ctx, err := s.cache.LayerContext(eng, l)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lctx, err := s.cache.LayerContext(eng, l)
 		if err != nil {
 			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
 		}
-		r, _, err := eng.SearchLayer(ctx, mappings, req.Seed+int64(i))
+		r, _, err := eng.SearchLayerCtx(ctx, lctx, mappings, req.Seed+int64(i))
 		if err != nil {
 			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
 		}
@@ -299,35 +358,60 @@ func (r *Request) tag(archName, netName string) string {
 // Per-request failures land in Result.Err; the sweep itself only fails on
 // an empty batch.
 func (s *Server) Sweep(reqs []Request) ([]*Result, error) {
-	return s.SweepN(reqs, s.opts.workers())
+	return s.SweepCtx(context.Background(), reqs, s.opts.workers(), nil)
 }
 
 // SweepN is Sweep with an explicit worker bound overriding the server's
 // (callers like the experiment runner carry their own parallelism knob).
 func (s *Server) SweepN(reqs []Request, workers int) ([]*Result, error) {
+	return s.SweepCtx(context.Background(), reqs, workers, nil)
+}
+
+// SweepCtx is the sweep's full form: a context that stops the feeder —
+// once ctx is cancelled no further grid items are dispatched, and
+// in-flight evaluations abort through the per-layer search — plus an
+// optional onDone callback invoked from the completion path as each item
+// finishes (the progress stream the async job API surfaces). Results are
+// returned in request order; on cancellation the partial slice is
+// returned alongside ctx.Err(), with never-dispatched items left nil.
+func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDone func(int, *Result)) ([]*Result, error) {
 	if len(reqs) == 0 {
 		return nil, errors.New("serve: empty sweep")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = s.opts.workers()
 	}
-	type indexed struct {
-		i   int
-		res *Result
-	}
-	jobs := make(chan int)
-	done := make(chan indexed)
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
+	type indexed struct {
+		i   int
+		res *Result // nil: skipped because the sweep was cancelled
+	}
+	feed := make(chan int)
+	done := make(chan indexed)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				res, err := s.Evaluate(reqs[i])
+			for i := range feed {
+				if ctx.Err() != nil {
+					done <- indexed{i, nil}
+					continue
+				}
+				res, err := s.EvaluateCtx(ctx, reqs[i])
 				if err != nil {
+					if ctx.Err() != nil {
+						// Interrupted, not failed: leave the slot empty
+						// rather than reporting a context error as a
+						// per-request failure.
+						done <- indexed{i, nil}
+						continue
+					}
 					res = &Result{Tag: reqs[i].tag(reqs[i].Macro, reqs[i].Network), Err: err.Error()}
 				}
 				done <- indexed{i, res}
@@ -335,18 +419,77 @@ func (s *Server) SweepN(reqs []Request, workers int) ([]*Result, error) {
 		}()
 	}
 	go func() {
+		defer func() {
+			close(feed)
+			wg.Wait()
+			close(done)
+		}()
 		for i := range reqs {
-			jobs <- i
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return // stop dispatching the rest of the grid
+			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(done)
 	}()
 	out := make([]*Result, len(reqs))
 	for d := range done {
+		if d.res == nil {
+			continue
+		}
 		out[d.i] = d.res
+		if onDone != nil {
+			onDone(d.i, d.res)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 	return out, nil
+}
+
+// SubmitSweep enqueues a sweep as an async job: the batch fans across
+// the worker pool in the background, per-item completions stream into
+// the job's progress, and the finished job carries the rendered sweep
+// table as its result. Returns jobs.ErrQueueFull when the pending queue
+// is saturated (the HTTP layer's 429 + Retry-After).
+func (s *Server) SubmitSweep(reqs []Request, workers int) (jobs.Snapshot, error) {
+	if len(reqs) == 0 {
+		return jobs.Snapshot{}, errors.New("serve: empty sweep")
+	}
+	label := fmt.Sprintf("sweep of %d requests", len(reqs))
+	return s.jobs.Submit(label, len(reqs), func(ctx context.Context, report jobs.Report) (any, error) {
+		results, err := s.SweepCtx(ctx, reqs, workers, func(i int, r *Result) {
+			var itemErr error
+			if r.Err != "" {
+				itemErr = errors.New(r.Err)
+			}
+			report(i, r, itemErr)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return SweepTable(results).String(), nil
+	})
+}
+
+// RetryAfter is the backoff hint paired with jobs.ErrQueueFull.
+func (s *Server) RetryAfter() time.Duration { return s.jobs.RetryAfter() }
+
+// Job returns one job's snapshot.
+func (s *Server) Job(id string) (jobs.Snapshot, bool) { return s.jobs.Get(id) }
+
+// Jobs snapshots every retained job in submission order.
+func (s *Server) Jobs() []jobs.Snapshot { return s.jobs.List() }
+
+// CancelJob requests cancellation of one job (idempotent; false only for
+// unknown IDs). Cancellation propagates through the job's context into
+// the per-layer mapping search, stopping in-flight work.
+func (s *Server) CancelJob(id string) (jobs.Snapshot, bool) { return s.jobs.Cancel(id) }
+
+// WaitJob blocks until the job reaches a terminal state or ctx expires.
+func (s *Server) WaitJob(ctx context.Context, id string) (jobs.Snapshot, error) {
+	return s.jobs.Wait(ctx, id)
 }
 
 // Grid builds the cross product of macros x networks x scenarios as a
