@@ -163,6 +163,60 @@ func BenchmarkNetworkEvaluation(b *testing.B) {
 	}
 }
 
+// Intra-request mapping-search parallelism: one layer, a large candidate
+// budget, serial vs fanned evaluation. The parallel path streams
+// candidates from the sampler into the pool and returns bit-identical
+// results, so these benchmarks measure pure latency scaling — the
+// single-request axis the request-level pool can't touch. CI's benchmark
+// gate compares Serial vs Parallel8 (see BENCH_baseline.json and
+// cmd/benchgate).
+
+// searchBudget is large enough that per-candidate evaluation dominates
+// the serial sampler (Amdahl headroom for the fan-out).
+const searchBudget = 256
+
+func benchSearchLayer(b *testing.B, workers int) {
+	b.Helper()
+	eng, lctx := benchEngine(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, evaluated, err := eng.SearchLayerOptsCtx(ctx, lctx, core.SearchOptions{
+			MaxMappings: searchBudget, Seed: 1, SearchWorkers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r == nil || evaluated == 0 {
+			b.Fatal("empty search")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(evaluated), "cands")
+		}
+	}
+}
+
+func BenchmarkSearchLayerSerial(b *testing.B)    { benchSearchLayer(b, 1) }
+func BenchmarkSearchLayerParallel2(b *testing.B) { benchSearchLayer(b, 2) }
+func BenchmarkSearchLayerParallel4(b *testing.B) { benchSearchLayer(b, 4) }
+func BenchmarkSearchLayerParallel8(b *testing.B) { benchSearchLayer(b, 8) }
+
+// BenchmarkEvaluateRequestParallel measures the serve path end to end
+// with intra-request fan-out on a warm cache: the single-request latency
+// a client of /v1/evaluate sees with "search_workers" set.
+func BenchmarkEvaluateRequestParallel(b *testing.B) {
+	srv := NewServer(BatchOptions{SearchWorkers: 8})
+	req := EvalRequest{Macro: "base", Network: "toy", MaxMappings: searchBudget}
+	if _, err := srv.Evaluate(req); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Evaluate(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMappingsPerSecond reports the paper's Table II headline metric
 // directly as mappings/sec on one core.
 func BenchmarkMappingsPerSecond(b *testing.B) {

@@ -84,6 +84,23 @@
 // The experiment runner itself routes its grid sweeps (Fig. 2, Fig.
 // 13-16) through the same executor, so reproductions get the parallel
 // speedup and cache reuse for free.
+//
+// # Intra-request parallel mapping search
+//
+// Within one request, each layer's candidate mappings can be costed in
+// parallel: SearchWorkers (a BatchOptions default, a per-request
+// "search_workers" field, Engine.EvaluateNetworkOptsCtx's SearchOptions,
+// or the CLI's -search-workers flag) fans evaluations across a bounded
+// goroutine pool. The parallel search preserves the serial path's exact
+// semantics — the winner is the minimum-cost candidate with ties broken
+// by lowest candidate index, the first evaluation error is reported in
+// candidate order, and cancellation is checked before every candidate —
+// so results are bit-identical at any width; only latency changes. Inside
+// a Server the fan-out draws on a concurrency budget shared with the
+// request-level worker pool (capacity max(Workers, SearchWorkers),
+// reported under /healthz as "search"): a saturated pool degrades
+// searches to serial rather than oversubscribing the machine, and a lone
+// request gets the whole budget.
 package cimloop
 
 import (
@@ -112,6 +129,9 @@ type (
 	// LayerContext is the per-layer amortized state (PMFs and per-action
 	// energies).
 	LayerContext = core.LayerContext
+	// SearchOptions bundles the per-layer mapping-search knobs (budget,
+	// seed, and SearchWorkers for intra-layer parallel search).
+	SearchOptions = core.SearchOptions
 )
 
 // Workload types.

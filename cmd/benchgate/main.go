@@ -1,0 +1,212 @@
+// Command benchgate is the CI benchmark-regression gate: it parses `go
+// test -bench` output, compares it against a committed baseline
+// (BENCH_baseline.json), and fails when a benchmark regressed beyond the
+// tolerance.
+//
+// Raw ns/op numbers are machine-dependent, so the comparison is
+// normalized by a reference benchmark present in both the baseline and
+// the current run: every baseline figure is scaled by
+// current(ref)/baseline(ref) before the tolerance is applied. A CI runner
+// half as fast as the baseline machine doubles every allowance; what
+// trips the gate is a benchmark slowing down relative to its peers.
+//
+//	go test -run xxx -bench 'SearchLayer|Sweep' -benchtime 3x -count 3 . > bench.txt
+//	go run ./cmd/benchgate bench.txt             # gate against the baseline
+//	go run ./cmd/benchgate -update bench.txt     # rewrite the baseline
+//
+// The gate also asserts the intra-request search fan-out actually scales:
+// with -min-speedup S, BenchmarkSearchLayerSerial must be at least S
+// times slower than BenchmarkSearchLayerParallel8 in the current run.
+// The check is skipped on hosts with fewer than four CPUs (a 1-core
+// container cannot exhibit parallel speedup, only preserve correctness).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed benchmark record.
+type Baseline struct {
+	// Note documents the recording machine and the refresh command.
+	Note string `json:"note,omitempty"`
+	// Reference names the benchmark used to normalize machine speed.
+	Reference string `json:"reference"`
+	// NsPerOp maps benchmark name (without the -procs suffix) to its
+	// recorded ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench reads `go test -bench` output and returns the minimum ns/op
+// per benchmark name (minimum across -count repetitions, the
+// least-noise estimator for a regression gate).
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results in %s", path)
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
+	update := flag.Bool("update", false, "rewrite the baseline from the bench output instead of gating")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown after normalization")
+	ref := flag.String("ref", "BenchmarkEvaluateMapping", "reference benchmark for machine-speed normalization")
+	minSpeedup := flag.Float64("min-speedup", 0,
+		"required SearchLayerSerial/SearchLayerParallel8 ratio (0 disables; skipped below 4 CPUs)")
+	note := flag.String("note", "", "note stored in the baseline on -update")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] bench_output.txt")
+		os.Exit(2)
+	}
+	cur, err := parseBench(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Reference: *ref, NsPerOp: cur}
+		if b.Note == "" {
+			b.Note = fmt.Sprintf("recorded on a %d-CPU host; refresh: go test -run xxx -bench . -benchtime 3x -count 3 . > bench.txt && go run ./cmd/benchgate -update bench.txt", runtime.NumCPU())
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks, reference %s)\n", *baselinePath, len(cur), *ref)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+	// The baseline's recorded reference wins unless -ref was given
+	// explicitly on the command line.
+	refSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "ref" {
+			refSet = true
+		}
+	})
+	if base.Reference != "" && !refSet {
+		*ref = base.Reference
+	}
+	curRef, okCur := cur[*ref]
+	baseRef, okBase := base.NsPerOp[*ref]
+	if !okCur || !okBase || baseRef <= 0 {
+		fatal(fmt.Errorf("reference benchmark %s missing from current run or baseline; run it alongside the gated set", *ref))
+	}
+	scale := curRef / baseRef
+	fmt.Printf("benchgate: machine-speed scale %.3f (reference %s: %.0f ns/op now, %.0f recorded)\n",
+		scale, *ref, curRef, baseRef)
+
+	// Every baseline benchmark must be present in the current run: a
+	// renamed benchmark, a drifted -bench regex, or a run that died
+	// part-way would otherwise drop out of the gate silently.
+	var names, missing []string
+	for name := range base.NsPerOp {
+		if name == *ref {
+			continue
+		}
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		} else {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(missing)
+	failed := 0
+	if len(missing) > 0 {
+		fmt.Printf("benchgate: %d baseline benchmark(s) absent from this run (regex drift? partial run?):\n", len(missing))
+		for _, name := range missing {
+			fmt.Printf("  %s\n", name)
+		}
+		failed += len(missing)
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no gated benchmarks overlap between %s and the current run — -bench regex too narrow?", *baselinePath))
+	}
+	for _, name := range names {
+		allowed := base.NsPerOp[name] * scale * (1 + *tolerance)
+		got := cur[name]
+		delta := got/(base.NsPerOp[name]*scale) - 1
+		status := "ok"
+		if got > allowed {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("  %-40s %12.0f ns/op  allowed %12.0f  (%+.1f%%)  %s\n",
+			name, got, allowed, delta*100, status)
+	}
+
+	if *minSpeedup > 0 {
+		serial, okS := cur["BenchmarkSearchLayerSerial"]
+		par, okP := cur["BenchmarkSearchLayerParallel8"]
+		switch {
+		case runtime.NumCPU() < 4:
+			fmt.Printf("benchgate: %d CPUs — parallel-speedup assertion skipped\n", runtime.NumCPU())
+		case !okS || !okP:
+			fmt.Println("benchgate: SearchLayer serial/parallel pair not in this run — speedup assertion skipped")
+		default:
+			speedup := serial / par
+			fmt.Printf("benchgate: search fan-out speedup %.2fx at 8 workers (need >= %.2fx)\n", speedup, *minSpeedup)
+			if speedup < *minSpeedup {
+				fmt.Println("benchgate: FAIL — parallel mapping search no longer scales")
+				failed++
+			}
+		}
+	}
+
+	if failed > 0 {
+		fmt.Printf("benchgate: FAIL — %d check(s) regressed, went missing, or stopped scaling\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

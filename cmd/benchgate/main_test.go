@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	out := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSearchLayerSerial    	     252	   8812500 ns/op	       256.0 cands
+BenchmarkSearchLayerSerial    	     260	   8500000 ns/op	       256.0 cands
+BenchmarkSearchLayerParallel8-8 	     289	   7240013.5 ns/op
+BenchmarkSweepWarmCache       	     100	    123456 ns/op
+PASS
+ok  	repro	6.134s
+`
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repetitions collapse to the minimum; the -procs suffix is stripped.
+	if got["BenchmarkSearchLayerSerial"] != 8500000 {
+		t.Fatalf("serial min = %g", got["BenchmarkSearchLayerSerial"])
+	}
+	if got["BenchmarkSearchLayerParallel8"] != 7240013.5 {
+		t.Fatalf("parallel = %g", got["BenchmarkSearchLayerParallel8"])
+	}
+	if got["BenchmarkSweepWarmCache"] != 123456 {
+		t.Fatalf("sweep = %g", got["BenchmarkSweepWarmCache"])
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(got))
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(path, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseBench(path); err == nil {
+		t.Fatal("empty bench output parsed without error")
+	}
+}

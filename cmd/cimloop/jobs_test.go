@@ -113,10 +113,10 @@ func TestJobsErrors(t *testing.T) {
 		{"jobs", "status"},
 		{"jobs", "wait"},
 		{"jobs", "cancel"},
-		{"jobs", "submit", "-addr", url},                       // no grid
-		{"jobs", "status", "job-999999", "-addr", url},         // 404
-		{"jobs", "cancel", "job-999999", "-addr", url},         // 404
-		{"jobs", "submit", "-addr", url, "-no-such-flag"},      // bad flag
+		{"jobs", "submit", "-addr", url}, // no grid
+		{"jobs", "status", "job-999999", "-addr", url},           // 404
+		{"jobs", "cancel", "job-999999", "-addr", url},           // 404
+		{"jobs", "submit", "-addr", url, "-no-such-flag"},        // bad flag
 		{"jobs", "status", "job-000001", "-addr", "127.0.0.1:1"}, // nothing listening
 	}
 	for _, c := range cases {

@@ -5,17 +5,24 @@
 // Usage:
 //
 //	cimloop list
-//	cimloop run <experiment|all> [-fast] [-csv] [-mappings N] [-seed N]
+//	cimloop run <experiment|all> [-fast] [-csv] [-mappings N] [-seed N] [-search-workers N]
 //	cimloop macros
-//	cimloop spec <file.yaml> [-network NAME] [-mappings N]
-//	cimloop serve [-addr :8080] [-workers N] [-mappings N] [-cache N]
+//	cimloop spec <file.yaml> [-network NAME] [-mappings N] [-search-workers N]
+//	cimloop serve [-addr :8080] [-workers N] [-mappings N] [-cache N] [-search-workers N]
 //	cimloop jobs submit|list|status|wait|cancel [...] [-addr URL]
+//
+// -search-workers fans each layer's candidate mapping evaluations across
+// a bounded goroutine pool. The parallel search is bit-identical to the
+// serial one (deterministic minimum-cost, lowest-index winner), so the
+// flag only changes latency, never results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	cimloop "repro"
 	"repro/internal/core"
@@ -68,7 +75,8 @@ func usage() {
   cimloop run <experiment|all> [-fast] [-csv] ...    regenerate paper tables/figures
   cimloop macros                                     show macro parameters (Table III)
   cimloop spec <file.yaml> [-network NAME] ...       evaluate a textual specification
-  cimloop serve [-addr :8080] [-workers N] ...       run the batch-evaluation HTTP service
+  cimloop serve [-addr :8080] [-workers N] [-search-workers N] ...
+                                                     run the batch-evaluation HTTP service
   cimloop jobs submit -macros a,b -networks x ...    submit an async sweep to a serve instance
   cimloop jobs list|status <id>|wait <id>|cancel <id>  inspect and control async jobs`)
 }
@@ -77,6 +85,8 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "evaluation goroutines (0 = one per CPU)")
+	searchWorkers := fs.Int("search-workers", 0,
+		"per-request mapping-search fan-out, budget shared with the worker pool (0 = serial)")
 	mappings := fs.Int("mappings", 0, "default per-layer mapping budget (0 = 60)")
 	cacheEntries := fs.Int("cache", 0, "engine/context cache entries (0 = default)")
 	asyncThreshold := fs.Int("async-threshold", 0,
@@ -90,6 +100,7 @@ func runServe(args []string) error {
 	// /v1/experiments can list and regenerate paper artifacts.
 	srv := cimloop.NewServer(cimloop.BatchOptions{
 		Workers:        *workers,
+		SearchWorkers:  *searchWorkers,
 		MaxMappings:    *mappings,
 		CacheEntries:   *cacheEntries,
 		AsyncThreshold: *asyncThreshold,
@@ -106,6 +117,8 @@ func runExperiments(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	mappings := fs.Int("mappings", 0, "mapping search budget (0 = default)")
 	seed := fs.Int64("seed", 0, "random seed")
+	searchWorkers := fs.Int("search-workers", 0,
+		"per-layer mapping-search fan-out (0 = one per CPU; results identical at any width)")
 	if len(args) == 0 {
 		return fmt.Errorf("run: missing experiment name (try 'cimloop list')")
 	}
@@ -113,7 +126,7 @@ func runExperiments(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	opts := experiments.Options{Fast: *fast, MaxMappings: *mappings, Seed: *seed}
+	opts := experiments.Options{Fast: *fast, MaxMappings: *mappings, Seed: *seed, SearchWorkers: *searchWorkers}
 	names := []string{name}
 	if name == "all" {
 		names = experiments.Names()
@@ -149,6 +162,8 @@ func runSpec(args []string) error {
 	network := fs.String("network", "toy", "workload to evaluate")
 	mappings := fs.Int("mappings", 50, "mapping search budget")
 	seed := fs.Int64("seed", 0, "random seed")
+	searchWorkers := fs.Int("search-workers", 0,
+		"per-layer mapping-search fan-out (0 = one per CPU; results identical at any width)")
 	if len(args) == 0 {
 		return fmt.Errorf("spec: missing file path")
 	}
@@ -172,7 +187,12 @@ func runSpec(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := eng.EvaluateNetwork(net, *mappings, *seed)
+	sw := *searchWorkers
+	if sw <= 0 {
+		sw = runtime.NumCPU()
+	}
+	res, err := eng.EvaluateNetworkOptsCtx(context.Background(), net, core.SearchOptions{
+		MaxMappings: *mappings, Seed: *seed, SearchWorkers: sw})
 	if err != nil {
 		return err
 	}

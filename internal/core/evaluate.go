@@ -198,6 +198,21 @@ func (e *Engine) GreedyMapping(ctx *LayerContext) (*mapping.Mapping, error) {
 	return mapper.Greedy(e.arch.Levels, ctx.Sliced, opts)
 }
 
+// SearchOptions bundles the per-layer mapping-search knobs.
+type SearchOptions struct {
+	// MaxMappings caps the candidate budget (<=0 selects the mapper's
+	// default).
+	MaxMappings int
+	// Seed drives candidate sampling.
+	Seed int64
+	// SearchWorkers fans candidate cost evaluations across a bounded
+	// worker pool; <= 1 keeps the serial path. The parallel search returns
+	// bit-identical results (deterministic minimum-cost, lowest-index
+	// winner), so the knob trades goroutines for single-request latency
+	// without changing any answer.
+	SearchWorkers int
+}
+
 // SearchLayer finds the lowest-energy mapping for a prepared layer,
 // evaluating up to maxMappings candidates. It returns the best result and
 // the number of mappings evaluated.
@@ -211,7 +226,35 @@ func (e *Engine) SearchLayer(ctx *LayerContext, maxMappings int, seed int64) (*R
 // of finishing the whole budget. Deadlines and job cancellation in the
 // serving layer reach in-flight work through this path.
 func (e *Engine) SearchLayerCtx(ctx context.Context, lctx *LayerContext, maxMappings int, seed int64) (*Result, int, error) {
-	opts := e.arch.MapperOptions(maxMappings, seed)
+	return e.SearchLayerOptsCtx(ctx, lctx, SearchOptions{MaxMappings: maxMappings, Seed: seed})
+}
+
+// SearchLayerOptsCtx is the full form of the per-layer search: the
+// SearchOptions select the budget, seed, and intra-search parallelism.
+// With SearchWorkers > 1 candidate evaluations fan across a worker pool
+// (mapper.SearchParallelCtx) and the winning mapping is re-evaluated once
+// to build the Result — EvaluateMapping is deterministic, so the Result is
+// bit-identical to the serial path's.
+func (e *Engine) SearchLayerOptsCtx(ctx context.Context, lctx *LayerContext, so SearchOptions) (*Result, int, error) {
+	opts := e.arch.MapperOptions(so.MaxMappings, so.Seed)
+	if so.SearchWorkers > 1 {
+		cost := func(m *mapping.Mapping) (float64, error) {
+			r, err := e.EvaluateMapping(lctx, m)
+			if err != nil {
+				return 0, err
+			}
+			return r.Energy, nil
+		}
+		best, evaluated, err := mapper.SearchParallelCtx(ctx, e.arch.Levels, lctx.Sliced, opts, so.SearchWorkers, cost)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := e.EvaluateMapping(lctx, best.Mapping)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, evaluated, nil
+	}
 	var best *Result
 	cost := func(m *mapping.Mapping) (float64, error) {
 		r, err := e.EvaluateMapping(lctx, m)
@@ -237,15 +280,22 @@ func (e *Engine) EvaluateLayer(l workload.Layer, maxMappings int, seed int64) (*
 
 // EvaluateLayerCtx is EvaluateLayer under a context (see SearchLayerCtx).
 func (e *Engine) EvaluateLayerCtx(ctx context.Context, l workload.Layer, maxMappings int, seed int64) (*Result, error) {
+	r, _, err := e.EvaluateLayerOptsCtx(ctx, l, SearchOptions{MaxMappings: maxMappings, Seed: seed})
+	return r, err
+}
+
+// EvaluateLayerOptsCtx prepares a layer and searches its mapping space
+// with the full option set, additionally returning the number of mappings
+// evaluated.
+func (e *Engine) EvaluateLayerOptsCtx(ctx context.Context, l workload.Layer, so SearchOptions) (*Result, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	lctx, err := e.PrepareLayer(l)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	r, _, err := e.SearchLayerCtx(ctx, lctx, maxMappings, seed)
-	return r, err
+	return e.SearchLayerOptsCtx(ctx, lctx, so)
 }
 
 // NetworkResult aggregates per-layer best results over a whole network.
@@ -258,6 +308,9 @@ type NetworkResult struct {
 	TimeSec float64
 	MACs    int64
 	AreaUm2 float64
+	// MappingsEvaluated counts candidate mappings costed across all
+	// layers (not scaled by repeats) — the search-throughput denominator.
+	MappingsEvaluated int64
 }
 
 // TOPSPerW returns network-level energy efficiency.
@@ -293,12 +346,22 @@ func (e *Engine) EvaluateNetwork(n *workload.Network, maxMappings int, seed int6
 // EvaluateNetworkCtx is EvaluateNetwork under a context: cancellation is
 // checked between layers and inside each layer's mapping search.
 func (e *Engine) EvaluateNetworkCtx(ctx context.Context, n *workload.Network, maxMappings int, seed int64) (*NetworkResult, error) {
+	return e.EvaluateNetworkOptsCtx(ctx, n, SearchOptions{MaxMappings: maxMappings, Seed: seed})
+}
+
+// EvaluateNetworkOptsCtx is EvaluateNetwork with the full option set:
+// SearchWorkers > 1 fans each layer's candidate evaluations across a
+// worker pool for single-request latency, with results bit-identical to
+// the serial path (layer i still searches with Seed+i).
+func (e *Engine) EvaluateNetworkOptsCtx(ctx context.Context, n *workload.Network, so SearchOptions) (*NetworkResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
 	out := &NetworkResult{Arch: e.arch.Name, Network: n.Name, AreaUm2: e.area}
 	for i, l := range n.Layers {
-		r, err := e.EvaluateLayerCtx(ctx, l, maxMappings, seed+int64(i))
+		lso := so
+		lso.Seed = so.Seed + int64(i)
+		r, evaluated, err := e.EvaluateLayerOptsCtx(ctx, l, lso)
 		if err != nil {
 			return nil, fmt.Errorf("core: network %q layer %q: %w", n.Name, l.Name, err)
 		}
@@ -307,6 +370,7 @@ func (e *Engine) EvaluateNetworkCtx(ctx context.Context, n *workload.Network, ma
 		out.Energy += r.Energy * rep
 		out.TimeSec += r.TimeSec * rep
 		out.MACs += r.MACs * int64(l.Repeat)
+		out.MappingsEvaluated += int64(evaluated)
 	}
 	return out, nil
 }

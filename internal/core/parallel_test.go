@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/macros"
+	"repro/internal/workload"
+)
+
+// TestSearchLayerParallelMatchesSerial is the engine-level equivalence
+// property: the parallel per-layer search returns the identical best
+// mapping, energy, and evaluated count as the serial search across seeds
+// and worker counts — every metric, not just the winner's energy.
+func TestSearchLayerParallelMatchesSerial(t *testing.T) {
+	eng, lctx := cancelTestEngine(t)
+	for seed := int64(0); seed < 5; seed++ {
+		want, wantN, err := eng.SearchLayerOptsCtx(context.Background(), lctx,
+			core.SearchOptions{MaxMappings: 48, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, gotN, err := eng.SearchLayerOptsCtx(context.Background(), lctx,
+				core.SearchOptions{MaxMappings: 48, Seed: seed, SearchWorkers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotN != wantN {
+				t.Fatalf("seed %d workers %d: evaluated %d vs %d", seed, workers, gotN, wantN)
+			}
+			if got.Energy != want.Energy || got.Cycles != want.Cycles ||
+				got.Utilization != want.Utilization || got.TimeSec != want.TimeSec ||
+				got.Mapping.String() != want.Mapping.String() {
+				t.Fatalf("seed %d workers %d diverged:\n  parallel %g J %d cyc %s\n  serial   %g J %d cyc %s",
+					seed, workers, got.Energy, got.Cycles, got.Mapping,
+					want.Energy, want.Cycles, want.Mapping)
+			}
+		}
+	}
+}
+
+// TestEvaluateNetworkParallelMatchesSerial checks the network roll-up —
+// energies, times, per-layer mappings, and the evaluated count — is
+// unchanged by intra-layer parallelism.
+func TestEvaluateNetworkParallelMatchesSerial(t *testing.T) {
+	arch, err := macros.Base(macros.Config{Rows: 16, Cols: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := workload.Toy()
+	want, err := eng.EvaluateNetworkOptsCtx(context.Background(), net,
+		core.SearchOptions{MaxMappings: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.EvaluateNetworkOptsCtx(context.Background(), net,
+		core.SearchOptions{MaxMappings: 16, Seed: 7, SearchWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Energy != want.Energy || got.TimeSec != want.TimeSec ||
+		got.MACs != want.MACs || got.MappingsEvaluated != want.MappingsEvaluated {
+		t.Fatalf("parallel network result diverged: %+v vs %+v", got, want)
+	}
+	if want.MappingsEvaluated == 0 {
+		t.Fatal("MappingsEvaluated not populated")
+	}
+	for i := range want.PerLayer {
+		if got.PerLayer[i].Mapping.String() != want.PerLayer[i].Mapping.String() {
+			t.Fatalf("layer %d picked %s, serial picks %s",
+				i, got.PerLayer[i].Mapping, want.PerLayer[i].Mapping)
+		}
+	}
+}
+
+// TestSearchLayerParallelCancelled checks an already-cancelled context
+// short-circuits the parallel search like the serial one.
+func TestSearchLayerParallelCancelled(t *testing.T) {
+	eng, lctx := cancelTestEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, evaluated, err := eng.SearchLayerOptsCtx(ctx, lctx,
+		core.SearchOptions{MaxMappings: 64, Seed: 1, SearchWorkers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if evaluated != 0 {
+		t.Fatalf("evaluated %d mappings after cancellation, want 0", evaluated)
+	}
+}
+
+// TestSearchLayerParallelStopsMidSearch is the parallel twin of the serial
+// countdown test: cancellation observed mid-fan-out aborts the search
+// before the budget is exhausted.
+func TestSearchLayerParallelStopsMidSearch(t *testing.T) {
+	eng, lctx := cancelTestEngine(t)
+	const budget = 64
+	_, full, err := eng.SearchLayerOptsCtx(context.Background(), lctx,
+		core.SearchOptions{MaxMappings: budget, Seed: 1, SearchWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= 8 {
+		t.Skipf("search only evaluates %d candidates; cannot observe an early stop", full)
+	}
+	ctx := &countdownCtx{Context: context.Background(), left: 3}
+	_, evaluated, err := eng.SearchLayerOptsCtx(ctx, lctx,
+		core.SearchOptions{MaxMappings: budget, Seed: 1, SearchWorkers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !ctx.fired {
+		t.Fatal("parallel search never polled the context")
+	}
+	if evaluated >= full {
+		t.Fatalf("evaluated %d of %d candidates despite mid-search cancellation", evaluated, full)
+	}
+}

@@ -66,7 +66,7 @@ func Fig2a(o Options) ([]*report.Table, error) {
 			return nil, err
 		}
 		reqs = append(reqs, serve.Request{
-			Tag: fmt.Sprintf("%dx%d", size, size),
+			Tag:  fmt.Sprintf("%dx%d", size, size),
 			Arch: sys, Net: net,
 			MaxMappings: o.mappings(), Seed: o.Seed,
 		})
@@ -427,7 +427,7 @@ func Fig15(o Options) ([]*report.Table, error) {
 			}
 			cells = append(cells, cell{sc, n.name, n.net})
 			reqs = append(reqs, serve.Request{
-				Tag: sc.String() + "/" + n.name,
+				Tag:  sc.String() + "/" + n.name,
 				Arch: sys, Net: n.net,
 				MaxMappings: 1, Seed: o.Seed,
 			})

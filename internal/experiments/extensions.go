@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -32,7 +33,8 @@ func Devices(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.EvaluateNetwork(net, o.mappings(), o.Seed)
+		res, err := eng.EvaluateNetworkOptsCtx(context.Background(), net, core.SearchOptions{
+			MaxMappings: o.mappings(), Seed: o.Seed, SearchWorkers: o.searchWorkers()})
 		if err != nil {
 			return nil, err
 		}

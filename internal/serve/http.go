@@ -16,7 +16,8 @@ import (
 
 // Handler returns the HTTP JSON API:
 //
-//	GET  /healthz              liveness + cache counters + job counts
+//	GET  /healthz              liveness + cache counters + job counts +
+//	                           search-budget occupancy
 //	POST /v1/evaluate          one Request -> Result
 //	POST /v1/sweep             {"requests": [...]} or a macro/network/
 //	                           scenario grid -> {"results": [...],
@@ -82,6 +83,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_sec": time.Since(s.start).Seconds(),
 		"cache":      s.CacheStats(),
 		"jobs":       s.JobStats(),
+		"search":     s.SearchStats(),
 	})
 }
 

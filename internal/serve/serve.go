@@ -51,6 +51,16 @@ type BatchOptions struct {
 	// requests that do not set their own (default 60, matching the
 	// experiment runner).
 	MaxMappings int
+	// SearchWorkers is the default intra-request mapping-search fan-out:
+	// each layer's candidate evaluations spread across up to this many
+	// goroutines (default 1: serial search). Parallel search is
+	// bit-identical to serial — deterministic minimum-cost, lowest-index
+	// winner — so the knob only trades goroutines for single-request
+	// latency. The fan-out draws on a concurrency budget shared with the
+	// request-level worker pool (capacity max(Workers, SearchWorkers)), so
+	// nested parallelism never oversubscribes: a saturated pool degrades
+	// searches to serial, a lone request gets the whole budget.
+	SearchWorkers int
 	// CacheEntries bounds the engine/context LRU (default
 	// DefaultCacheEntries).
 	CacheEntries int
@@ -97,13 +107,32 @@ func (o BatchOptions) mappings() int {
 	return 60
 }
 
+func (o BatchOptions) searchWorkers() int {
+	if o.SearchWorkers > 0 {
+		return o.SearchWorkers
+	}
+	return 1
+}
+
+// budgetCapacity sizes the shared concurrency budget: wide enough for the
+// request pool at full tilt, and for the configured search fan-out when a
+// single request has the server to itself.
+func (o BatchOptions) budgetCapacity() int {
+	n := o.workers()
+	if sw := o.searchWorkers(); sw > n {
+		n = sw
+	}
+	return n
+}
+
 // Server owns the shared cache and worker bound. It is safe for
 // concurrent use; one Server is meant to outlive many requests.
 type Server struct {
-	opts  BatchOptions
-	cache *Cache
-	jobs  *jobs.Store
-	start time.Time
+	opts   BatchOptions
+	cache  *Cache
+	jobs   *jobs.Store
+	budget *tokenBudget
+	start  time.Time
 
 	// ExperimentNames and RunExperiment are injected by the facade so the
 	// HTTP API can list and run paper reproductions without this package
@@ -116,8 +145,9 @@ type Server struct {
 // NewServer constructs a service with its own cache and job store.
 func NewServer(opts BatchOptions) *Server {
 	return &Server{
-		opts:  opts,
-		cache: NewCache(opts.CacheEntries),
+		opts:   opts,
+		cache:  NewCache(opts.CacheEntries),
+		budget: newTokenBudget(opts.budgetCapacity()),
 		jobs: jobs.NewStore(jobs.Options{
 			MaxRunning: opts.MaxRunningJobs,
 			MaxQueued:  opts.MaxQueuedJobs,
@@ -133,6 +163,15 @@ func (s *Server) CacheStats() Stats { return s.cache.Stats() }
 
 // JobStats snapshots the job store's occupancy.
 func (s *Server) JobStats() jobs.Stats { return s.jobs.Stats() }
+
+// SearchStats snapshots the shared evaluation-concurrency budget.
+func (s *Server) SearchStats() BudgetStats {
+	return BudgetStats{
+		Capacity:      s.budget.capacity(),
+		Available:     s.budget.available(),
+		SearchWorkers: s.opts.searchWorkers(),
+	}
+}
 
 // Close cancels every queued or running job and waits for the job
 // runners to drain. The cache stays usable; Close exists so tests and
@@ -174,6 +213,12 @@ type Request struct {
 	// Seed drives the mapping search (layer i uses Seed+i, matching the
 	// sequential evaluator).
 	Seed int64 `json:"seed,omitempty"`
+	// SearchWorkers overrides the server's intra-request search fan-out
+	// for this request (<= 0 keeps the server default). The effective
+	// width is still clamped by the shared concurrency budget, so a
+	// request cannot oversubscribe a busy pool; answers are identical at
+	// any width.
+	SearchWorkers int `json:"search_workers,omitempty"`
 }
 
 // Result is one completed evaluation, JSON-ready for the HTTP API. Err is
@@ -193,6 +238,10 @@ type Result struct {
 	MACs           int64   `json:"macs,omitempty"`
 	TimeSec        float64 `json:"time_sec,omitempty"`
 	ElapsedSec     float64 `json:"elapsed_sec,omitempty"`
+	// MappingsEvaluated counts candidate mappings costed across all
+	// layers; jobs stream it with each partial result, so a client
+	// polling /v1/jobs/{id} sees search throughput, not just item counts.
+	MappingsEvaluated int64 `json:"mappings_evaluated,omitempty"`
 
 	// NetworkResult carries the full per-layer breakdown for programmatic
 	// callers (experiments); it is not serialized.
@@ -303,6 +352,17 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 	if mappings <= 0 {
 		mappings = s.opts.mappings()
 	}
+	searchWorkers := req.SearchWorkers
+	if searchWorkers <= 0 {
+		searchWorkers = s.opts.searchWorkers()
+	}
+	// Every evaluating goroutine — a sweep worker or a direct caller —
+	// holds one budget token for the duration of its request, so the
+	// budget is a single cap on actively-evaluating goroutines. Best
+	// effort: a caller that finds the budget empty proceeds anyway
+	// (requests must be served), it just cannot borrow fan-out extras.
+	self := s.budget.tryAcquire(1)
+	defer s.budget.release(self)
 	// Mirror core.Engine.EvaluateNetwork, but fetch each layer's
 	// amortized context through the cache instead of re-preparing it.
 	nr := &core.NetworkResult{Arch: eng.Arch().Name, Network: net.Name, AreaUm2: eng.Area()}
@@ -314,7 +374,20 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 		if err != nil {
 			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
 		}
-		r, _, err := eng.SearchLayerCtx(ctx, lctx, mappings, req.Seed+int64(i))
+		// The calling goroutine is one search worker for free; extras are
+		// borrowed per layer from the shared budget so concurrent requests
+		// split the machine instead of stacking goroutines. Returned
+		// between layers, the tokens keep the split fluid.
+		extra := 0
+		if searchWorkers > 1 {
+			extra = s.budget.tryAcquire(searchWorkers - 1)
+		}
+		r, evaluated, err := eng.SearchLayerOptsCtx(ctx, lctx, core.SearchOptions{
+			MaxMappings:   mappings,
+			Seed:          req.Seed + int64(i),
+			SearchWorkers: 1 + extra,
+		})
+		s.budget.release(extra)
 		if err != nil {
 			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
 		}
@@ -323,20 +396,22 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 		nr.Energy += r.Energy * rep
 		nr.TimeSec += r.TimeSec * rep
 		nr.MACs += r.MACs * int64(l.Repeat)
+		nr.MappingsEvaluated += int64(evaluated)
 	}
 	res := &Result{
-		Tag:            req.tag(arch.Name, net.Name),
-		Arch:           arch.Name,
-		Network:        net.Name,
-		EnergyJ:        nr.Energy,
-		EnergyPerMACpJ: nr.EnergyPerMAC() * 1e12,
-		TOPSPerW:       nr.TOPSPerW(),
-		GOPS:           nr.GOPS(),
-		AreaMM2:        nr.AreaUm2 / 1e6,
-		MACs:           nr.MACs,
-		TimeSec:        nr.TimeSec,
-		ElapsedSec:     time.Since(started).Seconds(),
-		NetworkResult:  nr,
+		Tag:               req.tag(arch.Name, net.Name),
+		Arch:              arch.Name,
+		Network:           net.Name,
+		EnergyJ:           nr.Energy,
+		EnergyPerMACpJ:    nr.EnergyPerMAC() * 1e12,
+		TOPSPerW:          nr.TOPSPerW(),
+		GOPS:              nr.GOPS(),
+		AreaMM2:           nr.AreaUm2 / 1e6,
+		MACs:              nr.MACs,
+		TimeSec:           nr.TimeSec,
+		ElapsedSec:        time.Since(started).Seconds(),
+		MappingsEvaluated: nr.MappingsEvaluated,
+		NetworkResult:     nr,
 	}
 	return res, nil
 }
@@ -403,6 +478,9 @@ func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 					done <- indexed{i, nil}
 					continue
 				}
+				// EvaluateCtx itself holds one budget token per in-flight
+				// evaluation, so the pool and any intra-request fan-out
+				// share one global concurrency cap.
 				res, err := s.EvaluateCtx(ctx, reqs[i])
 				if err != nil {
 					if ctx.Err() != nil {
