@@ -282,6 +282,29 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepWarmFromDisk measures a restart with a populated cache
+// dir: each iteration boots a fresh server (scan + decode + admit) and
+// runs the sweep from the restored entries. The delta against
+// BenchmarkSweepColdCache is the warm-start win — decoding plain-data
+// energy tables instead of re-running the per-layer pipeline — and the
+// delta against BenchmarkSweepWarmCache is the disk round trip's price.
+// CI's benchmark gate asserts ColdCache/WarmFromDisk stays above
+// -min-warm-speedup (see cmd/benchgate).
+func BenchmarkSweepWarmFromDisk(b *testing.B) {
+	dir := b.TempDir()
+	seed := NewServer(BatchOptions{Workers: 1, CacheDir: dir})
+	runSweep(b, seed, 1)
+	seed.Close() // flush the write-behind queue
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := NewServer(BatchOptions{Workers: 1, CacheDir: dir})
+		runSweep(b, srv, 1)
+		b.StopTimer()
+		srv.Close() // teardown (writer drain) off the clock
+		b.StartTimer()
+	}
+}
+
 // BenchmarkSweep1Worker and BenchmarkSweepNWorkers measure the worker
 // pool's scaling on a warm cache, so the comparison isolates the
 // executor (mapping search fan-out) from one-time compile costs. The

@@ -19,6 +19,12 @@
 // times slower than BenchmarkSearchLayerParallel8 in the current run.
 // The check is skipped on hosts with fewer than four CPUs (a 1-core
 // container cannot exhibit parallel speedup, only preserve correctness).
+//
+// Similarly, -min-warm-speedup W asserts the durable warm start still
+// pays: BenchmarkSweepColdCache must be at least W times slower than
+// BenchmarkSweepWarmFromDisk. Unlike the parallel assertion this one
+// holds on any CPU count — the win is avoided recomputation, not
+// parallelism — so it is never skipped.
 package main
 
 import (
@@ -86,6 +92,8 @@ func main() {
 	ref := flag.String("ref", "BenchmarkEvaluateMapping", "reference benchmark for machine-speed normalization")
 	minSpeedup := flag.Float64("min-speedup", 0,
 		"required SearchLayerSerial/SearchLayerParallel8 ratio (0 disables; skipped below 4 CPUs)")
+	minWarmSpeedup := flag.Float64("min-warm-speedup", 0,
+		"required SweepColdCache/SweepWarmFromDisk ratio (0 disables)")
 	note := flag.String("note", "", "note stored in the baseline on -update")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -194,6 +202,21 @@ func main() {
 			fmt.Printf("benchgate: search fan-out speedup %.2fx at 8 workers (need >= %.2fx)\n", speedup, *minSpeedup)
 			if speedup < *minSpeedup {
 				fmt.Println("benchgate: FAIL — parallel mapping search no longer scales")
+				failed++
+			}
+		}
+	}
+
+	if *minWarmSpeedup > 0 {
+		cold, okC := cur["BenchmarkSweepColdCache"]
+		warm, okW := cur["BenchmarkSweepWarmFromDisk"]
+		if !okC || !okW {
+			fmt.Println("benchgate: SweepColdCache/SweepWarmFromDisk pair not in this run — warm-start assertion skipped")
+		} else {
+			speedup := cold / warm
+			fmt.Printf("benchgate: warm-from-disk speedup %.2fx over cold (need >= %.2fx)\n", speedup, *minWarmSpeedup)
+			if speedup < *minWarmSpeedup {
+				fmt.Println("benchgate: FAIL — warm starts no longer beat recompilation")
 				failed++
 			}
 		}

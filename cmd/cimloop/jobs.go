@@ -137,6 +137,7 @@ type sweepBody struct {
 	Scenarios   []string `json:"scenarios,omitempty"`
 	Layers      int      `json:"layers,omitempty"`
 	MaxMappings int      `json:"max_mappings,omitempty"`
+	TimeoutSec  float64  `json:"timeout_sec,omitempty"`
 }
 
 func splitList(s string) []string {
@@ -160,8 +161,10 @@ func jobsSubmit(args []string) error {
 	scenarios := fs.String("scenarios", "", "comma-separated full-system scenarios (optional)")
 	layers := fs.Int("layers", 0, "cap evaluated layers per network (0 = all)")
 	mappings := fs.Int("mappings", 0, "per-layer mapping budget (0 = server default)")
+	jobTimeout := fs.Duration("timeout", 0,
+		"per-job deadline enforced server-side from job start (0 = none); an expired job fails with a deadline error")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its table")
-	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval with -wait")
+	interval := fs.Duration("interval", 500*time.Millisecond, "initial poll interval with -wait (doubles while idle)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,6 +173,7 @@ func jobsSubmit(args []string) error {
 		Networks:  splitList(*networks),
 		Scenarios: splitList(*scenarios),
 		Layers:    *layers, MaxMappings: *mappings,
+		TimeoutSec: jobTimeout.Seconds(),
 	}
 	if len(body.Macros) == 0 || len(body.Networks) == 0 {
 		return fmt.Errorf("jobs submit: need -macros and -networks")
@@ -251,7 +255,8 @@ func jobsStatus(id string, args []string) error {
 func jobsWait(id string, args []string) error {
 	fs := flag.NewFlagSet("jobs wait", flag.ContinueOnError)
 	addr := addrFlag(fs)
-	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval")
+	interval := fs.Duration("interval", 500*time.Millisecond,
+		"initial poll interval (doubles while the job makes no progress)")
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -259,9 +264,17 @@ func jobsWait(id string, args []string) error {
 	return waitAndPrint(newJobsClient(*addr), id, *interval, *timeout)
 }
 
+// waitMaxInterval caps the poll backoff: a long-running overnight sweep
+// is checked every few seconds instead of hammering the server at the
+// initial rate for hours.
+const waitMaxInterval = 8 * time.Second
+
 // waitAndPrint polls the job to a terminal state, echoing progress
-// transitions to stderr, then prints the final snapshot. A failed or
-// cancelled job is a non-zero exit.
+// transitions to stderr, then prints the final snapshot. The poll
+// interval backs off exponentially (doubling up to waitMaxInterval) while
+// the job reports no new completions, and resets to the initial interval
+// on progress — fast feedback when the job moves, light touch when it
+// doesn't. A failed or cancelled job is a non-zero exit.
 func waitAndPrint(c *jobsClient, id string, interval, timeout time.Duration) error {
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
@@ -272,6 +285,7 @@ func waitAndPrint(c *jobsClient, id string, interval, timeout time.Duration) err
 	}
 	lastCompleted := -1
 	seen := false
+	delay := interval
 	for {
 		var snap jobs.Snapshot
 		if err := c.do("GET", "/v1/jobs/"+id, nil, &snap); err != nil {
@@ -287,6 +301,7 @@ func waitAndPrint(c *jobsClient, id string, interval, timeout time.Duration) err
 		seen = true
 		if snap.Completed != lastCompleted {
 			lastCompleted = snap.Completed
+			delay = interval // progress: back to the responsive rate
 			fmt.Fprintf(os.Stderr, "%s: %s %d/%d\n", snap.ID, snap.Status, snap.Completed, snap.Total)
 		}
 		if snap.Status.Terminal() {
@@ -299,7 +314,23 @@ func waitAndPrint(c *jobsClient, id string, interval, timeout time.Duration) err
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return fmt.Errorf("job %s still %s after %s", id, snap.Status, timeout)
 		}
-		time.Sleep(interval)
+		sleep := delay
+		if !deadline.IsZero() {
+			// Never sleep past the deadline: an 8s backoff must not turn
+			// a -timeout 10s into an 18s wait.
+			if remaining := time.Until(deadline); remaining < sleep {
+				sleep = remaining
+			}
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if delay *= 2; delay > waitMaxInterval {
+			delay = waitMaxInterval
+		}
+		if delay < interval {
+			delay = interval // an interval above the cap stays honored
+		}
 	}
 }
 

@@ -9,12 +9,18 @@
 //	cimloop macros
 //	cimloop spec <file.yaml> [-network NAME] [-mappings N] [-search-workers N]
 //	cimloop serve [-addr :8080] [-workers N] [-mappings N] [-cache N] [-search-workers N]
+//	              [-cache-dir DIR] [-jobs-dir DIR]
 //	cimloop jobs submit|list|status|wait|cancel [...] [-addr URL]
 //
 // -search-workers fans each layer's candidate mapping evaluations across
 // a bounded goroutine pool. The parallel search is bit-identical to the
 // serial one (deterministic minimum-cost, lowest-index winner), so the
 // flag only changes latency, never results.
+//
+// -cache-dir and -jobs-dir enable durable warm starts (package persist):
+// compiled engines, per-layer contexts, and job records persist across
+// restarts, so a restarted server serves repeated requests as cache hits
+// and still answers /v1/jobs/{id} for jobs finished before the restart.
 package main
 
 import (
@@ -22,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	cimloop "repro"
 	"repro/internal/core"
@@ -75,7 +83,7 @@ func usage() {
   cimloop run <experiment|all> [-fast] [-csv] ...    regenerate paper tables/figures
   cimloop macros                                     show macro parameters (Table III)
   cimloop spec <file.yaml> [-network NAME] ...       evaluate a textual specification
-  cimloop serve [-addr :8080] [-workers N] [-search-workers N] ...
+  cimloop serve [-addr :8080] [-workers N] [-cache-dir DIR] [-jobs-dir DIR] ...
                                                      run the batch-evaluation HTTP service
   cimloop jobs submit -macros a,b -networks x ...    submit an async sweep to a serve instance
   cimloop jobs list|status <id>|wait <id>|cancel <id>  inspect and control async jobs`)
@@ -89,6 +97,10 @@ func runServe(args []string) error {
 		"per-request mapping-search fan-out, budget shared with the worker pool (0 = serial)")
 	mappings := fs.Int("mappings", 0, "default per-layer mapping budget (0 = 60)")
 	cacheEntries := fs.Int("cache", 0, "engine/context cache entries (0 = default)")
+	cacheDir := fs.String("cache-dir", "",
+		"directory for durable engine/context warm starts (empty = in-memory only)")
+	jobsDir := fs.String("jobs-dir", "",
+		"directory for job durability: terminal snapshots survive restarts, interrupted jobs replay (empty = in-memory only)")
 	asyncThreshold := fs.Int("async-threshold", 0,
 		"sweep size that returns 202 + a job instead of blocking (0 = default; negative = only on explicit \"async\": true or /v1/jobs)")
 	jobQueue := fs.Int("job-queue", 0, "pending async jobs before 429 + Retry-After (0 = default)")
@@ -103,12 +115,27 @@ func runServe(args []string) error {
 		SearchWorkers:  *searchWorkers,
 		MaxMappings:    *mappings,
 		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		JobsDir:        *jobsDir,
 		AsyncThreshold: *asyncThreshold,
 		MaxQueuedJobs:  *jobQueue,
 		JobRetention:   *jobRetention,
 	})
+	// Requested-but-broken durability should fail loudly at startup, not
+	// silently serve cold forever.
+	if err := srv.PersistError(); err != nil {
+		return err
+	}
+	if ps := srv.PersistStats(); ps.Enabled {
+		fmt.Fprintf(os.Stderr, "cimloop: warm start: %d engines, %d contexts, %d jobs restored, %d replayed, %d skipped\n",
+			ps.Warm.Engines, ps.Warm.Contexts, ps.Warm.Jobs, ps.Warm.Replayed, ps.Warm.Skipped)
+	}
+	// SIGINT/SIGTERM drain in flight requests and flush the write-behind
+	// persistence queues before exit, so a restarted instance starts warm.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Fprintf(os.Stderr, "cimloop: serving on %s\n", *addr)
-	return srv.ListenAndServe(*addr)
+	return srv.ListenAndServeCtx(ctx, *addr)
 }
 
 func runExperiments(args []string) error {

@@ -95,6 +95,21 @@ func Delta(v float64) *PMF {
 	return &PMF{pts: []Point{{Value: v, Prob: 1}}}
 }
 
+// Restore rebuilds a PMF from points previously obtained via Points,
+// without renormalizing: the input must already satisfy the PMF
+// invariants (sorted, strictly increasing, positive mass summing to one
+// within tolerance). Unlike FromPoints — whose normalization divides every
+// probability by the float sum and so can perturb the stored bits —
+// Restore copies the points verbatim, which is what lets a serialized PMF
+// round-trip bit-exactly (package persist's warm-start codec).
+func Restore(pts []Point) (*PMF, error) {
+	p := &PMF{pts: append([]Point(nil), pts...)}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // UniformInts returns the uniform distribution over the integers
 // lo, lo+1, ..., hi inclusive.
 func UniformInts(lo, hi int) (*PMF, error) {

@@ -44,6 +44,48 @@ func TestFromPointsNormalization(t *testing.T) {
 	}
 }
 
+// TestRestoreBitExact: Restore(p.Points()) reproduces the PMF without
+// renormalization — every value and probability bit-identical — while
+// invalid point lists (the failure modes of a corrupted serialization)
+// are rejected.
+func TestRestoreBitExact(t *testing.T) {
+	src, err := FromPoints([]Point{{0, 0.3}, {1, 0.1}, {2, 0.45}, {7, 0.15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(src.Points())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range got.Points() {
+		if pt != src.Points()[i] {
+			t.Fatalf("point %d: %+v != %+v (must be bit-identical)", i, pt, src.Points()[i])
+		}
+	}
+	// Restore copies: mutating the input afterwards must not alias.
+	pts := append([]Point(nil), src.Points()...)
+	restored, err := Restore(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts[0].Prob = 0.9999
+	if restored.Points()[0].Prob != src.Points()[0].Prob {
+		t.Fatal("Restore must copy its input")
+	}
+	for name, bad := range map[string][]Point{
+		"empty":          {},
+		"unsorted":       {{2, 0.5}, {1, 0.5}},
+		"duplicate":      {{1, 0.5}, {1, 0.5}},
+		"negative prob":  {{1, 1.5}, {2, -0.5}},
+		"mass not unity": {{1, 0.25}, {2, 0.25}},
+		"non-finite":     {{math.Inf(1), 1}},
+	} {
+		if _, err := Restore(bad); err == nil {
+			t.Fatalf("%s: Restore must reject invalid points", name)
+		}
+	}
+}
+
 func TestConstructors(t *testing.T) {
 	d := Delta(3)
 	if d.Len() != 1 || d.Mean() != 3 || d.ProbAt(3) != 1 {

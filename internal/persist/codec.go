@@ -1,0 +1,52 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Kind-specific payload codecs. Payloads are JSON: the envelope already
+// carries the binary framing (magic, version, checksum), and every value
+// being persisted is plain data — architectures, energy tables, PMF
+// points, job snapshots — for which Go's JSON round-trips float64 values
+// bit-exactly (shortest round-trip formatting). Decoders validate before
+// returning so a decoded value is always usable.
+
+// EncodeEngine serializes a compiled engine as its architecture — the
+// plain-data form an engine is deterministically compiled from.
+func EncodeEngine(e *core.Engine) ([]byte, error) {
+	return json.Marshal(e.Arch())
+}
+
+// DecodeEngine rebuilds a compiled engine from an EncodeEngine payload by
+// recompiling the architecture (microseconds; the expensive per-layer
+// pipeline lives in layer contexts, not engines).
+func DecodeEngine(payload []byte) (*core.Engine, error) {
+	var arch core.Arch
+	if err := json.Unmarshal(payload, &arch); err != nil {
+		return nil, fmt.Errorf("persist: engine payload: %w", err)
+	}
+	eng, err := core.NewEngine(&arch)
+	if err != nil {
+		return nil, fmt.Errorf("persist: engine payload: %w", err)
+	}
+	return eng, nil
+}
+
+// EncodeLayerContext serializes a per-layer amortized context via its
+// plain-data view.
+func EncodeLayerContext(c *core.LayerContext) ([]byte, error) {
+	return json.Marshal(c.Export())
+}
+
+// DecodeLayerContext rebuilds an evaluable layer context from an
+// EncodeLayerContext payload without re-running the preparation pipeline.
+func DecodeLayerContext(payload []byte) (*core.LayerContext, error) {
+	var data core.LayerContextData
+	if err := json.Unmarshal(payload, &data); err != nil {
+		return nil, fmt.Errorf("persist: layer context payload: %w", err)
+	}
+	return core.RestoreLayerContext(&data)
+}

@@ -1,0 +1,117 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func testRecord() Record {
+	return Record{
+		Kind:    KindLayerContext,
+		Key:     "ctx|abcdef|123456",
+		CostSec: 1.25e-3,
+		Payload: []byte(`{"hello":"world"}`),
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	want := testRecord()
+	data, err := EncodeRecord(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || got.Key != want.Key || got.CostSec != want.CostSec {
+		t.Fatalf("header round trip: got %+v want %+v", got, want)
+	}
+	if !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("payload round trip: got %q want %q", got.Payload, want.Payload)
+	}
+}
+
+func TestEnvelopeRejectsInvalidRecords(t *testing.T) {
+	if _, err := EncodeRecord(Record{Kind: Kind(99), Key: "k"}); err == nil {
+		t.Fatal("unknown kind must not encode")
+	}
+	if _, err := EncodeRecord(Record{Kind: KindEngine}); err == nil {
+		t.Fatal("empty key must not encode")
+	}
+}
+
+// TestEnvelopeTruncation decodes every proper prefix of a valid envelope:
+// all must fail cleanly (never panic, never return a record).
+func TestEnvelopeTruncation(t *testing.T) {
+	data, err := EncodeRecord(testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeRecord(data[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes must fail", n, len(data))
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation to %d: unexpected error class %v", n, err)
+		}
+	}
+}
+
+// TestEnvelopeBitFlips flips one bit in every byte position: the checksum
+// (or an earlier structural check) must catch each corruption.
+func TestEnvelopeBitFlips(t *testing.T) {
+	data, err := EncodeRecord(testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		corrupted := append([]byte(nil), data...)
+		corrupted[i] ^= 0x40
+		if _, err := DecodeRecord(corrupted); err == nil {
+			t.Fatalf("bit flip at byte %d must fail decoding", i)
+		}
+	}
+}
+
+func TestEnvelopeVersionMismatch(t *testing.T) {
+	data, err := EncodeRecord(testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the version field and re-seal the checksum so the only
+	// defect is the version itself.
+	binary.BigEndian.PutUint16(data[4:6], FormatVersion+1)
+	reseal(data)
+	if _, err := DecodeRecord(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version must return ErrVersion, got %v", err)
+	}
+
+	// A corrupted version byte without a matching checksum is corruption,
+	// not a clean version mismatch.
+	data2, _ := EncodeRecord(testRecord())
+	binary.BigEndian.PutUint16(data2[4:6], FormatVersion+1)
+	if _, err := DecodeRecord(data2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad checksum must win over version mismatch, got %v", err)
+	}
+}
+
+func TestEnvelopeBadMagic(t *testing.T) {
+	data, err := EncodeRecord(testRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	reseal(data)
+	if _, err := DecodeRecord(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic must return ErrCorrupt, got %v", err)
+	}
+}
+
+// reseal recomputes the trailing checksum after a deliberate mutation.
+func reseal(data []byte) {
+	body := data[:len(data)-4]
+	binary.BigEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+}

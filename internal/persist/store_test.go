@@ -1,0 +1,186 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func payload(s string) func() ([]byte, error) {
+	return func() ([]byte, error) { return []byte(s), nil }
+}
+
+func scanAll(t *testing.T, s *Store) (map[string]Record, ScanStats) {
+	t.Helper()
+	var mu sync.Mutex
+	got := map[string]Record{}
+	stats, err := s.Scan(4, func(rec Record) error {
+		mu.Lock()
+		defer mu.Unlock()
+		got[rec.Key] = rec
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func TestStoreWriteScanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(KindEngine, "eng|aa", 2.5, payload("engine"))
+	s.Put(KindLayerContext, "ctx|aa|bb", 0.5, payload("context"))
+	s.PutBlocking(KindJob, "wal|job-000001", 0, payload("wal"))
+	s.Flush()
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, stats := scanAll(t, s2)
+	if stats.Files != 3 || stats.Loaded != 3 || stats.Skipped != 0 {
+		t.Fatalf("scan stats = %+v, want 3 loaded", stats)
+	}
+	if rec := got["eng|aa"]; rec.Kind != KindEngine || rec.CostSec != 2.5 || string(rec.Payload) != "engine" {
+		t.Fatalf("engine record = %+v", rec)
+	}
+	if rec := got["ctx|aa|bb"]; rec.Kind != KindLayerContext || string(rec.Payload) != "context" {
+		t.Fatalf("context record = %+v", rec)
+	}
+}
+
+func TestStoreRewriteAndDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put(KindJob, "wal|j1", 0, payload("v1"))
+	s.Put(KindJob, "wal|j1", 0, payload("v2"))
+	s.Flush()
+	got, stats := scanAll(t, s)
+	if stats.Files != 1 {
+		t.Fatalf("rewriting a key must replace its file, have %d files", stats.Files)
+	}
+	if string(got["wal|j1"].Payload) != "v2" {
+		t.Fatalf("last write must win, got %q", got["wal|j1"].Payload)
+	}
+
+	s.Delete(KindJob, "wal|j1")
+	s.Flush()
+	if _, stats := scanAll(t, s); stats.Files != 0 {
+		t.Fatalf("deleted key must leave no file, have %d", stats.Files)
+	}
+	// Deleting again is a no-op, not an error.
+	s.Delete(KindJob, "wal|j1")
+	s.Flush()
+	if st := s.Stats(); st.WriteErrors != 0 {
+		t.Fatalf("double delete must not count as a write error: %+v", st)
+	}
+}
+
+// TestStoreScanReclaimsBadFiles drops corrupt, truncated, foreign, and
+// callback-rejected files: all skipped, all deleted, none fatal.
+func TestStoreScanReclaimsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put(KindEngine, "eng|good", 1, payload("good"))
+	s.Put(KindEngine, "eng|rejected", 1, payload("rejected"))
+	s.Flush()
+
+	good, err := EncodeRecord(Record{Kind: KindEngine, Key: "eng|x", CostSec: 1, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	for name, data := range map[string][]byte{
+		"corrupt" + fileSuffix:   corrupt,
+		"truncated" + fileSuffix: good[:len(good)-7],
+		"empty" + fileSuffix:     {},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Files without the store suffix are not the store's to manage.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var keys []string
+	stats, err := s.Scan(4, func(rec Record) error {
+		if rec.Key == "eng|rejected" {
+			return fmt.Errorf("callback rejects this record")
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		keys = append(keys, rec.Key)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	if stats.Files != 5 || stats.Loaded != 1 || stats.Skipped != 4 {
+		t.Fatalf("scan stats = %+v, want files=5 loaded=1 skipped=4", stats)
+	}
+	if len(keys) != 1 || keys[0] != "eng|good" {
+		t.Fatalf("loaded keys = %v, want only eng|good", keys)
+	}
+	// Bad files are reclaimed; the good record and the foreign file stay.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("after scan dir has %v, want the good record and README.txt", names)
+	}
+}
+
+// TestStoreCloseDropsLateWrites: Put/Delete/Flush after Close must not
+// panic or block; they count as dropped.
+func TestStoreCloseDropsLateWrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	s.Put(KindEngine, "eng|late", 1, payload("late"))
+	s.PutBlocking(KindJob, "wal|late", 0, payload("late"))
+	s.Delete(KindJob, "wal|late")
+	s.Flush()
+	if st := s.Stats(); st.Dropped != 3 || st.Written != 0 {
+		t.Fatalf("stats after closed writes = %+v, want 3 dropped", st)
+	}
+}
+
+func TestStoreOpenRejectsFileAsDir(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file); err == nil {
+		t.Fatal("opening a store over a regular file must fail")
+	}
+}

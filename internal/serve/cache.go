@@ -1,8 +1,11 @@
 package serve
 
 import (
-	"container/list"
+	"container/heap"
+	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/workload"
@@ -14,6 +17,9 @@ type Stats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
+	// Restored counts entries admitted from the on-disk warm-start store
+	// rather than computed (they count as neither hit nor miss).
+	Restored uint64 `json:"restored"`
 }
 
 // HitRate returns hits/(hits+misses), zero before any lookup.
@@ -26,10 +32,21 @@ func (s Stats) HitRate() float64 {
 }
 
 // Cache memoizes compiled engines and per-layer amortized contexts under
-// content-addressed keys, bounded by an LRU policy. It is the state that
-// outlives a single evaluation call: across requests — and across users —
-// the same (arch, layer, encoding) triple compiles once and is reused, the
-// cross-request extension of the paper's per-layer amortization.
+// content-addressed keys. It is the state that outlives a single
+// evaluation call: across requests — and across users — the same (arch,
+// layer, encoding) triple compiles once and is reused, the cross-request
+// extension of the paper's per-layer amortization.
+//
+// Eviction is cost-aware GDSF rather than pure LRU: each entry's priority
+// is L + frequency x measured compile cost, where L is an inflation clock
+// raised to the evicted priority on every eviction. A context that took
+// seconds to prepare (a 1024x1024 engine's layer) outlives a toy context
+// prepared in microseconds even when the toy one is more recent, while
+// the clock ages unused expensive entries out eventually. Entry sizes are
+// uniform (slots hold pointers to shared immutable state), so the classic
+// GDSF size divisor is 1. Ties — and entries still computing, whose cost
+// is unknown and whose priority is +Inf so mid-flight work is never
+// evicted by a burst of lookups — fall back to least-recently-used order.
 //
 // Concurrent lookups of the same missing key compute the value once; the
 // losers block on the winner's result. All methods are safe for concurrent
@@ -37,14 +54,22 @@ func (s Stats) HitRate() float64 {
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List // front = most recently used
-	items    map[string]*list.Element
+	items    map[string]*cacheEntry
+	pq       entryHeap
+	clock    float64 // GDSF inflation clock L
+	useSeq   uint64  // recency counter for LRU tie-breaking
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, restored uint64
+
+	// onFill, when set (before first use), is invoked after each
+	// successful computation — outside the cache lock — with the entry's
+	// key, value, and measured compute seconds. The persistence layer
+	// hooks its write-behind store here.
+	onFill func(key string, val any, costSec float64)
 }
 
-// cacheEntry is one LRU slot. The compute closure is stored on the entry
-// so that every waiter — inserter or concurrent hit — runs the same
+// cacheEntry is one cache slot. The compute closure is stored on the
+// entry so that every waiter — inserter or concurrent hit — runs the same
 // once.Do(fill): whoever gets there first computes, everyone else blocks
 // until the value is published.
 type cacheEntry struct {
@@ -53,14 +78,54 @@ type cacheEntry struct {
 	once    sync.Once
 	val     any
 	err     error
+	costSec float64 // measured by fill; set under the cache lock
+
+	// GDSF bookkeeping, guarded by the cache lock.
+	freq     float64
+	prio     float64
+	lastUsed uint64
+	index    int // heap position; -1 once evicted
 }
 
 func (e *cacheEntry) fill() {
+	start := time.Now()
 	e.val, e.err = e.compute()
+	e.costSec = time.Since(start).Seconds()
 	e.compute = nil
 }
 
-// DefaultCacheEntries bounds the LRU when BatchOptions leave it zero. An
+// entryHeap is a min-heap on (priority, recency): the evicted entry is
+// the lowest-priority one, oldest first among equals.
+type entryHeap []*cacheEntry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].lastUsed < h[j].lastUsed
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*cacheEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// DefaultCacheEntries bounds the cache when BatchOptions leave it zero. An
 // engine entry plus the contexts of the deepest zoo network fit ~60 slots,
 // so 512 holds several macro/network working sets at once.
 const DefaultCacheEntries = 512
@@ -73,8 +138,7 @@ func NewCache(maxEntries int) *Cache {
 	}
 	return &Cache{
 		capacity: maxEntries,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element, maxEntries),
+		items:    make(map[string]*cacheEntry, maxEntries),
 	}
 }
 
@@ -82,7 +146,51 @@ func NewCache(maxEntries int) *Cache {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.items), Restored: c.restored,
+	}
+}
+
+// touchLocked records a use: bump frequency and recency, and re-rank the
+// entry if its cost is already known (an entry still computing keeps its
+// +Inf pin; its priority settles when the fill completes).
+func (c *Cache) touchLocked(e *cacheEntry) {
+	c.useSeq++
+	e.lastUsed = c.useSeq
+	e.freq++
+	if e.index >= 0 && !math.IsInf(e.prio, 1) {
+		e.prio = c.clock + e.freq*e.costSec
+		heap.Fix(&c.pq, e.index)
+	}
+}
+
+// insertLocked adds a new entry and applies the capacity bound.
+func (c *Cache) insertLocked(e *cacheEntry) {
+	c.useSeq++
+	e.lastUsed = c.useSeq
+	c.items[e.key] = e
+	heap.Push(&c.pq, e)
+	for len(c.items) > c.capacity {
+		victim := heap.Pop(&c.pq).(*cacheEntry)
+		delete(c.items, victim.key)
+		c.evictions++
+		// Inflate the clock so long-resident entries must keep earning
+		// their slot against newer arrivals.
+		if victim.prio > c.clock && !math.IsInf(victim.prio, 1) {
+			c.clock = victim.prio
+		}
+	}
+}
+
+// removeLocked drops an entry if it is still the one cached under its key.
+func (c *Cache) removeLocked(e *cacheEntry) {
+	if cur, ok := c.items[e.key]; ok && cur == e {
+		delete(c.items, e.key)
+		if e.index >= 0 {
+			heap.Remove(&c.pq, e.index)
+		}
+	}
 }
 
 // getOrCompute returns the cached value for key, computing and inserting
@@ -90,42 +198,69 @@ func (c *Cache) Stats() Stats {
 // a later request retries.
 func (c *Cache) getOrCompute(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
+	if e, ok := c.items[key]; ok {
 		c.hits++
-		c.ll.MoveToFront(el)
-		entry := el.Value.(*cacheEntry)
+		c.touchLocked(e)
 		c.mu.Unlock()
-		entry.once.Do(entry.fill)
-		return entry.val, entry.err
+		e.once.Do(e.fill)
+		return e.val, e.err
 	}
 	c.misses++
-	entry := &cacheEntry{key: key, compute: compute}
-	el := c.ll.PushFront(entry)
-	c.items[key] = el
-	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+	e := &cacheEntry{
+		key:     key,
+		compute: compute,
+		freq:    1,
+		prio:    math.Inf(1), // pinned until the fill settles its cost
 	}
+	c.insertLocked(e)
 	c.mu.Unlock()
 
-	entry.once.Do(entry.fill)
-	if entry.err != nil {
-		c.mu.Lock()
-		if el, ok := c.items[key]; ok && el.Value == entry {
-			c.ll.Remove(el)
-			delete(c.items, key)
-		}
+	e.once.Do(e.fill)
+
+	c.mu.Lock()
+	if e.err != nil {
+		c.removeLocked(e)
 		c.mu.Unlock()
+		return e.val, e.err
 	}
-	return entry.val, entry.err
+	// Settle the entry's real priority now that its cost is measured. The
+	// entry may already have been evicted mid-fill (index < 0); the value
+	// is still returned to waiters and still persisted below.
+	if e.index >= 0 {
+		e.prio = c.clock + e.freq*e.costSec
+		heap.Fix(&c.pq, e.index)
+	}
+	onFill := c.onFill
+	c.mu.Unlock()
+	if onFill != nil {
+		onFill(e.key, e.val, e.costSec)
+	}
+	return e.val, e.err
+}
+
+// admit inserts an already-computed value (a warm-start restore) through
+// the normal insertion path, so the capacity bound and eviction policy
+// hold. costSec is the original measured compute cost, preserved on disk,
+// which seeds the entry's GDSF weight. Existing keys win: admit never
+// replaces a live entry. Admitted entries do not trigger onFill (they
+// came from disk; re-persisting them would be a no-op cycle).
+func (c *Cache) admit(key string, costSec float64, val any) {
+	e := &cacheEntry{key: key, val: val, costSec: costSec, freq: 1}
+	e.once.Do(func() {}) // mark filled: waiters must never run compute
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.restored++
+	e.prio = c.clock + e.freq*e.costSec
+	c.insertLocked(e)
 }
 
 // Engine returns the compiled engine for an architecture, compiling it at
 // most once per content fingerprint.
 func (c *Cache) Engine(arch *core.Arch) (*core.Engine, error) {
-	key := "eng|" + ArchFingerprint(arch)
+	key := engineKey(ArchFingerprint(arch))
 	v, err := c.getOrCompute(key, func() (any, error) {
 		return core.NewEngine(arch)
 	})
@@ -138,13 +273,40 @@ func (c *Cache) Engine(arch *core.Arch) (*core.Engine, error) {
 // LayerContext returns the amortized per-layer state for (engine, layer),
 // running the data-value-dependent pipeline (Algorithm 1 lines 3-7) at
 // most once per (arch, layer, encoding) fingerprint.
+//
+// A context whose per-level energy tables do not match the engine's
+// flattened level count is structurally unusable (indexing would panic
+// mid-evaluation). Freshly computed contexts always match; a restored
+// one could drift (a record copied between incompatible cache dirs, or
+// payload-schema drift the envelope version did not catch), so mismatches
+// are dropped and recomputed — the write-behind hook then overwrites the
+// bad record under the same key.
 func (c *Cache) LayerContext(eng *core.Engine, l workload.Layer) (*core.LayerContext, error) {
-	key := "ctx|" + ArchFingerprint(eng.Arch()) + "|" + LayerFingerprint(l)
-	v, err := c.getOrCompute(key, func() (any, error) {
-		return eng.PrepareLayer(l)
-	})
-	if err != nil {
-		return nil, err
+	key := contextKey(ArchFingerprint(eng.Arch()), LayerFingerprint(l))
+	compute := func() (any, error) { return eng.PrepareLayer(l) }
+	levels := len(eng.Arch().Levels)
+	for attempt := 0; ; attempt++ {
+		v, err := c.getOrCompute(key, compute)
+		if err != nil {
+			return nil, err
+		}
+		lctx := v.(*core.LayerContext)
+		if lctx.LevelCount() == levels {
+			return lctx, nil
+		}
+		if attempt > 0 { // a freshly computed context can never mismatch
+			return nil, fmt.Errorf("serve: layer context for %q has %d level tables, engine has %d levels",
+				l.Name, lctx.LevelCount(), levels)
+		}
+		c.invalidate(key, v)
 	}
-	return v.(*core.LayerContext), nil
+}
+
+// invalidate drops the cached entry under key if it still holds val.
+func (c *Cache) invalidate(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok && e.val == val {
+		c.removeLocked(e)
+	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -84,6 +85,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cache":      s.CacheStats(),
 		"jobs":       s.JobStats(),
 		"search":     s.SearchStats(),
+		"persist":    s.PersistStats(),
 	})
 }
 
@@ -114,6 +116,17 @@ type sweepRequest struct {
 	// Async forces the job path regardless of grid size (/v1/sweep only;
 	// /v1/jobs is always async).
 	Async bool `json:"async,omitempty"`
+	// TimeoutSec caps the sweep's run time: synchronous sweeps wrap the
+	// request context, async jobs wrap the job context (measured from job
+	// start), both via context.WithTimeout — expiry aborts in-flight
+	// layer searches. Zero means no deadline.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// timeout converts TimeoutSec to a duration (0 = none; huge values
+// saturate instead of overflowing negative).
+func (b *sweepRequest) timeout() time.Duration {
+	return secondsToTimeout(b.TimeoutSec)
 }
 
 func (b *sweepRequest) resolve() []Request {
@@ -131,12 +144,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	reqs := body.resolve()
 	// Grid-sized sweeps don't hold the connection open: hand back a job.
 	if thr := s.opts.asyncThreshold(); body.Async || (thr > 0 && len(reqs) >= thr) {
-		s.acceptJob(w, reqs)
+		s.acceptJob(w, reqs, body.timeout())
 		return
 	}
-	// The request context stops the feeder when the client disconnects.
-	results, err := s.SweepCtx(r.Context(), reqs, 0, nil)
+	// The request context stops the feeder when the client disconnects
+	// and enforces the optional per-request deadline.
+	ctx := r.Context()
+	if d := body.timeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	results, err := s.SweepCtx(ctx, reqs, 0, nil)
 	if err != nil {
+		// A sweep killed by its own timeout_sec is a server-side timeout,
+		// not a malformed request: clients keying retry logic on the
+		// status class must be able to tell the two apart.
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -149,8 +176,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // acceptJob submits reqs as an async sweep job and answers 202 (or 429 +
 // Retry-After under backpressure).
-func (s *Server) acceptJob(w http.ResponseWriter, reqs []Request) {
-	snap, err := s.SubmitSweep(reqs, 0)
+func (s *Server) acceptJob(w http.ResponseWriter, reqs []Request, timeout time.Duration) {
+	snap, err := s.SubmitSweepOpts(reqs, SweepJobOptions{Timeout: timeout})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		secs := int(math.Ceil(s.RetryAfter().Seconds()))
@@ -179,7 +206,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &body) {
 		return
 	}
-	s.acceptJob(w, body.resolve())
+	s.acceptJob(w, body.resolve(), body.timeout())
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -281,10 +308,43 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 // ListenAndServe starts the HTTP API on addr and blocks. It exists so
 // `cimloop serve` is one call; tests use Handler with httptest instead.
 func (s *Server) ListenAndServe(addr string) error {
+	return s.ListenAndServeCtx(context.Background(), addr)
+}
+
+// ListenAndServeCtx is ListenAndServe under a context: when ctx is
+// cancelled (the CLI wires SIGINT/SIGTERM here) the listener shuts down
+// gracefully and the server closes — cancelling jobs, flushing the
+// write-behind persistence queues to disk, and leaving interrupted jobs'
+// write-ahead records in place for the next boot to replay. Returns nil
+// on a clean context-driven shutdown.
+func (s *Server) ListenAndServeCtx(ctx context.Context, addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	stop := make(chan struct{})
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		select {
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutdownCtx)
+		case <-stop:
+		}
+	}()
+	err := srv.ListenAndServe()
+	close(stop)
+	<-shutdownDone // if Shutdown started, let it finish draining handlers
+	if ctx.Err() != nil && errors.Is(err, http.ErrServerClosed) {
+		// Context-driven shutdown: this server is done for good — close
+		// it so jobs drain and the persistence queues flush. On any other
+		// return (a bind failure, say) the Server stays usable: an
+		// embedder may retry on another address.
+		s.Close()
+		err = nil
+	}
+	return err
 }

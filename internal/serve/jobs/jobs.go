@@ -9,6 +9,12 @@
 // job's context, which the serving layer plumbs down into the per-layer
 // mapping search, so cancelling a job stops in-flight work rather than
 // merely hiding its result.
+//
+// The store itself stays in-memory, but it exposes the seams durability
+// needs: Options.OnTerminal streams terminal snapshots to a persistence
+// layer, Restore re-inserts persisted terminal jobs under their original
+// IDs after a restart, and SubmitWithID replays write-ahead-logged jobs
+// that never finished (see internal/persist and the serving layer).
 package jobs
 
 import (
@@ -66,6 +72,17 @@ type Options struct {
 	// RetryAfter is the backoff hint paired with ErrQueueFull
 	// (default 1s).
 	RetryAfter time.Duration
+	// OnTerminal, when set, is invoked outside the store mutex each time
+	// a job reaches a terminal state. shutdown is true when the
+	// transition was forced by Close: the persistence layer uses the
+	// distinction to keep (rather than retire) the write-ahead records of
+	// jobs interrupted by a shutdown, so they replay on the next boot.
+	OnTerminal func(snap Snapshot, shutdown bool)
+	// OnEvicted, when set, is invoked outside the store mutex with the ID
+	// of each terminal job dropped by the retention bound. The
+	// persistence layer deletes the job's on-disk snapshot here, so the
+	// disk tier is bounded by the same retention as the memory tier.
+	OnEvicted func(id string)
 }
 
 func (o Options) maxRunning() int {
@@ -152,10 +169,15 @@ type job struct {
 
 	cancel          context.CancelFunc // non-nil only while running
 	cancelRequested bool
-	created         time.Time
-	started         time.Time
-	finished        time.Time
-	done            chan struct{} // closed on terminal transition
+	// userCancelled distinguishes an explicit Cancel from a Close-driven
+	// one: a deliberately cancelled job must never be classified as
+	// shutdown-interrupted (the persistence layer would keep its WAL and
+	// resurrect it on the next boot).
+	userCancelled bool
+	created       time.Time
+	started       time.Time
+	finished      time.Time
+	done          chan struct{} // closed on terminal transition
 }
 
 // Store owns the jobs, their queue, and the runner goroutines. All
@@ -173,6 +195,13 @@ type Store struct {
 	closed  bool
 
 	wg sync.WaitGroup
+	// notifyWG tracks OnTerminal/OnEvicted notifications issued from
+	// caller goroutines (Cancel, Restore) rather than runners. Close
+	// waits for it so a cancel racing shutdown still gets its records to
+	// the persistence layer before the stores are torn down. Additions
+	// happen under mu strictly before Close's wait, so the pairing is
+	// race-free.
+	notifyWG sync.WaitGroup
 }
 
 // NewStore returns a store. Its opts.maxRunning runner goroutines start
@@ -253,24 +282,63 @@ func (s *Store) Stats() Stats {
 // queue is at capacity — the backpressure contract — and never blocks on
 // a saturated pool. Cancelling a queued job frees its slot immediately.
 func (s *Store) Submit(label string, total int, fn Fn) (Snapshot, error) {
-	if fn == nil {
-		return Snapshot{}, errors.New("jobs: nil job body")
-	}
-	if total < 0 {
-		total = 0
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return Snapshot{}, ErrClosed
 	}
-	if len(s.pending) >= s.opts.maxQueued() {
+	s.seq++
+	return s.submitLocked(fmt.Sprintf("job-%06d", s.seq), label, total, fn, true)
+}
+
+// ReserveID allocates the next job ID without creating a job, so a
+// caller can write the job's write-ahead record to durable storage
+// BEFORE SubmitReserved makes the job runnable — otherwise a job that
+// finishes instantly could have its terminal records persisted ahead of
+// its WAL, leaving a stale WAL that replays finished work after a
+// restart. A reserved ID that is never submitted is simply skipped.
+func (s *Store) ReserveID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return fmt.Sprintf("job-%06d", s.seq)
+}
+
+// SubmitReserved is Submit under an ID from ReserveID: same backpressure
+// contract (ErrQueueFull on a saturated queue), caller-ordered ID.
+func (s *Store) SubmitReserved(id, label string, total int, fn Fn) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, ErrClosed
+	}
+	return s.submitLocked(id, label, total, fn, true)
+}
+
+// submitLocked creates and enqueues one queued job. enforceBound applies
+// the pending-queue cap (fresh submissions); replay bypasses it.
+func (s *Store) submitLocked(id, label string, total int, fn Fn, enforceBound bool) (Snapshot, error) {
+	if fn == nil {
+		return Snapshot{}, errors.New("jobs: nil job body")
+	}
+	if id == "" {
+		return Snapshot{}, errors.New("jobs: empty job ID")
+	}
+	if _, ok := s.jobs[id]; ok {
+		return Snapshot{}, fmt.Errorf("jobs: job %q already exists", id)
+	}
+	if enforceBound && len(s.pending) >= s.opts.maxQueued() {
 		return Snapshot{}, ErrQueueFull
 	}
+	if total < 0 {
+		total = 0
+	}
 	s.startLocked()
-	s.seq++
+	if n := idSeq(id); n > s.seq {
+		s.seq = n
+	}
 	j := &job{
-		id:       fmt.Sprintf("job-%06d", s.seq),
+		id:       id,
 		label:    label,
 		total:    total,
 		fn:       fn,
@@ -284,6 +352,91 @@ func (s *Store) Submit(label string, total int, fn Fn) (Snapshot, error) {
 	s.order = append(s.order, j)
 	s.cond.Signal()
 	return j.snapshotLocked(), nil
+}
+
+// idSeq parses the numeric suffix of a store-issued job ID
+// ("job-000042" -> 42), returning 0 for foreign formats.
+func idSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// Restore inserts a terminal job recovered from persistent storage: it
+// answers Get/List/Wait under its original ID but never runs. The ID
+// counter advances past restored IDs so new submissions cannot collide.
+// Restoring an ID that already exists is a silent no-op (first wins);
+// restoring a non-terminal snapshot is an error — interrupted jobs are
+// replayed via SubmitWithID, not resurrected mid-state.
+func (s *Store) Restore(snap Snapshot) error {
+	if !snap.Status.Terminal() {
+		return fmt.Errorf("jobs: cannot restore %q in non-terminal state %q", snap.ID, snap.Status)
+	}
+	if snap.ID == "" {
+		return errors.New("jobs: cannot restore a job without an ID")
+	}
+	// Clamp fields a decoder cannot vouch for: the snapshot may come from
+	// external storage, and a hostile Total must not panic make below.
+	if snap.Total < 0 {
+		snap.Total = 0
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := s.jobs[snap.ID]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	if n := idSeq(snap.ID); n > s.seq {
+		s.seq = n
+	}
+	j := &job{
+		id:        snap.ID,
+		label:     snap.Label,
+		total:     snap.Total,
+		status:    snap.Status,
+		completed: snap.Completed,
+		firstErr:  snap.FirstError,
+		result:    snap.Result,
+		err:       snap.Error,
+		created:   snap.CreatedAt,
+		done:      make(chan struct{}),
+	}
+	// Rebuild the timing so ElapsedSec survives the round trip.
+	j.started = snap.CreatedAt
+	j.finished = snap.CreatedAt.Add(time.Duration(snap.ElapsedSec * float64(time.Second)))
+	j.partials = make([]any, snap.Total)
+	for i := 0; i < len(snap.Results) && i < snap.Total; i++ {
+		j.partials[i] = snap.Results[i]
+	}
+	close(j.done)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	evicted := s.applyRetentionLocked()
+	s.notifyWG.Add(1) // under mu: ordered before Close's wait
+	s.mu.Unlock()
+	s.notifyEvicted(evicted)
+	s.notifyWG.Done()
+	return nil
+}
+
+// SubmitWithID is Submit under a caller-chosen ID: the replay path for
+// write-ahead-logged jobs that were queued (or still running) when the
+// previous process stopped. Replayed jobs bypass the pending-queue bound —
+// they were admitted before the restart, and bouncing them would break
+// the accepted-job contract — and advance the ID counter past their ID.
+// An ID already in the store is an error.
+func (s *Store) SubmitWithID(id, label string, total int, fn Fn) (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, ErrClosed
+	}
+	return s.submitLocked(id, label, total, fn, false)
 }
 
 // run executes one dequeued job to a terminal state.
@@ -329,30 +482,63 @@ func (s *Store) run(j *job) {
 		j.status = StatusSucceeded
 		j.result = result
 	}
-	s.finishLocked(j)
+	evicted := s.finishLocked(j)
+	// "Shutdown-interrupted" means Close forced the transition AND the
+	// user never asked for it: an explicitly cancelled job stays
+	// cancelled on disk instead of replaying next boot.
+	snap, shutdown := j.snapshotLocked(), s.closed && !j.userCancelled
 	s.mu.Unlock()
+	s.notifyTerminal(snap, shutdown)
+	s.notifyEvicted(evicted)
+}
+
+// notifyTerminal invokes the OnTerminal hook (never under the mutex).
+func (s *Store) notifyTerminal(snap Snapshot, shutdown bool) {
+	if s.opts.OnTerminal != nil {
+		s.opts.OnTerminal(snap, shutdown)
+	}
 }
 
 // finishLocked stamps a terminal job, wakes waiters, and applies the
-// retention bound.
-func (s *Store) finishLocked(j *job) {
+// retention bound, returning the evicted job IDs for the caller to
+// report through OnEvicted once outside the mutex.
+func (s *Store) finishLocked(j *job) []string {
 	j.fn = nil // the body never runs again; don't pin its captures
 	j.finished = time.Now()
 	close(j.done)
+	return s.applyRetentionLocked()
+}
+
+// applyRetentionLocked evicts the oldest terminal jobs beyond the
+// retention bound, returning their IDs. Queued and running jobs are
+// never evicted.
+func (s *Store) applyRetentionLocked() []string {
 	terminal := 0
 	for _, o := range s.order {
 		if o.status.Terminal() {
 			terminal++
 		}
 	}
+	var evicted []string
 	for i := 0; i < len(s.order) && terminal > s.opts.retention(); {
 		if !s.order[i].status.Terminal() {
 			i++
 			continue
 		}
+		evicted = append(evicted, s.order[i].id)
 		delete(s.jobs, s.order[i].id)
 		s.order = append(s.order[:i], s.order[i+1:]...)
 		terminal--
+	}
+	return evicted
+}
+
+// notifyEvicted invokes the OnEvicted hook (never under the mutex).
+func (s *Store) notifyEvicted(ids []string) {
+	if s.opts.OnEvicted != nil {
+		for _, id := range ids {
+			s.opts.OnEvicted(id)
+		}
 	}
 }
 
@@ -389,24 +575,39 @@ func (s *Store) List() []Snapshot {
 // calls are no-ops — and only reports false for unknown IDs.
 func (s *Store) Cancel(id string) (Snapshot, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return Snapshot{}, false
 	}
+	finished := false
+	var evicted []string
 	switch j.status {
 	case StatusQueued:
 		j.cancelRequested = true
+		j.userCancelled = true
 		j.status = StatusCancelled
 		s.dropPendingLocked(j)
-		s.finishLocked(j)
+		evicted = s.finishLocked(j)
+		finished = true
 	case StatusRunning:
+		j.userCancelled = true
 		if !j.cancelRequested {
 			j.cancelRequested = true
 			j.cancel()
 		}
 	}
-	return j.snapshotLocked(), true
+	if finished {
+		s.notifyWG.Add(1) // under mu: ordered before Close's wait
+	}
+	snap := j.snapshotLocked()
+	s.mu.Unlock()
+	if finished {
+		s.notifyTerminal(snap, false)
+		s.notifyEvicted(evicted)
+		s.notifyWG.Done()
+	}
+	return snap, true
 }
 
 // dropPendingLocked removes a job from the pending queue so its slot is
@@ -449,16 +650,22 @@ func (s *Store) Close() {
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.notifyWG.Wait()
 		return
 	}
 	s.closed = true
-	for _, j := range s.order {
+	var cancelled []Snapshot
+	var evicted []string
+	// Iterate a copy: finishLocked's retention pass splices s.order.
+	order := append([]*job(nil), s.order...)
+	for _, j := range order {
 		switch j.status {
 		case StatusQueued:
 			j.cancelRequested = true
 			j.status = StatusCancelled
 			s.dropPendingLocked(j)
-			s.finishLocked(j)
+			evicted = append(evicted, s.finishLocked(j)...)
+			cancelled = append(cancelled, j.snapshotLocked())
 		case StatusRunning:
 			if !j.cancelRequested {
 				j.cancelRequested = true
@@ -468,7 +675,15 @@ func (s *Store) Close() {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	for _, snap := range cancelled {
+		s.notifyTerminal(snap, true)
+	}
+	s.notifyEvicted(evicted)
 	s.wg.Wait()
+	// Cancels/Restores that turned a job terminal before we took the lock
+	// may still be delivering their notifications on caller goroutines;
+	// their records must reach the persistence layer before it shuts.
+	s.notifyWG.Wait()
 }
 
 // summaryLocked copies the job's scalar fields under the store mutex —

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/serve/jobs"
+)
+
+// Durable warm starts: this file wires the on-disk store (package
+// persist) into the serving layer. Cache fills stream to disk through a
+// write-behind queue (the hot path never blocks on disk), boot scans the
+// cache dir in bounded parallel and admits entries through the normal
+// eviction policy, and the job store snapshots terminal jobs and
+// write-ahead-logs queued ones so a restarted instance answers
+// /v1/jobs/{id} for prior work and resumes interrupted sweeps.
+
+// Cache keys are "<kind>|<content fingerprint>"; the persisted record key
+// is the cache key itself, so a loaded record maps straight back to its
+// slot after fingerprint verification.
+func engineKey(archFP string) string           { return "eng|" + archFP }
+func contextKey(archFP, layerFP string) string { return "ctx|" + archFP + "|" + layerFP }
+
+// Job record keys distinguish terminal snapshots from write-ahead entries.
+func jobSnapKey(id string) string { return "job|" + id }
+func jobWALKey(id string) string  { return "wal|" + id }
+
+// jobWAL is the write-ahead record of an accepted sweep job: everything
+// needed to re-run it after a restart. Only JSON-expressible requests
+// are replayable — the HTTP path always is, but programmatic requests
+// carrying prebuilt *Arch/*Net values cannot be serialized, so such jobs
+// are not write-ahead-logged at all (walExpressible); their terminal
+// snapshots still persist.
+type jobWAL struct {
+	ID         string    `json:"id"`
+	Requests   []Request `json:"requests"`
+	Workers    int       `json:"workers,omitempty"`
+	TimeoutSec float64   `json:"timeout_sec,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+}
+
+// WarmStats summarizes one boot's warm-start scan.
+type WarmStats struct {
+	// Engines and Contexts count cache entries admitted from disk.
+	Engines  int `json:"engines"`
+	Contexts int `json:"contexts"`
+	// Jobs counts restored terminal snapshots; Replayed counts
+	// write-ahead jobs re-submitted because they never finished.
+	Jobs     int `json:"jobs"`
+	Replayed int `json:"replayed"`
+	// Skipped counts files discarded during the scans: corrupt,
+	// version-mismatched, or failing fingerprint re-verification. All are
+	// deleted (recomputation is the only recovery).
+	Skipped int `json:"skipped"`
+}
+
+// PersistStats is the /healthz "persist" section.
+type PersistStats struct {
+	Enabled bool `json:"enabled"`
+	// Warm is the boot-time scan summary.
+	Warm WarmStats `json:"warm,omitempty"`
+	// Cache and Jobs are the write-behind counters of the two stores.
+	Cache persist.Stats `json:"cache,omitempty"`
+	Jobs  persist.Stats `json:"jobs,omitempty"`
+	// Error records a store that failed to open (the server then runs
+	// without that store rather than failing: persistence is optional).
+	Error string `json:"error,omitempty"`
+}
+
+// persistState carries the server's optional durable stores. Both fields
+// are nil when the corresponding directory is not configured.
+type persistState struct {
+	cache *persist.Store
+	jobs  *persist.Store
+	warm  WarmStats
+	err   string
+}
+
+// PersistStats snapshots the persistence layer (zero-valued with
+// persistence disabled).
+func (s *Server) PersistStats() PersistStats {
+	ps := PersistStats{Warm: s.persist.warm, Error: s.persist.err}
+	if s.persist.cache != nil {
+		ps.Enabled = true
+		ps.Cache = s.persist.cache.Stats()
+	}
+	if s.persist.jobs != nil {
+		ps.Enabled = true
+		ps.Jobs = s.persist.jobs.Stats()
+	}
+	return ps
+}
+
+// PersistError reports a store that failed to open, for callers (the CLI)
+// that prefer failing fast over running without requested durability.
+func (s *Server) PersistError() error {
+	if s.persist.err != "" {
+		return fmt.Errorf("serve: %s", s.persist.err)
+	}
+	return nil
+}
+
+// openPersist opens the configured stores, recording failures instead of
+// propagating them (a server with a broken disk still serves). The two
+// stores must not share a directory: each boot scan deletes records of
+// kinds it does not own, so a shared dir would silently destroy the
+// other store's files.
+func (s *Server) openPersist(cacheDir, jobsDir string) {
+	if cacheDir != "" && jobsDir != "" && filepath.Clean(cacheDir) == filepath.Clean(jobsDir) {
+		s.persist.err = fmt.Sprintf("cache dir and jobs dir must differ (both %q)", cacheDir)
+		return
+	}
+	open := func(dir string) *persist.Store {
+		if dir == "" {
+			return nil
+		}
+		st, err := persist.Open(dir)
+		if err != nil {
+			s.persist.err = err.Error()
+			return nil
+		}
+		return st
+	}
+	s.persist.cache = open(cacheDir)
+	s.persist.jobs = open(jobsDir)
+}
+
+// cacheFillHook returns the cache's onFill callback: encode (on the
+// writer goroutine) and enqueue each computed engine/context, tagged with
+// its measured compile cost so a future warm start seeds the GDSF weight.
+func (s *Server) cacheFillHook() func(key string, val any, costSec float64) {
+	store := s.persist.cache
+	return func(key string, val any, costSec float64) {
+		switch v := val.(type) {
+		case *core.Engine:
+			store.Put(persist.KindEngine, key, costSec, func() ([]byte, error) {
+				return persist.EncodeEngine(v)
+			})
+		case *core.LayerContext:
+			store.Put(persist.KindLayerContext, key, costSec, func() ([]byte, error) {
+				return persist.EncodeLayerContext(v)
+			})
+		}
+	}
+}
+
+// warmStartCache scans the cache dir with bounded parallelism, verifies
+// each record's content fingerprint, and admits survivors through the
+// normal eviction policy (capacity still holds). Mismatches and decode
+// failures are deleted by the scan.
+func (s *Server) warmStartCache() {
+	store := s.persist.cache
+	if store == nil {
+		return
+	}
+	stats, err := store.Scan(runtime.NumCPU(), func(rec persist.Record) error {
+		switch rec.Kind {
+		case persist.KindEngine:
+			eng, err := persist.DecodeEngine(rec.Payload)
+			if err != nil {
+				return err
+			}
+			// Re-fingerprint: a record whose decoded content no longer
+			// hashes to its key (schema drift, hand-edited file) must not
+			// be served under that key.
+			if engineKey(ArchFingerprint(eng.Arch())) != rec.Key {
+				return fmt.Errorf("serve: engine record key mismatch")
+			}
+			s.cache.admit(rec.Key, rec.CostSec, eng)
+		case persist.KindLayerContext:
+			lctx, err := persist.DecodeLayerContext(rec.Payload)
+			if err != nil {
+				return err
+			}
+			parts := strings.Split(rec.Key, "|")
+			if len(parts) != 3 || contextKey(parts[1], LayerFingerprint(lctx.Layer)) != rec.Key {
+				return fmt.Errorf("serve: context record key mismatch")
+			}
+			s.cache.admit(rec.Key, rec.CostSec, lctx)
+		default:
+			return fmt.Errorf("serve: unexpected record kind %v in cache dir", rec.Kind)
+		}
+		return nil
+	})
+	if err != nil {
+		s.persist.err = err.Error()
+		return
+	}
+	s.persist.warm.Skipped += stats.Skipped
+	// Count what was admitted by kind from the cache's own view: admit
+	// dedups, so stats.Loaded could overcount under races.
+	for key := range s.snapshotCacheKeys() {
+		if strings.HasPrefix(key, "eng|") {
+			s.persist.warm.Engines++
+		} else {
+			s.persist.warm.Contexts++
+		}
+	}
+}
+
+// snapshotCacheKeys snapshots the cache's key set (takes the cache lock).
+func (s *Server) snapshotCacheKeys() map[string]struct{} {
+	s.cache.mu.Lock()
+	defer s.cache.mu.Unlock()
+	keys := make(map[string]struct{}, len(s.cache.items))
+	for k := range s.cache.items {
+		keys[k] = struct{}{}
+	}
+	return keys
+}
+
+// jobTerminalHook returns the job store's OnTerminal callback: persist
+// the terminal snapshot and retire the write-ahead record — except on
+// shutdown, where interrupted jobs keep their WAL so the next boot
+// replays them.
+func (s *Server) jobTerminalHook() func(snap jobs.Snapshot, shutdown bool) {
+	store := s.persist.jobs
+	return func(snap jobs.Snapshot, shutdown bool) {
+		if shutdown && snap.Status == jobs.StatusCancelled {
+			return
+		}
+		store.PutBlocking(persist.KindJob, jobSnapKey(snap.ID), 0, func() ([]byte, error) {
+			return json.Marshal(snap)
+		})
+		store.Delete(persist.KindJob, jobWALKey(snap.ID))
+	}
+}
+
+// logJobWAL write-ahead-logs an accepted sweep job.
+func (s *Server) logJobWAL(id string, reqs []Request, opts SweepJobOptions) {
+	store := s.persist.jobs
+	if store == nil {
+		return
+	}
+	wal := jobWAL{
+		ID:         id,
+		Requests:   reqs,
+		Workers:    opts.Workers,
+		TimeoutSec: opts.Timeout.Seconds(),
+		CreatedAt:  time.Now(),
+	}
+	store.PutBlocking(persist.KindJob, jobWALKey(id), 0, func() ([]byte, error) {
+		return json.Marshal(wal)
+	})
+}
+
+// walExpressible reports whether every request survives the WAL's JSON
+// round trip: prebuilt *Arch/*Net values are json:"-" and would replay
+// as unresolvable empty requests.
+func walExpressible(reqs []Request) bool {
+	for i := range reqs {
+		if reqs[i].Arch != nil || reqs[i].Net != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// retireJobWAL removes a job's write-ahead record (cancel-before-run).
+func (s *Server) retireJobWAL(id string) {
+	if s.persist.jobs != nil {
+		s.persist.jobs.Delete(persist.KindJob, jobWALKey(id))
+	}
+}
+
+// warmStartJobs restores terminal snapshots under their original IDs and
+// replays write-ahead jobs that never finished. Restores happen before
+// replays, so a job with both a snapshot and a stale WAL resolves to the
+// snapshot (Restore wins, SubmitWithID then fails and the WAL is
+// retired).
+func (s *Server) warmStartJobs() {
+	store := s.persist.jobs
+	if store == nil {
+		return
+	}
+	var (
+		snaps []jobs.Snapshot
+		wals  []jobWAL
+	)
+	stats, err := store.Scan(1, func(rec persist.Record) error {
+		if rec.Kind != persist.KindJob {
+			return fmt.Errorf("serve: unexpected record kind %v in jobs dir", rec.Kind)
+		}
+		switch {
+		case strings.HasPrefix(rec.Key, "job|"):
+			var snap jobs.Snapshot
+			if err := json.Unmarshal(rec.Payload, &snap); err != nil {
+				return err
+			}
+			if jobSnapKey(snap.ID) != rec.Key {
+				return fmt.Errorf("serve: job snapshot key mismatch")
+			}
+			snaps = append(snaps, snap)
+		case strings.HasPrefix(rec.Key, "wal|"):
+			var wal jobWAL
+			if err := json.Unmarshal(rec.Payload, &wal); err != nil {
+				return err
+			}
+			if jobWALKey(wal.ID) != rec.Key {
+				return fmt.Errorf("serve: job WAL key mismatch")
+			}
+			wals = append(wals, wal)
+		default:
+			return fmt.Errorf("serve: unknown job record key %q", rec.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		s.persist.err = err.Error()
+		return
+	}
+	s.persist.warm.Skipped += stats.Skipped
+
+	// Submission order: restores then replays, each by ascending ID, so
+	// List reads like the pre-restart timeline.
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].ID < snaps[j].ID })
+	sort.Slice(wals, func(i, j int) bool { return wals[i].ID < wals[j].ID })
+	terminal := make(map[string]bool, len(snaps))
+	for _, snap := range snaps {
+		if err := s.jobs.Restore(snap); err != nil {
+			s.persist.warm.Skipped++
+			store.Delete(persist.KindJob, jobSnapKey(snap.ID))
+			continue
+		}
+		terminal[snap.ID] = true
+		s.persist.warm.Jobs++
+	}
+	for _, wal := range wals {
+		if terminal[wal.ID] || len(wal.Requests) == 0 {
+			s.retireJobWAL(wal.ID)
+			continue
+		}
+		opts := SweepJobOptions{Workers: wal.Workers, Timeout: secondsToTimeout(wal.TimeoutSec)}
+		_, fn := s.sweepJobFn(wal.Requests, opts)
+		if _, err := s.jobs.SubmitWithID(wal.ID, sweepLabel(wal.Requests), len(wal.Requests), fn); err != nil {
+			s.persist.warm.Skipped++
+			s.retireJobWAL(wal.ID)
+			continue
+		}
+		s.persist.warm.Replayed++
+	}
+}
+
+// closePersist flushes and closes the stores (after the job store has
+// drained, so terminal snapshots from shutdown cancellations are queued).
+func (s *Server) closePersist() {
+	if s.persist.cache != nil {
+		s.persist.cache.Close()
+	}
+	if s.persist.jobs != nil {
+		s.persist.jobs.Close()
+	}
+}

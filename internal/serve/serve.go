@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"sync"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/macros"
+	"repro/internal/persist"
 	"repro/internal/report"
 	"repro/internal/serve/jobs"
 	"repro/internal/specfile"
@@ -61,9 +63,22 @@ type BatchOptions struct {
 	// nested parallelism never oversubscribes: a saturated pool degrades
 	// searches to serial, a lone request gets the whole budget.
 	SearchWorkers int
-	// CacheEntries bounds the engine/context LRU (default
+	// CacheEntries bounds the engine/context cache (default
 	// DefaultCacheEntries).
 	CacheEntries int
+
+	// CacheDir enables durable warm starts for the engine/context cache:
+	// computed entries stream to this directory through a write-behind
+	// queue, and a new server admits them back on boot so its first
+	// repeated request is a cache hit instead of a recompilation. Empty
+	// disables persistence (behavior is then byte-identical to earlier
+	// versions).
+	CacheDir string
+	// JobsDir enables job durability: terminal jobs are snapshotted (a
+	// restarted instance answers /v1/jobs/{id} for prior work) and
+	// accepted-but-unfinished jobs are write-ahead-logged and replayed on
+	// boot. Empty disables job persistence.
+	JobsDir string
 
 	// AsyncThreshold promotes /v1/sweep grids of at least this many
 	// requests to async jobs answered with 202 Accepted (default
@@ -128,11 +143,12 @@ func (o BatchOptions) budgetCapacity() int {
 // Server owns the shared cache and worker bound. It is safe for
 // concurrent use; one Server is meant to outlive many requests.
 type Server struct {
-	opts   BatchOptions
-	cache  *Cache
-	jobs   *jobs.Store
-	budget *tokenBudget
-	start  time.Time
+	opts    BatchOptions
+	cache   *Cache
+	jobs    *jobs.Store
+	budget  *tokenBudget
+	persist persistState
+	start   time.Time
 
 	// ExperimentNames and RunExperiment are injected by the facade so the
 	// HTTP API can list and run paper reproductions without this package
@@ -142,20 +158,42 @@ type Server struct {
 	RunExperiment   func(name string, fast bool, maxMappings int, seed int64) ([]*report.Table, error)
 }
 
-// NewServer constructs a service with its own cache and job store.
+// NewServer constructs a service with its own cache and job store. With
+// CacheDir/JobsDir configured it also opens the durable stores and warm-
+// starts from them: the cache dir is scanned in bounded parallel and
+// entries admitted through the normal eviction policy; terminal jobs are
+// restored and interrupted ones replayed. Store failures degrade to a
+// non-persistent server (see PersistError) — persistence is strictly
+// optional.
 func NewServer(opts BatchOptions) *Server {
-	return &Server{
+	s := &Server{
 		opts:   opts,
 		cache:  NewCache(opts.CacheEntries),
 		budget: newTokenBudget(opts.budgetCapacity()),
-		jobs: jobs.NewStore(jobs.Options{
-			MaxRunning: opts.MaxRunningJobs,
-			MaxQueued:  opts.MaxQueuedJobs,
-			Retention:  opts.JobRetention,
-			RetryAfter: opts.JobRetryAfter,
-		}),
-		start: time.Now(),
+		start:  time.Now(),
 	}
+	s.openPersist(opts.CacheDir, opts.JobsDir)
+	if s.persist.cache != nil {
+		s.cache.onFill = s.cacheFillHook()
+	}
+	jo := jobs.Options{
+		MaxRunning: opts.MaxRunningJobs,
+		MaxQueued:  opts.MaxQueuedJobs,
+		Retention:  opts.JobRetention,
+		RetryAfter: opts.JobRetryAfter,
+	}
+	if s.persist.jobs != nil {
+		jo.OnTerminal = s.jobTerminalHook()
+		// Retention eviction reaches through to disk, so the jobs dir is
+		// bounded by the same retention as the in-memory store.
+		jo.OnEvicted = func(id string) {
+			s.persist.jobs.Delete(persist.KindJob, jobSnapKey(id))
+		}
+	}
+	s.jobs = jobs.NewStore(jo)
+	s.warmStartCache()
+	s.warmStartJobs()
+	return s
 }
 
 // CacheStats snapshots the shared cache counters.
@@ -173,10 +211,15 @@ func (s *Server) SearchStats() BudgetStats {
 	}
 }
 
-// Close cancels every queued or running job and waits for the job
-// runners to drain. The cache stays usable; Close exists so tests and
-// embedding programs shut the async machinery down deterministically.
-func (s *Server) Close() { s.jobs.Close() }
+// Close cancels every queued or running job, waits for the job runners
+// to drain, then flushes and closes the durable stores (interrupted jobs
+// keep their write-ahead records and replay on the next boot). The cache
+// stays usable; Close exists so tests and embedding programs shut the
+// async machinery down deterministically.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.closePersist()
+}
 
 // Request describes one evaluation: an architecture source, an optional
 // full-system wrap, and a workload. Exactly one of Macro, Spec, or Arch
@@ -526,18 +569,49 @@ func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 	return out, nil
 }
 
-// SubmitSweep enqueues a sweep as an async job: the batch fans across
-// the worker pool in the background, per-item completions stream into
-// the job's progress, and the finished job carries the rendered sweep
-// table as its result. Returns jobs.ErrQueueFull when the pending queue
-// is saturated (the HTTP layer's 429 + Retry-After).
-func (s *Server) SubmitSweep(reqs []Request, workers int) (jobs.Snapshot, error) {
-	if len(reqs) == 0 {
-		return jobs.Snapshot{}, errors.New("serve: empty sweep")
+// SweepJobOptions tunes one async sweep job.
+type SweepJobOptions struct {
+	// Workers overrides the server's pool bound for this job (0 keeps it).
+	Workers int
+	// Timeout is the job's deadline, measured from the moment it starts
+	// running (queue time excluded): the job context is wrapped in
+	// context.WithTimeout, so expiry aborts in-flight layer searches and
+	// the job fails with context.DeadlineExceeded. Zero means no deadline.
+	Timeout time.Duration
+}
+
+// sweepLabel names a sweep job.
+func sweepLabel(reqs []Request) string {
+	return fmt.Sprintf("sweep of %d requests", len(reqs))
+}
+
+// secondsToTimeout converts a client-supplied timeout_sec to a duration,
+// clamping instead of overflowing: float64 seconds beyond the int64
+// nanosecond range would wrap negative (an already-expired deadline), so
+// absurdly large requests saturate at ~292 years. Non-positive means no
+// deadline.
+func secondsToTimeout(sec float64) time.Duration {
+	if sec <= 0 {
+		return 0
 	}
-	label := fmt.Sprintf("sweep of %d requests", len(reqs))
-	return s.jobs.Submit(label, len(reqs), func(ctx context.Context, report jobs.Report) (any, error) {
-		results, err := s.SweepCtx(ctx, reqs, workers, func(i int, r *Result) {
+	if sec >= float64(math.MaxInt64)/float64(time.Second) {
+		return math.MaxInt64
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// sweepJobFn builds the job body for a sweep: fan the batch across the
+// pool, stream per-item completions into the job's progress, and return
+// the rendered sweep table. Shared between fresh submissions and
+// write-ahead-log replay so both run identically.
+func (s *Server) sweepJobFn(reqs []Request, opts SweepJobOptions) (int, jobs.Fn) {
+	return len(reqs), func(ctx context.Context, report jobs.Report) (any, error) {
+		if opts.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+			defer cancel()
+		}
+		results, err := s.SweepCtx(ctx, reqs, opts.Workers, func(i int, r *Result) {
 			var itemErr error
 			if r.Err != "" {
 				itemErr = errors.New(r.Err)
@@ -548,7 +622,46 @@ func (s *Server) SubmitSweep(reqs []Request, workers int) (jobs.Snapshot, error)
 			return nil, err
 		}
 		return SweepTable(results).String(), nil
-	})
+	}
+}
+
+// SubmitSweep enqueues a sweep as an async job: the batch fans across
+// the worker pool in the background, per-item completions stream into
+// the job's progress, and the finished job carries the rendered sweep
+// table as its result. Returns jobs.ErrQueueFull when the pending queue
+// is saturated (the HTTP layer's 429 + Retry-After).
+func (s *Server) SubmitSweep(reqs []Request, workers int) (jobs.Snapshot, error) {
+	return s.SubmitSweepOpts(reqs, SweepJobOptions{Workers: workers})
+}
+
+// SubmitSweepOpts is SubmitSweep with per-job options (deadline). An
+// accepted job is write-ahead-logged when job persistence is enabled, so
+// a restart replays it if it never finished. The WAL record is enqueued
+// BEFORE the job becomes runnable (reserved ID), so even a job that
+// finishes instantly has its WAL on the write-behind queue ahead of its
+// terminal snapshot and WAL retirement — the FIFO writer then leaves no
+// stale WAL behind.
+func (s *Server) SubmitSweepOpts(reqs []Request, opts SweepJobOptions) (jobs.Snapshot, error) {
+	if len(reqs) == 0 {
+		return jobs.Snapshot{}, errors.New("serve: empty sweep")
+	}
+	total, fn := s.sweepJobFn(reqs, opts)
+	if s.persist.jobs == nil || !walExpressible(reqs) {
+		return s.jobs.Submit(sweepLabel(reqs), total, fn)
+	}
+	id := s.jobs.ReserveID()
+	s.logJobWAL(id, reqs, opts)
+	// Durability point: the 202 acknowledgment must mean the WAL is on
+	// disk, or a hard crash (kill -9, power loss) right after accepting
+	// would lose the job entirely. One fsync round per submission, well
+	// off the evaluation hot path.
+	s.persist.jobs.Flush()
+	snap, err := s.jobs.SubmitReserved(id, sweepLabel(reqs), total, fn)
+	if err != nil {
+		s.retireJobWAL(id) // rejected (queue full / closing): nothing to replay
+		return snap, err
+	}
+	return snap, nil
 }
 
 // RetryAfter is the backoff hint paired with jobs.ErrQueueFull.
