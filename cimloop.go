@@ -85,6 +85,27 @@
 // 13-16) through the same executor, so reproductions get the parallel
 // speedup and cache reuse for free.
 //
+// # Typed v1 contract, Go SDK, priorities, and server-push progress
+//
+// The entire wire contract — request/response types for every endpoint,
+// a structured error envelope with stable machine-readable codes
+// (invalid_request, not_found, queue_full, deadline_exceeded,
+// shutting_down, ...), and the SSE event format — lives in
+// internal/serve/api and is documented endpoint-by-endpoint in
+// docs/API.md. Unknown routes, wrong methods, oversized bodies
+// (bounded by BatchOptions.MaxBodyBytes), and recovered panics all
+// answer that envelope as JSON, never net/http plain text. NewClient
+// returns the Go SDK (package internal/client): context-aware typed
+// methods, automatic retry honoring Retry-After on backpressure, and
+// WaitJob streaming job progress over Server-Sent Events
+// (GET /v1/jobs/{id}/events, Last-Event-ID resume) with long-poll and
+// plain-poll fallbacks — the `cimloop jobs` subcommands are a thin
+// shell over it. Job submissions carry a scheduling class
+// ("priority": interactive|batch): the pending queue dispatches
+// interactive jobs ahead of batch sweeps (FIFO within a class, bounded
+// anti-starvation, class persisted in the write-ahead log so replays
+// keep it), and GET /v1/jobs pages with ?status/?limit/?cursor.
+//
 // # Durable warm starts
 //
 // The cache's amortized state — compiled engines and per-layer contexts
@@ -127,11 +148,13 @@
 package cimloop
 
 import (
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/macros"
 	"repro/internal/report"
 	"repro/internal/serve"
+	"repro/internal/serve/api"
 	"repro/internal/serve/jobs"
 	"repro/internal/specfile"
 	"repro/internal/system"
@@ -261,6 +284,43 @@ type (
 	JobStatus = jobs.Status
 	// JobStats counts retained jobs by lifecycle stage.
 	JobStats = jobs.Stats
+	// JobPriority is an async job's scheduling class: interactive jobs
+	// dispatch before batch jobs, FIFO within a class.
+	JobPriority = jobs.Priority
+)
+
+// Typed v1 wire contract and Go SDK (packages internal/serve/api and
+// internal/client; see docs/API.md).
+type (
+	// APIError is the structured v1 error envelope: a stable machine-
+	// readable Code, a human-readable Message, and the backoff hint on
+	// backpressure. The client SDK returns these as Go errors.
+	APIError = api.Error
+	// APIErrorCode enumerates the stable error codes.
+	APIErrorCode = api.ErrorCode
+	// SweepRequest is the body of POST /v1/sweep and /v1/jobs: an
+	// explicit request list or a grid, plus async/timeout/priority knobs.
+	SweepRequest = api.SweepRequest
+	// JobEvent is one Server-Sent progress/terminal event on the job
+	// stream.
+	JobEvent = api.JobEvent
+	// Client is the Go SDK for a remote serve instance: typed methods,
+	// retry/backoff honoring Retry-After, and SSE job streaming with
+	// polling fallback.
+	Client = client.Client
+	// WaitOptions tunes Client.WaitJob (event/transport callbacks,
+	// polling fallback).
+	WaitOptions = client.WaitOptions
+)
+
+// NewClient returns the Go SDK client for the serve instance at addr
+// ("host:port" or a full URL).
+func NewClient(addr string, opts ...client.Option) *Client { return client.New(addr, opts...) }
+
+// Async job scheduling classes.
+const (
+	JobInteractive = jobs.PriorityInteractive
+	JobBatch       = jobs.PriorityBatch
 )
 
 // Async job lifecycle states.

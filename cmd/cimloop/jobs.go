@@ -1,29 +1,30 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/report"
+	"repro/internal/serve/api"
 	"repro/internal/serve/jobs"
 )
 
-// runJobs is the `cimloop jobs` subcommand: an HTTP client for the async
-// job API of a running `cimloop serve` instance.
+// runJobs is the `cimloop jobs` subcommand: a thin shell over the Go SDK
+// (internal/client) for the async job API of a running `cimloop serve`
+// instance — the CLI holds no wire knowledge of its own.
 //
-//	cimloop jobs submit -macros a,b -networks x[,y] [...]   -> job ID
-//	cimloop jobs list
+//	cimloop jobs submit -macros a,b -networks x[,y] [-priority interactive] [...]
+//	cimloop jobs list [-status running] [-limit N] [-cursor ID]
 //	cimloop jobs status <id>
-//	cimloop jobs wait <id> [-interval 500ms] [-timeout 0]
+//	cimloop jobs wait <id> [-timeout 0] [-poll]
 //	cimloop jobs cancel <id>
 func runJobs(args []string) error {
 	if len(args) == 0 {
@@ -57,87 +58,11 @@ func addrFlag(fs *flag.FlagSet) *string {
 	return fs.String("addr", "http://localhost:8080", "base URL of the cimloop serve instance")
 }
 
-// httpError is a non-2xx response with its decoded error envelope.
-type httpError struct {
-	status int
-	msg    string
-}
-
-func (e *httpError) Error() string {
-	return fmt.Sprintf("HTTP %d: %s", e.status, e.msg)
-}
-
-// jobsClient wraps the HTTP round trips. Errors from the server's JSON
-// error envelope are surfaced as Go errors.
-type jobsClient struct {
-	base string
-	hc   *http.Client
-}
-
-func newJobsClient(addr string) *jobsClient {
-	base := strings.TrimRight(addr, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	return &jobsClient{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
-}
-
-// do issues one request and decodes the JSON response into out,
-// translating non-2xx statuses (and their error envelopes) into errors.
-func (c *jobsClient) do(method, path string, body any, out any) error {
-	var rdr io.Reader
-	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rdr = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequest(method, c.base+path, rdr)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode >= 300 {
-		var envelope struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(raw))
-		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
-			msg = envelope.Error
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				msg += "; retry after " + ra + "s"
-			}
-		}
-		return &httpError{status: resp.StatusCode, msg: msg}
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(raw, out)
-}
-
-// sweepBody mirrors the server's sweep/jobs request body.
-type sweepBody struct {
-	Macros      []string `json:"macros,omitempty"`
-	Networks    []string `json:"networks,omitempty"`
-	Scenarios   []string `json:"scenarios,omitempty"`
-	Layers      int      `json:"layers,omitempty"`
-	MaxMappings int      `json:"max_mappings,omitempty"`
-	TimeoutSec  float64  `json:"timeout_sec,omitempty"`
+// unaryCtx bounds one-shot calls (submit, list, status, cancel) so a
+// hung server fails the command instead of wedging it; waits manage
+// their own deadlines (-timeout, streaming).
+func unaryCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
 }
 
 func splitList(s string) []string {
@@ -161,61 +86,78 @@ func jobsSubmit(args []string) error {
 	scenarios := fs.String("scenarios", "", "comma-separated full-system scenarios (optional)")
 	layers := fs.Int("layers", 0, "cap evaluated layers per network (0 = all)")
 	mappings := fs.Int("mappings", 0, "per-layer mapping budget (0 = server default)")
+	priority := fs.String("priority", "",
+		"scheduling class: interactive jobs dispatch before batch jobs (default batch)")
 	jobTimeout := fs.Duration("timeout", 0,
 		"per-job deadline enforced server-side from job start (0 = none); an expired job fails with a deadline error")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its table")
-	interval := fs.Duration("interval", 500*time.Millisecond, "initial poll interval with -wait (doubles while idle)")
+	poll := fs.Bool("poll", false, "with -wait: poll instead of streaming progress via SSE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	body := sweepBody{
-		Macros:    splitList(*macroList),
-		Networks:  splitList(*networks),
-		Scenarios: splitList(*scenarios),
-		Layers:    *layers, MaxMappings: *mappings,
-		TimeoutSec: jobTimeout.Seconds(),
-	}
-	if len(body.Macros) == 0 || len(body.Networks) == 0 {
-		return fmt.Errorf("jobs submit: need -macros and -networks")
-	}
-	c := newJobsClient(*addr)
-	var accepted struct {
-		Job       jobs.Snapshot `json:"job"`
-		StatusURL string        `json:"status_url"`
-	}
-	if err := c.do("POST", "/v1/jobs", body, &accepted); err != nil {
+	pri, err := jobs.ParsePriority(*priority)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("accepted %s (%d requests): poll with `cimloop jobs status %s` or `cimloop jobs wait %s`\n",
-		accepted.Job.ID, accepted.Job.Total, accepted.Job.ID, accepted.Job.ID)
+	req := api.SweepRequest{
+		Macros:      splitList(*macroList),
+		Networks:    splitList(*networks),
+		Scenarios:   splitList(*scenarios),
+		Layers:      *layers,
+		MaxMappings: *mappings,
+		TimeoutSec:  jobTimeout.Seconds(),
+		Priority:    pri,
+	}
+	if len(req.Macros) == 0 || len(req.Networks) == 0 {
+		return fmt.Errorf("jobs submit: need -macros and -networks")
+	}
+	c := client.New(*addr)
+	ctx, cancel := unaryCtx()
+	acc, err := c.SubmitJob(ctx, req)
+	cancel()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accepted %s (%s, %d requests): poll with `cimloop jobs status %s` or stream with `cimloop jobs wait %s`\n",
+		acc.Job.ID, acc.Job.Priority, acc.Job.Total, acc.Job.ID, acc.Job.ID)
 	if !*wait {
 		return nil
 	}
-	return waitAndPrint(c, accepted.Job.ID, *interval, 0)
+	return waitAndPrint(c, acc.Job.ID, 0, *poll)
 }
 
 func jobsList(args []string) error {
 	fs := flag.NewFlagSet("jobs list", flag.ContinueOnError)
 	addr := addrFlag(fs)
+	status := fs.String("status", "", "filter by status (queued, running, succeeded, failed, cancelled)")
+	limit := fs.Int("limit", 0, "page size (0 = server default)")
+	cursor := fs.String("cursor", "", "resume after this job ID (next_cursor from the previous page)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var out struct {
-		Jobs []jobs.Snapshot `json:"jobs"`
-	}
-	if err := newJobsClient(*addr).do("GET", "/v1/jobs", nil, &out); err != nil {
+	ctx, cancel := unaryCtx()
+	defer cancel()
+	out, err := client.New(*addr).Jobs(ctx, api.JobListQuery{
+		Status: jobs.Status(*status),
+		Limit:  *limit,
+		Cursor: *cursor,
+	})
+	if err != nil {
 		return err
 	}
-	t := report.NewTable("Jobs", "id", "label", "status", "progress", "first error")
+	t := report.NewTable("Jobs", "id", "label", "priority", "status", "progress", "first error")
 	for _, j := range out.Jobs {
 		firstErr := j.FirstError
 		if firstErr == "" {
 			firstErr = "-"
 		}
-		t.AddRow(j.ID, j.Label, string(j.Status),
+		t.AddRow(j.ID, j.Label, string(j.Priority), string(j.Status),
 			fmt.Sprintf("%d/%d", j.Completed, j.Total), firstErr)
 	}
 	fmt.Println(t.String())
+	if out.NextCursor != "" {
+		fmt.Printf("more: cimloop jobs list -cursor %s\n", out.NextCursor)
+	}
 	return nil
 }
 
@@ -224,6 +166,7 @@ func printSnapshot(j jobs.Snapshot) {
 	t := report.NewTable("Job "+j.ID, "field", "value")
 	t.AddRow("label", j.Label)
 	t.AddRow("status", string(j.Status))
+	t.AddRow("priority", string(j.Priority))
 	t.AddRow("progress", fmt.Sprintf("%d/%d", j.Completed, j.Total))
 	if j.FirstError != "" {
 		t.AddRow("first error", j.FirstError)
@@ -244,8 +187,10 @@ func jobsStatus(id string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var snap jobs.Snapshot
-	if err := newJobsClient(*addr).do("GET", "/v1/jobs/"+id, nil, &snap); err != nil {
+	ctx, cancel := unaryCtx()
+	defer cancel()
+	snap, err := client.New(*addr).Job(ctx, id)
+	if err != nil {
 		return err
 	}
 	printSnapshot(snap)
@@ -255,83 +200,58 @@ func jobsStatus(id string, args []string) error {
 func jobsWait(id string, args []string) error {
 	fs := flag.NewFlagSet("jobs wait", flag.ContinueOnError)
 	addr := addrFlag(fs)
-	interval := fs.Duration("interval", 500*time.Millisecond,
-		"initial poll interval (doubles while the job makes no progress)")
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	poll := fs.Bool("poll", false, "poll instead of streaming progress via SSE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return waitAndPrint(newJobsClient(*addr), id, *interval, *timeout)
+	return waitAndPrint(client.New(*addr), id, *timeout, *poll)
 }
 
-// waitMaxInterval caps the poll backoff: a long-running overnight sweep
-// is checked every few seconds instead of hammering the server at the
-// initial rate for hours.
-const waitMaxInterval = 8 * time.Second
-
-// waitAndPrint polls the job to a terminal state, echoing progress
-// transitions to stderr, then prints the final snapshot. The poll
-// interval backs off exponentially (doubling up to waitMaxInterval) while
-// the job reports no new completions, and resets to the initial interval
-// on progress — fast feedback when the job moves, light touch when it
-// doesn't. A failed or cancelled job is a non-zero exit.
-func waitAndPrint(c *jobsClient, id string, interval, timeout time.Duration) error {
-	if interval <= 0 {
-		interval = 500 * time.Millisecond
-	}
-	var deadline time.Time
+// waitAndPrint drives the SDK's WaitJob to a terminal state, echoing
+// progress transitions (and the transport carrying them) to stderr, then
+// prints the final snapshot. Progress arrives via SSE unless the server
+// cannot stream (or -poll forces the fallback). A failed or cancelled
+// job is a non-zero exit; a job evicted from retention mid-wait names
+// that condition instead of blaming the ID.
+func waitAndPrint(c *client.Client, id string, timeout time.Duration, forcePoll bool) error {
+	ctx := context.Background()
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
-	lastCompleted := -1
 	seen := false
-	delay := interval
-	for {
-		var snap jobs.Snapshot
-		if err := c.do("GET", "/v1/jobs/"+id, nil, &snap); err != nil {
-			// A job that existed and then 404s was evicted by retention
-			// between polls; name the real condition instead of blaming
-			// the ID.
-			var he *httpError
-			if seen && errors.As(err, &he) && he.status == http.StatusNotFound {
-				return fmt.Errorf("job %s finished but was evicted from retention before its result was read; raise the server's -job-retention or poll faster", id)
+	snap, err := c.WaitJob(ctx, id, client.WaitOptions{
+		DisableStream: forcePoll,
+		OnTransport: func(transport string) {
+			switch transport {
+			case "sse":
+				fmt.Fprintf(os.Stderr, "wait: streaming progress via SSE\n")
+			default:
+				fmt.Fprintf(os.Stderr, "wait: polling for progress\n")
 			}
-			return err
+		},
+		OnEvent: func(ev api.JobEvent) {
+			seen = true
+			fmt.Fprintf(os.Stderr, "%s: %s %d/%d\n", ev.Job.ID, ev.Job.Status, ev.Job.Completed, ev.Job.Total)
+		},
+	})
+	if err != nil {
+		var apiErr *api.Error
+		if seen && errors.As(err, &apiErr) && apiErr.HTTPStatus == http.StatusNotFound {
+			return fmt.Errorf("job %s finished but was evicted from retention before its result was read; raise the server's -job-retention", id)
 		}
-		seen = true
-		if snap.Completed != lastCompleted {
-			lastCompleted = snap.Completed
-			delay = interval // progress: back to the responsive rate
-			fmt.Fprintf(os.Stderr, "%s: %s %d/%d\n", snap.ID, snap.Status, snap.Completed, snap.Total)
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("job %s still not terminal after %s", id, timeout)
 		}
-		if snap.Status.Terminal() {
-			printSnapshot(snap)
-			if snap.Status != jobs.StatusSucceeded {
-				return fmt.Errorf("job %s %s", snap.ID, snap.Status)
-			}
-			return nil
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return fmt.Errorf("job %s still %s after %s", id, snap.Status, timeout)
-		}
-		sleep := delay
-		if !deadline.IsZero() {
-			// Never sleep past the deadline: an 8s backoff must not turn
-			// a -timeout 10s into an 18s wait.
-			if remaining := time.Until(deadline); remaining < sleep {
-				sleep = remaining
-			}
-		}
-		if sleep > 0 {
-			time.Sleep(sleep)
-		}
-		if delay *= 2; delay > waitMaxInterval {
-			delay = waitMaxInterval
-		}
-		if delay < interval {
-			delay = interval // an interval above the cap stays honored
-		}
+		return err
 	}
+	printSnapshot(snap)
+	if snap.Status != jobs.StatusSucceeded {
+		return fmt.Errorf("job %s %s", snap.ID, snap.Status)
+	}
+	return nil
 }
 
 func jobsCancel(id string, args []string) error {
@@ -340,8 +260,10 @@ func jobsCancel(id string, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var snap jobs.Snapshot
-	if err := newJobsClient(*addr).do("POST", "/v1/jobs/"+id+"/cancel", nil, &snap); err != nil {
+	ctx, cancel := unaryCtx()
+	defer cancel()
+	snap, err := client.New(*addr).CancelJob(ctx, id)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("cancel requested: %s is %s (%d/%d)\n", snap.ID, snap.Status, snap.Completed, snap.Total)

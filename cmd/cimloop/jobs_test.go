@@ -9,6 +9,7 @@ import (
 	"time"
 
 	cimloop "repro"
+	"repro/internal/client"
 )
 
 // jobsTestServer runs the real batch service behind httptest and returns
@@ -29,11 +30,19 @@ func TestJobsSubmitWaitLifecycle(t *testing.T) {
 	if err := run([]string{"jobs", "submit",
 		"-addr", url,
 		"-macros", "base,macro-b", "-networks", "toy",
-		"-mappings", "2",
-		"-wait", "-interval", "5ms"}); err != nil {
+		"-mappings", "2", "-priority", "interactive",
+		"-wait"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := run([]string{"jobs", "list", "-addr", url}); err != nil {
+		t.Fatal(err)
+	}
+	// The polling fallback reaches the same terminal state.
+	if err := run([]string{"jobs", "wait", "job-000001", "-addr", url, "-poll"}); err != nil {
+		t.Fatal(err)
+	}
+	// Filtered listing round-trips through the typed query parameters.
+	if err := run([]string{"jobs", "list", "-addr", url, "-status", "succeeded", "-limit", "1"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -55,7 +64,7 @@ func TestJobsStatusAndCancel(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Waiting on a cancelled job is a non-zero exit naming the state.
-	err := run([]string{"jobs", "wait", "job-000001", "-addr", url, "-interval", "5ms"})
+	err := run([]string{"jobs", "wait", "job-000001", "-addr", url})
 	if err == nil || !strings.Contains(err.Error(), "cancelled") {
 		t.Fatalf("wait on cancelled job: %v", err)
 	}
@@ -63,27 +72,32 @@ func TestJobsStatusAndCancel(t *testing.T) {
 
 // TestWaitAndPrintEvictionMessage drives waitAndPrint against a stub
 // that shows the job running once and then 404s — the retention-eviction
-// race — and checks the error names the condition instead of the ID.
+// race — and checks the error names the condition instead of the ID. The
+// stub has no SSE endpoint, which also exercises the poll fallback.
 func TestWaitAndPrintEvictionMessage(t *testing.T) {
 	polls := 0
 	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		polls++
-		if polls == 1 {
-			w.Header().Set("Content-Type", "application/json")
-			fmt.Fprint(w, `{"id": "job-000001", "status": "running", "completed": 0, "total": 1}`)
+		w.Header().Set("Content-Type", "application/json")
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"code": "not_found", "message": "no route"}`)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		polls++
+		if polls == 1 {
+			fmt.Fprint(w, `{"id": "job-000001", "status": "running", "version": 2, "completed": 0, "total": 1}`)
+			return
+		}
 		w.WriteHeader(http.StatusNotFound)
-		fmt.Fprint(w, `{"error": "serve: unknown job \"job-000001\""}`)
+		fmt.Fprint(w, `{"code": "not_found", "message": "unknown job \"job-000001\""}`)
 	}))
 	defer stub.Close()
-	err := waitAndPrint(newJobsClient(stub.URL), "job-000001", time.Millisecond, 0)
+	err := waitAndPrint(client.New(stub.URL), "job-000001", time.Second, true)
 	if err == nil || !strings.Contains(err.Error(), "evicted from retention") {
 		t.Fatalf("err = %v, want eviction message", err)
 	}
 	// A job that 404s on the very first poll is a plain unknown-job error.
-	err = waitAndPrint(newJobsClient(stub.URL), "job-000002", time.Millisecond, 0)
+	err = waitAndPrint(client.New(stub.URL), "job-000002", time.Second, true)
 	if err == nil || strings.Contains(err.Error(), "evicted") {
 		t.Fatalf("first-poll 404: %v", err)
 	}
@@ -95,7 +109,7 @@ func TestJobsWaitNamesRetentionEviction(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		if err := run([]string{"jobs", "submit", "-addr", url,
 			"-macros", "base", "-networks", "toy", "-mappings", "1",
-			"-wait", "-interval", "5ms"}); err != nil {
+			"-wait"}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -114,10 +128,11 @@ func TestJobsErrors(t *testing.T) {
 		{"jobs", "wait"},
 		{"jobs", "cancel"},
 		{"jobs", "submit", "-addr", url}, // no grid
-		{"jobs", "status", "job-999999", "-addr", url},           // 404
-		{"jobs", "cancel", "job-999999", "-addr", url},           // 404
-		{"jobs", "submit", "-addr", url, "-no-such-flag"},        // bad flag
-		{"jobs", "status", "job-000001", "-addr", "127.0.0.1:1"}, // nothing listening
+		{"jobs", "submit", "-addr", url, "-macros", "base", "-networks", "toy", "-priority", "urgent"}, // bad class
+		{"jobs", "status", "job-999999", "-addr", url},                                                 // 404
+		{"jobs", "cancel", "job-999999", "-addr", url},                                                 // 404
+		{"jobs", "submit", "-addr", url, "-no-such-flag"},                                              // bad flag
+		{"jobs", "status", "job-000001", "-addr", "127.0.0.1:1"},                                       // nothing listening
 	}
 	for _, c := range cases {
 		if err := run(c); err == nil {

@@ -9,8 +9,16 @@
 //	cimloop macros
 //	cimloop spec <file.yaml> [-network NAME] [-mappings N] [-search-workers N]
 //	cimloop serve [-addr :8080] [-workers N] [-mappings N] [-cache N] [-search-workers N]
-//	              [-cache-dir DIR] [-jobs-dir DIR]
+//	              [-cache-dir DIR] [-jobs-dir DIR] [-max-body BYTES]
 //	cimloop jobs submit|list|status|wait|cancel [...] [-addr URL]
+//
+// The jobs subcommands are a thin shell over the typed Go SDK
+// (internal/client) against the v1 wire contract (internal/serve/api,
+// documented in docs/API.md): submissions can carry a scheduling class
+// (-priority interactive|batch; interactive jobs dispatch first), `jobs
+// list` filters and pages (-status, -limit, -cursor), and `jobs wait`
+// streams progress over Server-Sent Events, falling back to polling
+// only when the stream is unavailable (-poll forces the fallback).
 //
 // -search-workers fans each layer's candidate mapping evaluations across
 // a bounded goroutine pool. The parallel search is bit-identical to the
@@ -85,8 +93,11 @@ func usage() {
   cimloop spec <file.yaml> [-network NAME] ...       evaluate a textual specification
   cimloop serve [-addr :8080] [-workers N] [-cache-dir DIR] [-jobs-dir DIR] ...
                                                      run the batch-evaluation HTTP service
-  cimloop jobs submit -macros a,b -networks x ...    submit an async sweep to a serve instance
-  cimloop jobs list|status <id>|wait <id>|cancel <id>  inspect and control async jobs`)
+  cimloop jobs submit -macros a,b -networks x [-priority interactive] ...
+                                                     submit an async sweep to a serve instance
+  cimloop jobs list [-status S] [-limit N] [-cursor ID]  page and filter jobs
+  cimloop jobs status <id>|wait <id>|cancel <id>     inspect and control async jobs
+                                                     (wait streams progress via SSE)`)
 }
 
 func runServe(args []string) error {
@@ -105,6 +116,7 @@ func runServe(args []string) error {
 		"sweep size that returns 202 + a job instead of blocking (0 = default; negative = only on explicit \"async\": true or /v1/jobs)")
 	jobQueue := fs.Int("job-queue", 0, "pending async jobs before 429 + Retry-After (0 = default)")
 	jobRetention := fs.Int("job-retention", 0, "finished jobs kept for /v1/jobs (0 = default)")
+	maxBody := fs.Int64("max-body", 0, "request-body byte bound; larger bodies get 413 (0 = 1 MiB default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +132,7 @@ func runServe(args []string) error {
 		AsyncThreshold: *asyncThreshold,
 		MaxQueuedJobs:  *jobQueue,
 		JobRetention:   *jobRetention,
+		MaxBodyBytes:   *maxBody,
 	})
 	// Requested-but-broken durability should fail loudly at startup, not
 	// silently serve cold forever.

@@ -1,0 +1,108 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve/api"
+)
+
+// ErrStreamEnded is returned by StreamJobEvents when the server closes
+// the stream before delivering a terminal event — typically a dropped
+// connection. Callers resume with the last event ID they saw.
+var ErrStreamEnded = fmt.Errorf("client: event stream ended before the terminal event")
+
+// StreamJobEvents connects to GET /v1/jobs/{id}/events and invokes fn
+// for every Server-Sent Event until the terminal event (returns nil), fn
+// returns an error (returned as-is), ctx ends (ctx.Err()), or the
+// connection drops (ErrStreamEnded). lastEventID resumes a previous
+// stream: pass 0 for a fresh one, or the Version of the last snapshot
+// seen to skip straight to newer states.
+func (c *Client) StreamJobEvents(ctx context.Context, id string, lastEventID int64, fn func(api.JobEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastEventID, 10))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	if ct := resp.Header.Get("Content-Type"); resp.StatusCode != http.StatusOK || !strings.HasPrefix(ct, "text/event-stream") {
+		// Not a stream: decode the error envelope (404, 400, or an older
+		// server that has no events endpoint).
+		_, apiErr, decodeErr := readResponse(resp)
+		if decodeErr != nil {
+			return decodeErr
+		}
+		if apiErr != nil {
+			return apiErr
+		}
+		return fmt.Errorf("client: %s is not an event stream (HTTP %d, %s)", req.URL.Path, resp.StatusCode, ct)
+	}
+	defer resp.Body.Close()
+	// Close the body when ctx ends so the blocking Read below unsticks
+	// even mid-event.
+	watch := make(chan struct{})
+	defer close(watch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			resp.Body.Close()
+		case <-watch:
+		}
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxSSELineBytes)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Dispatch boundary.
+			if len(data) == 0 {
+				continue
+			}
+			var ev api.JobEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("client: bad event payload: %w", err)
+			}
+			data = nil
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Type == api.JobEventTerminal {
+				return nil
+			}
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		default:
+			// id:/event:/comment lines — the payload is self-describing
+			// (JobEvent.Type, Job.Version), so the framing fields are
+			// redundant here and standard SSE clients still get them.
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrStreamEnded, err)
+	}
+	return ErrStreamEnded
+}
+
+// maxSSELineBytes bounds one SSE line: a terminal event carries a full
+// job snapshot with per-item results, which for grid-sized sweeps runs
+// to megabytes.
+const maxSSELineBytes = 32 << 20

@@ -1,0 +1,140 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/serve/api"
+	"repro/internal/serve/jobs"
+)
+
+// WaitOptions tunes WaitJob.
+type WaitOptions struct {
+	// OnEvent observes every progress/terminal event, whichever transport
+	// delivered it (polling transports synthesize events from snapshots).
+	OnEvent func(api.JobEvent)
+	// OnTransport is notified each time a transport is (re-)established:
+	// "sse" or "poll". The CLI uses it to tell the user how progress is
+	// arriving; tests use it to assert SSE actually carried the wait.
+	OnTransport func(transport string)
+	// DisableStream skips SSE entirely and long-polls (debugging aid and
+	// escape hatch for proxies that mangle streams).
+	DisableStream bool
+	// PollWait is one long-poll round's park time (default 30s, clamped
+	// to the server's cap).
+	PollWait time.Duration
+}
+
+// sseMaxResumes bounds SSE reconnects after mid-stream drops before
+// WaitJob gives up on streaming and falls back to polling. Resumes pass
+// Last-Event-ID, so nothing is lost across the gap.
+const sseMaxResumes = 3
+
+// WaitJob blocks until the job reaches a terminal state and returns the
+// final snapshot (full payloads included). Progress arrives by SSE when
+// the server speaks it, resuming dropped streams via Last-Event-ID;
+// otherwise — and only then — WaitJob degrades to version-cursor
+// long-polling, which itself degrades to plain polling against servers
+// that ignore the cursor parameters. Cancellation and deadlines come
+// from ctx.
+func (c *Client) WaitJob(ctx context.Context, id string, opts WaitOptions) (jobs.Snapshot, error) {
+	var cursor int64
+	if !opts.DisableStream {
+		snap, done, err := c.waitBySSE(ctx, id, &cursor, opts)
+		if done {
+			return snap, err
+		}
+		// A structured API error that is not a transport failure (404,
+		// invalid request) will repeat under polling; surface it now.
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.Code != api.CodeInternal {
+			return jobs.Snapshot{}, err
+		}
+		if opts.OnTransport != nil {
+			opts.OnTransport("poll")
+		}
+	} else if opts.OnTransport != nil {
+		opts.OnTransport("poll")
+	}
+	return c.waitByPoll(ctx, id, cursor, opts)
+}
+
+// waitBySSE drives the stream to the terminal event. done reports the
+// wait finished (terminal snapshot, ctx end, or caller error); !done
+// means "fall back to polling from *cursor onward".
+func (c *Client) waitBySSE(ctx context.Context, id string, cursor *int64, opts WaitOptions) (jobs.Snapshot, bool, error) {
+	var last jobs.Snapshot
+	streamed := false
+	for resumes := 0; ; resumes++ {
+		err := c.StreamJobEvents(ctx, id, *cursor, func(ev api.JobEvent) error {
+			if !streamed {
+				streamed = true
+				if opts.OnTransport != nil {
+					opts.OnTransport("sse")
+				}
+			}
+			last = ev.Job
+			if ev.Job.Version > *cursor {
+				*cursor = ev.Job.Version
+			}
+			if opts.OnEvent != nil {
+				opts.OnEvent(ev)
+			}
+			return nil
+		})
+		switch {
+		case err == nil:
+			return last, true, nil
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return jobs.Snapshot{}, true, err
+		case errors.Is(err, ErrStreamEnded) && streamed && resumes < sseMaxResumes:
+			continue // resume from *cursor with Last-Event-ID
+		default:
+			return jobs.Snapshot{}, false, err
+		}
+	}
+}
+
+// waitByPoll long-polls the version cursor to a terminal state. Against
+// a server that ignores after_version/wait_sec it still terminates —
+// every round returns the current snapshot — it just pays a client-side
+// backoff between unchanged rounds.
+func (c *Client) waitByPoll(ctx context.Context, id string, cursor int64, opts WaitOptions) (jobs.Snapshot, error) {
+	wait := opts.PollWait
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	idleDelay := 250 * time.Millisecond
+	for {
+		snap, err := c.PollJob(ctx, id, cursor, wait)
+		if err != nil {
+			return jobs.Snapshot{}, err
+		}
+		progressed := snap.Version > cursor
+		if progressed {
+			cursor = snap.Version
+			idleDelay = 250 * time.Millisecond
+			if opts.OnEvent != nil {
+				ev := api.JobEvent{Type: api.JobEventProgress, Job: snap}
+				if snap.Done() {
+					ev.Type = api.JobEventTerminal
+				}
+				opts.OnEvent(ev)
+			}
+		}
+		if snap.Done() {
+			return snap, nil
+		}
+		if !progressed {
+			// No news: either the park elapsed or the server ignored the
+			// cursor. Back off so a cursor-blind server is not hammered.
+			if err := c.sleep(ctx, idleDelay); err != nil {
+				return jobs.Snapshot{}, err
+			}
+			if idleDelay *= 2; idleDelay > 8*time.Second {
+				idleDelay = 8 * time.Second
+			}
+		}
+	}
+}

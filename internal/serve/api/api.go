@@ -1,0 +1,306 @@
+// Package api is the typed v1 wire contract of the batch-evaluation
+// service: every request and response body the HTTP layer speaks, the
+// structured error envelope, and the Server-Sent-Events job-progress
+// format live here and nowhere else. The server (internal/serve)
+// marshals only these types; the Go SDK (internal/client) and the
+// `cimloop` CLI unmarshal only these types — so the contract has one
+// definition, compile-checked from both sides, instead of ad-hoc
+// map[string]any shapes drifting apart.
+//
+// Compatibility rules: fields are only ever added (with omitempty where
+// absence is meaningful), never renamed or retyped; error codes never
+// change meaning; new endpoints get new types. See docs/API.md for the
+// endpoint-by-endpoint reference.
+package api
+
+import (
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/serve/jobs"
+	"repro/internal/workload"
+)
+
+// EvalRequest describes one evaluation: an architecture source, an
+// optional full-system wrap, and a workload. Exactly one of Macro, Spec,
+// or Arch must be set, and exactly one of Network or Net. It is the body
+// of POST /v1/evaluate and the element type of SweepRequest.Requests.
+type EvalRequest struct {
+	// Tag labels the result row; defaults to "arch/network[/scenario]".
+	Tag string `json:"tag,omitempty"`
+
+	// Macro names a published macro model ("base", "macro-a", ...,
+	// "digital-cim").
+	Macro string `json:"macro,omitempty"`
+	// Spec is a textual container-hierarchy specification.
+	Spec string `json:"spec,omitempty"`
+	// Arch is a prebuilt architecture (programmatic callers only; never
+	// on the wire).
+	Arch *core.Arch `json:"-"`
+
+	// Scenario optionally wraps the macro into a full system:
+	// "all-tensors-from-dram", "weight-stationary", or
+	// "weight-stationary+onchip-io".
+	Scenario string `json:"scenario,omitempty"`
+	// SystemMacros is the parallel macro count for the system wrap
+	// (default 1; ignored without Scenario).
+	SystemMacros int `json:"system_macros,omitempty"`
+
+	// Network names a model-zoo workload ("resnet18", "vit-base", ...).
+	Network string `json:"network,omitempty"`
+	// Net is a prebuilt workload (programmatic callers only; never on the
+	// wire).
+	Net *workload.Network `json:"-"`
+	// Layers caps the evaluated layer count (0 = all).
+	Layers int `json:"layers,omitempty"`
+
+	// MaxMappings overrides the server's per-layer mapping budget.
+	MaxMappings int `json:"max_mappings,omitempty"`
+	// Seed drives the mapping search (layer i uses Seed+i, matching the
+	// sequential evaluator).
+	Seed int64 `json:"seed,omitempty"`
+	// SearchWorkers overrides the server's intra-request search fan-out
+	// for this request (<= 0 keeps the server default). The effective
+	// width is still clamped by the shared concurrency budget, so a
+	// request cannot oversubscribe a busy pool; answers are identical at
+	// any width.
+	SearchWorkers int `json:"search_workers,omitempty"`
+}
+
+// EvalResult is one completed evaluation — the response of POST
+// /v1/evaluate and the element type of SweepResponse.Results. Err is set
+// instead of the metrics when the request failed; a sweep always yields
+// one EvalResult per EvalRequest, in request order.
+type EvalResult struct {
+	Tag     string `json:"tag"`
+	Arch    string `json:"arch,omitempty"`
+	Network string `json:"network,omitempty"`
+	Err     string `json:"error,omitempty"`
+
+	EnergyJ        float64 `json:"energy_j,omitempty"`
+	EnergyPerMACpJ float64 `json:"energy_per_mac_pj,omitempty"`
+	TOPSPerW       float64 `json:"tops_per_w,omitempty"`
+	GOPS           float64 `json:"gops,omitempty"`
+	AreaMM2        float64 `json:"area_mm2,omitempty"`
+	MACs           int64   `json:"macs,omitempty"`
+	TimeSec        float64 `json:"time_sec,omitempty"`
+	ElapsedSec     float64 `json:"elapsed_sec,omitempty"`
+	// MappingsEvaluated counts candidate mappings costed across all
+	// layers; jobs stream it with each partial result, so a client
+	// watching a job sees search throughput, not just item counts.
+	MappingsEvaluated int64 `json:"mappings_evaluated,omitempty"`
+
+	// NetworkResult carries the full per-layer breakdown for programmatic
+	// callers (experiments); it is not serialized.
+	NetworkResult *core.NetworkResult `json:"-"`
+}
+
+// SweepRequest is the body of POST /v1/sweep and POST /v1/jobs: either
+// an explicit request list or a macro x network x scenario grid
+// specification, not both.
+type SweepRequest struct {
+	Requests []EvalRequest `json:"requests,omitempty"`
+
+	Macros      []string `json:"macros,omitempty"`
+	Networks    []string `json:"networks,omitempty"`
+	Scenarios   []string `json:"scenarios,omitempty"`
+	Layers      int      `json:"layers,omitempty"`
+	MaxMappings int      `json:"max_mappings,omitempty"`
+
+	// Async forces the job path regardless of grid size (/v1/sweep only;
+	// /v1/jobs is always async).
+	Async bool `json:"async,omitempty"`
+	// TimeoutSec caps the sweep's run time: synchronous sweeps wrap the
+	// request context, async jobs wrap the job context (measured from job
+	// start), both via context.WithTimeout — expiry aborts in-flight
+	// layer searches. Zero means no deadline.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Priority is the async job's scheduling class: "interactive" jobs
+	// dispatch before "batch" jobs (the default), FIFO within a class.
+	// Ignored by synchronous sweeps.
+	Priority jobs.Priority `json:"priority,omitempty"`
+}
+
+// SweepResponse is the 200 body of a synchronous POST /v1/sweep.
+type SweepResponse struct {
+	// Results has one entry per request, in request order.
+	Results []*EvalResult `json:"results"`
+	// Table is the rendered sweep table (the CLI prints it verbatim).
+	Table string `json:"table"`
+	// Cache snapshots the server's cache counters after the sweep.
+	Cache CacheStats `json:"cache"`
+}
+
+// JobAccepted is the 202 body of POST /v1/jobs (and of POST /v1/sweep
+// when the sweep is promoted to a job).
+type JobAccepted struct {
+	Job jobs.Snapshot `json:"job"`
+	// StatusURL polls the job; EventsURL streams it (SSE).
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+}
+
+// JobListQuery names the GET /v1/jobs query parameters. It is not a
+// body; the client SDK encodes it into the URL.
+type JobListQuery struct {
+	// Status keeps only jobs in that state (queued, running, succeeded,
+	// failed, cancelled; "" = all).
+	Status jobs.Status
+	// Limit caps the page size (<= 0 = server default).
+	Limit int
+	// Cursor is NextCursor from the previous page ("" = first page).
+	Cursor string
+}
+
+// JobListResponse is the 200 body of GET /v1/jobs: summaries in
+// submission order (per-item results omitted; fetch one job for those).
+type JobListResponse struct {
+	Jobs  []jobs.Snapshot `json:"jobs"`
+	Stats jobs.Stats      `json:"stats"`
+	// NextCursor pages: pass it back as ?cursor= for the jobs after this
+	// page. Empty when the listing is exhausted.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// Job event stream (GET /v1/jobs/{id}/events, Server-Sent Events).
+//
+// Each SSE frame carries the event type in the "event" field, the job's
+// version in the "id" field (so Last-Event-ID resumes exactly where the
+// connection dropped), and a JobEvent as the "data" JSON. The stream
+// ends after the terminal event.
+const (
+	// JobEventProgress fires on every observable mutation while the job
+	// is live: enqueue, start, and each completed grid item.
+	JobEventProgress = "progress"
+	// JobEventTerminal fires once, with the full final snapshot (partial
+	// results and rendered table included), then the stream closes.
+	JobEventTerminal = "terminal"
+)
+
+// JobEvent is the SSE "data" payload: the event type repeated (so a
+// payload is self-describing outside the stream framing) plus the job
+// snapshot as of the event. Progress events carry summaries; the
+// terminal event carries the full snapshot.
+type JobEvent struct {
+	Type string        `json:"type"`
+	Job  jobs.Snapshot `json:"job"`
+}
+
+// MacroInfo is one published macro model (paper Table III) in GET
+// /v1/macros.
+type MacroInfo struct {
+	Macro      string `json:"macro"`
+	Node       string `json:"node"`
+	Device     string `json:"device"`
+	InputBits  string `json:"input_bits"`
+	WeightBits string `json:"weight_bits"`
+	Array      string `json:"array"`
+	ADCBits    string `json:"adc_bits"`
+}
+
+// MacrosResponse is the 200 body of GET /v1/macros.
+type MacrosResponse struct {
+	Macros []MacroInfo `json:"macros"`
+}
+
+// NetworkInfo is one model-zoo workload in GET /v1/networks.
+type NetworkInfo struct {
+	Name   string `json:"name"`
+	Layers int    `json:"layers"`
+	MACs   int64  `json:"macs"`
+}
+
+// NetworksResponse is the 200 body of GET /v1/networks.
+type NetworksResponse struct {
+	Networks []NetworkInfo `json:"networks"`
+}
+
+// ExperimentsResponse is the 200 body of GET /v1/experiments.
+type ExperimentsResponse struct {
+	Experiments []string `json:"experiments"`
+}
+
+// ExperimentRunRequest is the body of POST /v1/experiments.
+type ExperimentRunRequest struct {
+	Name        string `json:"name"`
+	Fast        bool   `json:"fast,omitempty"`
+	MaxMappings int    `json:"max_mappings,omitempty"`
+	Seed        int64  `json:"seed,omitempty"`
+}
+
+// ExperimentRunResponse is the 200 body of POST /v1/experiments.
+type ExperimentRunResponse struct {
+	// Tables are the rendered paper tables/figures, in the runner's order.
+	Tables []string `json:"tables"`
+}
+
+// CacheStats snapshots the engine/context cache counters (healthz
+// "cache" section and SweepResponse.Cache).
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	// Restored counts entries admitted from the on-disk warm-start store
+	// rather than computed (they count as neither hit nor miss).
+	Restored uint64 `json:"restored"`
+}
+
+// HitRate returns hits/(hits+misses), zero before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// BudgetStats snapshots the shared evaluation-concurrency budget
+// (healthz "search" section).
+type BudgetStats struct {
+	// Capacity is the total evaluation-concurrency budget (max of the
+	// request pool width and the default search fan-out).
+	Capacity int `json:"capacity"`
+	// Available is the instantaneous unclaimed share of the budget.
+	Available int `json:"available"`
+	// SearchWorkers is the server's default per-request search fan-out
+	// (1 = serial searches unless a request asks for more).
+	SearchWorkers int `json:"search_workers"`
+}
+
+// WarmStats summarizes one boot's warm-start scan.
+type WarmStats struct {
+	// Engines and Contexts count cache entries admitted from disk.
+	Engines  int `json:"engines"`
+	Contexts int `json:"contexts"`
+	// Jobs counts restored terminal snapshots; Replayed counts
+	// write-ahead jobs re-submitted because they never finished.
+	Jobs     int `json:"jobs"`
+	Replayed int `json:"replayed"`
+	// Skipped counts files discarded during the scans: corrupt,
+	// version-mismatched, or failing fingerprint re-verification. All are
+	// deleted (recomputation is the only recovery).
+	Skipped int `json:"skipped"`
+}
+
+// PersistStats is the healthz "persist" section.
+type PersistStats struct {
+	Enabled bool `json:"enabled"`
+	// Warm is the boot-time scan summary.
+	Warm WarmStats `json:"warm,omitempty"`
+	// Cache and Jobs are the write-behind counters of the two stores.
+	Cache persist.Stats `json:"cache,omitempty"`
+	Jobs  persist.Stats `json:"jobs,omitempty"`
+	// Error records a store that failed to open (the server then runs
+	// without that store rather than failing: persistence is optional).
+	Error string `json:"error,omitempty"`
+}
+
+// HealthzResponse is the 200 body of GET /healthz.
+type HealthzResponse struct {
+	Status    string       `json:"status"`
+	UptimeSec float64      `json:"uptime_sec"`
+	Cache     CacheStats   `json:"cache"`
+	Jobs      jobs.Stats   `json:"jobs"`
+	Search    BudgetStats  `json:"search"`
+	Persist   PersistStats `json:"persist"`
+}

@@ -1,5 +1,7 @@
 package serve
 
+import "repro/internal/serve/api"
+
 // tokenBudget is the server's global evaluation-concurrency budget: a
 // non-blocking counting semaphore shared between the request-level worker
 // pool and the intra-request mapping-search fan-out. Every evaluation —
@@ -56,14 +58,6 @@ func (b *tokenBudget) capacity() int { return cap(b.tokens) }
 // for stats only).
 func (b *tokenBudget) available() int { return len(b.tokens) }
 
-// BudgetStats snapshots the shared concurrency budget for /healthz.
-type BudgetStats struct {
-	// Capacity is the total evaluation-concurrency budget (max of the
-	// request pool width and the default search fan-out).
-	Capacity int `json:"capacity"`
-	// Available is the instantaneous unclaimed share of the budget.
-	Available int `json:"available"`
-	// SearchWorkers is the server's default per-request search fan-out
-	// (1 = serial searches unless a request asks for more).
-	SearchWorkers int `json:"search_workers"`
-}
+// BudgetStats snapshots the shared concurrency budget for /healthz (the
+// wire type api.BudgetStats).
+type BudgetStats = api.BudgetStats

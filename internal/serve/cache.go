@@ -8,28 +8,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/serve/api"
 	"repro/internal/workload"
 )
 
-// Stats is a point-in-time snapshot of cache effectiveness.
-type Stats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	// Restored counts entries admitted from the on-disk warm-start store
-	// rather than computed (they count as neither hit nor miss).
-	Restored uint64 `json:"restored"`
-}
-
-// HitRate returns hits/(hits+misses), zero before any lookup.
-func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(total)
-}
+// Stats is a point-in-time snapshot of cache effectiveness (the wire
+// type api.CacheStats — the healthz "cache" section).
+type Stats = api.CacheStats
 
 // Cache memoizes compiled engines and per-layer amortized contexts under
 // content-addressed keys. It is the state that outlives a single

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/report"
+	"repro/internal/serve/jobs"
+)
+
+// jsonDecode decodes a raw response body (for tests that need headers
+// and body together, which the do() helper hides).
+func jsonDecode(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// These tests pin the v1 contract's error surface: every failure path —
+// including the ones net/http would answer itself — speaks the
+// api.Error envelope as application/json with a stable code.
+
+// envelope pulls the code/message fields out of a decoded error body.
+func envelope(t *testing.T, out map[string]any) (code, message string) {
+	t.Helper()
+	code, _ = out["code"].(string)
+	message, _ = out["message"].(string)
+	if code == "" {
+		t.Fatalf("response is not an error envelope: %v", out)
+	}
+	return code, message
+}
+
+func TestErrorEnvelopeMalformedAndUnknown(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+
+	// Malformed JSON.
+	status, out := do("POST", "/v1/evaluate", `{"macro": `)
+	if code, _ := envelope(t, out); status != http.StatusBadRequest || code != "invalid_request" {
+		t.Fatalf("malformed body: %d %v", status, out)
+	}
+	// Unknown field (typo protection).
+	status, out = do("POST", "/v1/evaluate", `{"unknown_field": 1}`)
+	if code, _ := envelope(t, out); status != http.StatusBadRequest || code != "invalid_request" {
+		t.Fatalf("unknown field: %d %v", status, out)
+	}
+	// Semantically invalid request.
+	status, out = do("POST", "/v1/evaluate", `{"macro": "no-such", "network": "toy"}`)
+	if code, msg := envelope(t, out); status != http.StatusBadRequest || code != "invalid_request" || !strings.Contains(msg, "no-such") {
+		t.Fatalf("bad macro: %d %v", status, out)
+	}
+	// Unknown priority class.
+	status, out = do("POST", "/v1/jobs", `{"macros": ["base"], "networks": ["toy"], "priority": "urgent"}`)
+	if code, _ := envelope(t, out); status != http.StatusBadRequest || code != "invalid_request" {
+		t.Fatalf("bad priority: %d %v", status, out)
+	}
+	// Unknown job ID.
+	status, out = do("GET", "/v1/jobs/job-999999", "")
+	if code, _ := envelope(t, out); status != http.StatusNotFound || code != "not_found" {
+		t.Fatalf("unknown job: %d %v", status, out)
+	}
+	// Bad query parameters.
+	status, out = do("GET", "/v1/jobs?status=bogus", "")
+	if code, _ := envelope(t, out); status != http.StatusBadRequest || code != "invalid_request" {
+		t.Fatalf("bad status filter: %d %v", status, out)
+	}
+	status, out = do("GET", "/v1/jobs?limit=-3", "")
+	if code, _ := envelope(t, out); status != http.StatusBadRequest || code != "invalid_request" {
+		t.Fatalf("bad limit: %d %v", status, out)
+	}
+}
+
+// TestErrorEnvelopeRoutes404And405: the wrapped mux never answers
+// net/http's plain text.
+func TestErrorEnvelopeRoutes404And405(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	defer srv.Close()
+	ts, _ := testClient(t, srv)
+
+	resp, err := ts.Client().Get(ts.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("404 Content-Type %q", ct)
+	}
+	var out map[string]any
+	if err := jsonDecode(resp, &out); err != nil {
+		t.Fatalf("404 body is not JSON: %v", err)
+	}
+	if code, msg := envelope(t, out); code != "not_found" || !strings.Contains(msg, "/no/such/route") {
+		t.Fatalf("404 envelope: %v", out)
+	}
+
+	// Wrong method on a known route.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs", nil)
+	resp2, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("405 Content-Type %q", ct)
+	}
+	var out2 map[string]any
+	if err := jsonDecode(resp2, &out2); err != nil {
+		t.Fatalf("405 body is not JSON: %v", err)
+	}
+	if code, _ := envelope(t, out2); code != "method_not_allowed" {
+		t.Fatalf("405 envelope: %v", out2)
+	}
+	if details, _ := out2["details"].(map[string]any); details["allow"] == "" {
+		t.Fatalf("405 must name the allowed methods: %v", out2)
+	}
+}
+
+// TestErrorEnvelopeOversizedBody: the configurable body bound answers
+// 413 with the envelope instead of decoding unbounded input.
+func TestErrorEnvelopeOversizedBody(t *testing.T) {
+	srv := NewServer(BatchOptions{MaxBodyBytes: 128})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+
+	big := fmt.Sprintf(`{"macro": "base", "network": "toy", "tag": %q}`, strings.Repeat("x", 4096))
+	status, out := do("POST", "/v1/evaluate", big)
+	code, msg := envelope(t, out)
+	if status != http.StatusRequestEntityTooLarge || code != "invalid_request" {
+		t.Fatalf("oversized: %d %v", status, out)
+	}
+	if !strings.Contains(msg, "128") {
+		t.Fatalf("message must name the bound: %q", msg)
+	}
+	if details, _ := out["details"].(map[string]any); details["max_bytes"] != "128" {
+		t.Fatalf("details: %v", out)
+	}
+	// Under the bound the same endpoint still works.
+	if status, out := do("POST", "/v1/evaluate", `{"macro": "base", "network": "toy"}`); status != http.StatusOK {
+		t.Fatalf("small body: %d %v", status, out)
+	}
+}
+
+// TestErrorEnvelopeQueueFull429: the backpressure response carries the
+// hint twice — Retry-After header for generic HTTP clients,
+// retry_after_sec in the envelope for contract clients.
+func TestErrorEnvelopeQueueFull429(t *testing.T) {
+	srv := NewServer(BatchOptions{
+		MaxRunningJobs: 1, MaxQueuedJobs: 1, JobRetryAfter: 3 * time.Second,
+	})
+	defer srv.Close()
+	ts, _ := testClient(t, srv)
+
+	runningID, release := blockingJob(t, srv)
+	defer release()
+	waitRunning(t, srv, runningID)
+	_, releaseQueued := blockingJob(t, srv)
+	defer releaseQueued()
+
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"macros": ["base"], "networks": ["toy"], "max_mappings": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", ra)
+	}
+	var out map[string]any
+	if err := jsonDecode(resp, &out); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := envelope(t, out); code != "queue_full" {
+		t.Fatalf("429 envelope: %v", out)
+	}
+	if sec, _ := out["retry_after_sec"].(float64); sec != 3 {
+		t.Fatalf("retry_after_sec: %v", out)
+	}
+}
+
+// TestErrorEnvelopeShutdownAndPanic: a draining server answers
+// shutting_down; a handler panic becomes a 500 internal envelope, not a
+// severed connection.
+func TestErrorEnvelopeShutdownAndPanic(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	_, do := testClient(t, srv)
+	srv.Close()
+	status, out := do("POST", "/v1/jobs", `{"macros": ["base"], "networks": ["toy"]}`)
+	if code, _ := envelope(t, out); status != http.StatusServiceUnavailable || code != "shutting_down" {
+		t.Fatalf("submit after close: %d %v", status, out)
+	}
+
+	srv2 := NewServer(BatchOptions{})
+	defer srv2.Close()
+	srv2.RunExperiment = func(name string, fast bool, mm int, seed int64) ([]*report.Table, error) {
+		panic("experiment runner exploded")
+	}
+	_, do2 := testClient(t, srv2)
+	status, out = do2("POST", "/v1/experiments", `{"name": "fig2a"}`)
+	if code, msg := envelope(t, out); status != http.StatusInternalServerError || code != "internal" || strings.Contains(msg, "exploded") {
+		// The panic value must NOT leak to the client.
+		t.Fatalf("panic recovery: %d %v", status, out)
+	}
+}
+
+// TestJobListPaginationHTTP drives ?status/?limit/?cursor end to end.
+func TestJobListPaginationHTTP(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1, AsyncThreshold: -1})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+
+	for i := 0; i < 3; i++ {
+		status, out := do("POST", "/v1/jobs", `{"macros": ["base"], "networks": ["toy"], "max_mappings": 1, "layers": 1}`)
+		id := acceptedJobID(t, status, out)
+		pollJob(t, do, id)
+	}
+	status, out := do("GET", "/v1/jobs?limit=2", "")
+	if status != http.StatusOK {
+		t.Fatalf("list: %d %v", status, out)
+	}
+	page, _ := out["jobs"].([]any)
+	if len(page) != 2 {
+		t.Fatalf("page size %d: %v", len(page), out)
+	}
+	next, _ := out["next_cursor"].(string)
+	if next != "job-000002" {
+		t.Fatalf("next_cursor %q", next)
+	}
+	status, out = do("GET", "/v1/jobs?limit=2&cursor="+next, "")
+	if status != http.StatusOK {
+		t.Fatal(status)
+	}
+	page2, _ := out["jobs"].([]any)
+	if len(page2) != 1 {
+		t.Fatalf("page2 %v", out)
+	}
+	if first, _ := page2[0].(map[string]any); first["id"] != "job-000003" {
+		t.Fatalf("page2 first %v", page2)
+	}
+	if out["next_cursor"] != nil {
+		t.Fatalf("exhausted listing still pages: %v", out)
+	}
+	// Status filter composes.
+	status, out = do("GET", "/v1/jobs?status=succeeded", "")
+	if status != http.StatusOK {
+		t.Fatal(status)
+	}
+	if succeeded, _ := out["jobs"].([]any); len(succeeded) != 3 {
+		t.Fatalf("succeeded filter: %v", out)
+	}
+	if status, _ = do("GET", "/v1/jobs?status=queued", ""); status != http.StatusOK {
+		t.Fatal(status)
+	}
+}
+
+// TestHTTPPriorityOrdering is the acceptance check on the wire: with a
+// heavyweight batch sweep queued first, an interactive job submitted
+// AFTER it finishes while the batch job has not even started — the
+// priority queue dispatched the interactive one first. (If dispatch
+// were FIFO, the interactive job could not finish before the
+// minutes-long batch grid.)
+func TestHTTPPriorityOrdering(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1, AsyncThreshold: -1})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+
+	// Occupy the single job runner so both submissions queue.
+	runningID, release := blockingJob(t, srv)
+	waitRunning(t, srv, runningID)
+
+	status, out := do("POST", "/v1/jobs",
+		`{"macros": ["base", "macro-a", "macro-b", "macro-d"], "networks": ["resnet18"], "max_mappings": 400, "priority": "batch"}`)
+	batchID := acceptedJobID(t, status, out)
+	status, out = do("POST", "/v1/jobs",
+		`{"macros": ["base"], "networks": ["toy"], "max_mappings": 1, "layers": 1, "priority": "interactive"}`)
+	interID := acceptedJobID(t, status, out)
+
+	if job, ok := out["job"].(map[string]any); !ok || job["priority"] != "interactive" {
+		t.Fatalf("accepted snapshot priority: %v", out)
+	}
+
+	release()
+	final := pollJob(t, do, interID)
+	if final["status"] != "succeeded" {
+		t.Fatalf("interactive job: %v", final)
+	}
+	// The heavyweight batch job must not have finished first.
+	_, batchSnap := do("GET", "/v1/jobs/"+batchID, "")
+	if batchSnap["status"] == "succeeded" {
+		t.Fatalf("batch grid finished before the interactive job: %v", batchSnap)
+	}
+	if _, cancelOut := do("POST", "/v1/jobs/"+batchID+"/cancel", ""); cancelOut["id"] != batchID {
+		t.Fatalf("cancel: %v", cancelOut)
+	}
+	pollJob(t, do, batchID)
+}
+
+// TestWALReplayPreservesPriority: a restart replays interrupted jobs in
+// their original scheduling class.
+func TestWALReplayPreservesPriority(t *testing.T) {
+	dir := t.TempDir()
+	first := NewServer(BatchOptions{Workers: 1, JobsDir: dir, MaxRunningJobs: 1})
+	// A deep grid occupies the runner; one job of each class queues
+	// behind it. Close interrupts all three.
+	big := Grid([]string{"base", "macro-b"}, []string{"mobilenetv3-large"}, nil, 0, 8)
+	if _, err := first.SubmitSweepOpts(big, SweepJobOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	batchSnap, err := first.SubmitSweepOpts([]Request{{Macro: "base", Network: "toy", MaxMappings: 1, Layers: 1}},
+		SweepJobOptions{Priority: jobs.PriorityBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interSnap, err := first.SubmitSweepOpts([]Request{{Macro: "base", Network: "toy", MaxMappings: 1, Layers: 1}},
+		SweepJobOptions{Priority: jobs.PriorityInteractive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchSnap.Priority != jobs.PriorityBatch || interSnap.Priority != jobs.PriorityInteractive {
+		t.Fatalf("submitted priorities: %q %q", batchSnap.Priority, interSnap.Priority)
+	}
+	first.Close()
+
+	second := NewServer(BatchOptions{Workers: 1, JobsDir: dir, MaxRunningJobs: 1})
+	defer second.Close()
+	if ps := second.PersistStats(); ps.Warm.Replayed != 3 {
+		t.Fatalf("warm stats %+v, want 3 replayed", ps.Warm)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	gotBatch, err := second.WaitJob(ctx, batchSnap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotInter, err := second.WaitJob(ctx, interSnap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBatch.Priority != jobs.PriorityBatch {
+		t.Fatalf("replayed batch job came back %q", gotBatch.Priority)
+	}
+	if gotInter.Priority != jobs.PriorityInteractive {
+		t.Fatalf("replayed interactive job came back %q", gotInter.Priority)
+	}
+}

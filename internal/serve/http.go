@@ -4,42 +4,47 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/macros"
+	"repro/internal/serve/api"
 	"repro/internal/serve/jobs"
 	"repro/internal/workload"
 )
 
-// Handler returns the HTTP JSON API:
+// Handler returns the HTTP JSON API. The wire contract — every request
+// and response body, the error envelope, and the SSE event format — is
+// defined in internal/serve/api and documented in docs/API.md:
 //
-//	GET  /healthz              liveness + cache counters + job counts +
-//	                           search-budget occupancy
-//	POST /v1/evaluate          one Request -> Result
-//	POST /v1/sweep             {"requests": [...]} or a macro/network/
-//	                           scenario grid -> {"results": [...],
-//	                           "table": "..."}; grids at or beyond the
-//	                           async threshold (or "async": true) return
-//	                           202 Accepted with a job instead
-//	POST /v1/jobs              submit a sweep as an async job -> 202
-//	                           {"job": {...}, "status_url": ...}; a full
-//	                           queue returns 429 with a Retry-After header
-//	GET  /v1/jobs              retained jobs, submission order
-//	GET  /v1/jobs/{id}         one job: status, completed/total, partial
-//	                           results, first error; 404 when unknown
-//	POST /v1/jobs/{id}/cancel  request cancellation (idempotent); stops
-//	                           in-flight layer searches
-//	GET  /v1/macros            published macro models (Table III)
-//	GET  /v1/networks          model-zoo workloads
-//	GET  /v1/experiments       reproducible paper artifacts
-//	POST /v1/experiments       {"name": "fig2a", ...} -> rendered tables
+//	GET  /healthz               liveness + cache/job/budget/persist stats
+//	POST /v1/evaluate           api.EvalRequest -> api.EvalResult
+//	POST /v1/sweep              api.SweepRequest -> api.SweepResponse;
+//	                            grids at or beyond the async threshold
+//	                            (or "async": true) return 202 +
+//	                            api.JobAccepted instead
+//	POST /v1/jobs               submit a sweep as an async job -> 202 +
+//	                            api.JobAccepted; "priority" selects the
+//	                            scheduling class; a full queue returns
+//	                            429 + Retry-After
+//	GET  /v1/jobs               api.JobListResponse; ?status= filters,
+//	                            ?limit= and ?cursor= page
+//	GET  /v1/jobs/{id}          one jobs.Snapshot; ?after_version= and
+//	                            ?wait_sec= long-poll for news
+//	GET  /v1/jobs/{id}/events   Server-Sent Events progress stream;
+//	                            Last-Event-ID resumes
+//	POST /v1/jobs/{id}/cancel   request cancellation (idempotent)
+//	GET  /v1/macros             api.MacrosResponse (Table III)
+//	GET  /v1/networks           api.NetworksResponse (model zoo)
+//	GET  /v1/experiments        api.ExperimentsResponse
+//	POST /v1/experiments        api.ExperimentRunRequest -> tables
 //
-// All endpoints speak JSON; errors return {"error": "..."} with a 4xx/5xx
-// status.
+// Every response is JSON (the SSE stream frames JSON events); every
+// error — including unknown routes, wrong methods, oversized bodies,
+// and recovered panics — is the api.Error envelope with a stable
+// machine-readable code.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -48,12 +53,98 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/macros", s.handleMacros)
 	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("POST /v1/experiments", s.handleExperimentRun)
-	return mux
+	return withRecovery(withJSONErrors(mux))
+}
+
+// withJSONErrors rewrites the mux's built-in plain-text 404/405
+// responses into the v1 error envelope, so a client never has to parse
+// two error grammars. Handlers that write their own JSON errors (they
+// set Content-Type before WriteHeader) pass through untouched.
+func withJSONErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&jsonErrorWriter{ResponseWriter: w, req: r}, r)
+	})
+}
+
+// jsonErrorWriter intercepts WriteHeader(404|405) calls whose
+// Content-Type is not already JSON — exactly the net/http defaults —
+// swallows the plain-text body that follows, and writes the envelope
+// instead.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	req         *http.Request
+	intercepted bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(code int) {
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		w.Header().Get("Content-Type") != "application/json" {
+		w.intercepted = true
+		e := api.Errorf(api.CodeNotFound, "no route for %s %s", w.req.Method, w.req.URL.Path)
+		if code == http.StatusMethodNotAllowed {
+			e = api.Errorf(api.CodeMethodNotAllowed, "method %s not allowed on %s", w.req.Method, w.req.URL.Path)
+			if allow := w.Header().Get("Allow"); allow != "" {
+				e.Details = map[string]string{"allow": allow}
+			}
+		}
+		h := w.Header()
+		h.Del("Content-Length")
+		h.Del("X-Content-Type-Options")
+		h.Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(code)
+		enc := json.NewEncoder(w.ResponseWriter)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(e)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *jsonErrorWriter) Write(p []byte) (int, error) {
+	if w.intercepted {
+		// Drop the plain-text body net/http writes after its WriteHeader;
+		// the envelope already went out.
+		return len(p), nil
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so SSE streaming works through
+// the middleware.
+func (w *jsonErrorWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withRecovery turns a handler panic into a 500 + internal envelope
+// instead of a severed connection with no body. http.ErrAbortHandler —
+// the sanctioned "hang up now" panic — is re-raised untouched.
+func withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			// Best effort: if the handler already streamed a partial body
+			// this lands mid-stream, but for the overwhelmingly common
+			// panic-before-write case the client gets a well-formed
+			// envelope. The panic detail stays server-side.
+			writeAPIError(w, http.StatusInternalServerError,
+				api.Errorf(api.CodeInternal, "internal error handling %s %s", r.Method, r.URL.Path))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -64,72 +155,72 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeAPIError sends the v1 error envelope. Every error path in this
+// file funnels through here, so the envelope shape cannot drift between
+// endpoints.
+func writeAPIError(w http.ResponseWriter, status int, e *api.Error) {
+	if e.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSec))
+	}
+	writeJSON(w, status, e)
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+// decodeJSON decodes a bounded request body, rejecting unknown fields
+// (silent typos would otherwise evaluate the wrong thing) and oversized
+// payloads (413 + envelope; the bound is BatchOptions.MaxBodyBytes).
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	limit := s.opts.maxBodyBytes()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+	err := dec.Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		e := api.Errorf(api.CodeInvalidRequest, "request body exceeds %d bytes", limit)
+		e.Details = map[string]string{"max_bytes": strconv.FormatInt(limit, 10)}
+		writeAPIError(w, http.StatusRequestEntityTooLarge, e)
 		return false
 	}
-	return true
+	writeAPIError(w, http.StatusBadRequest,
+		api.Errorf(api.CodeInvalidRequest, "bad request body: %v", err))
+	return false
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"uptime_sec": time.Since(s.start).Seconds(),
-		"cache":      s.CacheStats(),
-		"jobs":       s.JobStats(),
-		"search":     s.SearchStats(),
-		"persist":    s.PersistStats(),
+	writeJSON(w, http.StatusOK, api.HealthzResponse{
+		Status:    "ok",
+		UptimeSec: time.Since(s.start).Seconds(),
+		Cache:     s.CacheStats(),
+		Jobs:      s.JobStats(),
+		Search:    s.SearchStats(),
+		Persist:   s.PersistStats(),
 	})
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req Request
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	res, err := s.EvaluateCtx(r.Context(), req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, http.StatusBadRequest, api.Errorf(api.CodeInvalidRequest, "%v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
-// sweepRequest is the /v1/sweep and /v1/jobs body: either an explicit
-// request list or a grid specification, not both.
-type sweepRequest struct {
-	Requests []Request `json:"requests,omitempty"`
-
-	Macros      []string `json:"macros,omitempty"`
-	Networks    []string `json:"networks,omitempty"`
-	Scenarios   []string `json:"scenarios,omitempty"`
-	Layers      int      `json:"layers,omitempty"`
-	MaxMappings int      `json:"max_mappings,omitempty"`
-
-	// Async forces the job path regardless of grid size (/v1/sweep only;
-	// /v1/jobs is always async).
-	Async bool `json:"async,omitempty"`
-	// TimeoutSec caps the sweep's run time: synchronous sweeps wrap the
-	// request context, async jobs wrap the job context (measured from job
-	// start), both via context.WithTimeout — expiry aborts in-flight
-	// layer searches. Zero means no deadline.
-	TimeoutSec float64 `json:"timeout_sec,omitempty"`
-}
-
-// timeout converts TimeoutSec to a duration (0 = none; huge values
-// saturate instead of overflowing negative).
-func (b *sweepRequest) timeout() time.Duration {
+// sweepTimeout converts a SweepRequest's TimeoutSec to a duration (0 =
+// none; huge values saturate instead of overflowing negative).
+func sweepTimeout(b *api.SweepRequest) time.Duration {
 	return secondsToTimeout(b.TimeoutSec)
 }
 
-func (b *sweepRequest) resolve() []Request {
+// resolveSweep expands a SweepRequest into its request list: the
+// explicit list if present, the grid cross-product otherwise.
+func resolveSweep(b *api.SweepRequest) []Request {
 	if len(b.Requests) > 0 {
 		return b.Requests
 	}
@@ -137,20 +228,23 @@ func (b *sweepRequest) resolve() []Request {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var body sweepRequest
-	if !decodeJSON(w, r, &body) {
+	var body api.SweepRequest
+	if !s.decodeJSON(w, r, &body) {
 		return
 	}
-	reqs := body.resolve()
+	if !validSweepPriority(w, body.Priority) {
+		return
+	}
+	reqs := resolveSweep(&body)
 	// Grid-sized sweeps don't hold the connection open: hand back a job.
 	if thr := s.opts.asyncThreshold(); body.Async || (thr > 0 && len(reqs) >= thr) {
-		s.acceptJob(w, reqs, body.timeout())
+		s.acceptJob(w, reqs, SweepJobOptions{Timeout: sweepTimeout(&body), Priority: body.Priority})
 		return
 	}
 	// The request context stops the feeder when the client disconnects
 	// and enforces the optional per-request deadline.
 	ctx := r.Context()
-	if d := body.timeout(); d > 0 {
+	if d := sweepTimeout(&body); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
@@ -161,148 +255,240 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// not a malformed request: clients keying retry logic on the
 		// status class must be able to tell the two apart.
 		if errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusGatewayTimeout, err)
+			writeAPIError(w, http.StatusGatewayTimeout, api.Errorf(api.CodeDeadlineExceeded, "%v", err))
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, http.StatusBadRequest, api.Errorf(api.CodeInvalidRequest, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"results": results,
-		"table":   SweepTable(results).String(),
-		"cache":   s.CacheStats(),
+	writeJSON(w, http.StatusOK, api.SweepResponse{
+		Results: results,
+		Table:   SweepTable(results).String(),
+		Cache:   s.CacheStats(),
 	})
+}
+
+// validSweepPriority rejects unknown scheduling classes with the
+// envelope (empty means batch and is fine).
+func validSweepPriority(w http.ResponseWriter, p jobs.Priority) bool {
+	if _, err := jobs.ParsePriority(string(p)); err != nil {
+		writeAPIError(w, http.StatusBadRequest, api.Errorf(api.CodeInvalidRequest, "%v", err))
+		return false
+	}
+	return true
 }
 
 // acceptJob submits reqs as an async sweep job and answers 202 (or 429 +
 // Retry-After under backpressure).
-func (s *Server) acceptJob(w http.ResponseWriter, reqs []Request, timeout time.Duration) {
-	snap, err := s.SubmitSweepOpts(reqs, SweepJobOptions{Timeout: timeout})
+func (s *Server) acceptJob(w http.ResponseWriter, reqs []Request, opts SweepJobOptions) {
+	snap, err := s.SubmitSweepOpts(reqs, opts)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		secs := int(math.Ceil(s.RetryAfter().Seconds()))
 		if secs < 1 {
 			secs = 1
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests, err)
+		e := api.Errorf(api.CodeQueueFull, "%v", err)
+		e.RetryAfterSec = secs
+		writeAPIError(w, http.StatusTooManyRequests, e)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		// The server is shutting down, not the client misbehaving.
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeAPIError(w, http.StatusServiceUnavailable, api.Errorf(api.CodeShuttingDown, "%v", err))
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, http.StatusBadRequest, api.Errorf(api.CodeInvalidRequest, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{
-		"job":        snap,
-		"status_url": "/v1/jobs/" + snap.ID,
+	writeJSON(w, http.StatusAccepted, api.JobAccepted{
+		Job:       snap,
+		StatusURL: "/v1/jobs/" + snap.ID,
+		EventsURL: "/v1/jobs/" + snap.ID + "/events",
 	})
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	var body sweepRequest
-	if !decodeJSON(w, r, &body) {
+	var body api.SweepRequest
+	if !s.decodeJSON(w, r, &body) {
 		return
 	}
-	s.acceptJob(w, body.resolve(), body.timeout())
+	if !validSweepPriority(w, body.Priority) {
+		return
+	}
+	s.acceptJob(w, resolveSweep(&body), SweepJobOptions{Timeout: sweepTimeout(&body), Priority: body.Priority})
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"jobs":  s.Jobs(),
-		"stats": s.JobStats(),
+	q := r.URL.Query()
+	var lq jobs.ListQuery
+	if v := q.Get("status"); v != "" {
+		st := jobs.Status(v)
+		switch st {
+		case jobs.StatusQueued, jobs.StatusRunning, jobs.StatusSucceeded, jobs.StatusFailed, jobs.StatusCancelled:
+			lq.Status = st
+		default:
+			writeAPIError(w, http.StatusBadRequest,
+				api.Errorf(api.CodeInvalidRequest, "unknown status %q", v))
+			return
+		}
+	}
+	lq.Limit = DefaultJobPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeAPIError(w, http.StatusBadRequest,
+				api.Errorf(api.CodeInvalidRequest, "limit must be a positive integer, got %q", v))
+			return
+		}
+		lq.Limit = n
+	}
+	lq.After = q.Get("cursor")
+	page, next := s.jobs.ListPage(lq)
+	writeJSON(w, http.StatusOK, api.JobListResponse{
+		Jobs:       page,
+		Stats:      s.JobStats(),
+		NextCursor: next,
 	})
 }
 
+// DefaultJobPageLimit caps a GET /v1/jobs page when the client does not
+// pass ?limit= (pagination must be opt-out-proof: an unbounded default
+// would grow with retention).
+const DefaultJobPageLimit = 100
+
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	snap, ok := s.Job(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+	q := r.URL.Query()
+	// Long-poll mode: ?after_version=N&wait_sec=S parks the request until
+	// the job has news beyond version N (or S seconds pass, returning the
+	// unchanged snapshot — the client compares versions). The fallback
+	// transport for clients that cannot speak SSE.
+	var after int64 = -1
+	if v := q.Get("after_version"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeAPIError(w, http.StatusBadRequest,
+				api.Errorf(api.CodeInvalidRequest, "after_version must be a non-negative integer, got %q", v))
+			return
+		}
+		after = n
+	}
+	if after < 0 {
+		snap, ok := s.Job(id)
+		if !ok {
+			writeJobNotFound(w, id)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	// One poll round is always bounded: wait_sec caps it explicitly,
+	// and an omitted wait_sec gets the maximum window rather than
+	// parking the handler goroutine until the job (maybe never) moves.
+	wait := float64(maxLongPollSec)
+	if v := q.Get("wait_sec"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		if err != nil || sec < 0 || sec > maxLongPollSec {
+			writeAPIError(w, http.StatusBadRequest,
+				api.Errorf(api.CodeInvalidRequest, "wait_sec must be in [0, %d], got %q", maxLongPollSec, v))
+			return
+		}
+		wait = sec
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), secondsToTimeout(wait))
+	defer cancel()
+	snap, err := s.jobs.Await(ctx, id, after)
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeJobNotFound(w, id)
+		return
+	case err != nil:
+		// The poll window elapsed with no news: answer the current state
+		// (the client sees an unchanged version). A dropped client gets
+		// whatever write fails silently — it is gone either way.
+		snap, ok := s.Job(id)
+		if !ok {
+			writeJobNotFound(w, id)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// maxLongPollSec bounds one long-poll round so an idle connection cannot
+// pin a handler goroutine forever; clients re-arm.
+const maxLongPollSec = 60
+
+func writeJobNotFound(w http.ResponseWriter, id string) {
+	writeAPIError(w, http.StatusNotFound, api.Errorf(api.CodeNotFound, "unknown job %q", id))
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	snap, ok := s.CancelJob(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		writeJobNotFound(w, id)
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleMacros(w http.ResponseWriter, r *http.Request) {
-	type macroInfo struct {
-		Macro      string `json:"macro"`
-		Node       string `json:"node"`
-		Device     string `json:"device"`
-		InputBits  string `json:"input_bits"`
-		WeightBits string `json:"weight_bits"`
-		Array      string `json:"array"`
-		ADCBits    string `json:"adc_bits"`
-	}
-	var out []macroInfo
+	var out api.MacrosResponse
 	for _, m := range macros.TableIII() {
-		out = append(out, macroInfo{m.Macro, m.Node, m.Device, m.InputBits, m.WeightBits, m.Array, m.ADCBits})
+		out.Macros = append(out.Macros, api.MacroInfo{
+			Macro: m.Macro, Node: m.Node, Device: m.Device,
+			InputBits: m.InputBits, WeightBits: m.WeightBits,
+			Array: m.Array, ADCBits: m.ADCBits,
+		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"macros": out})
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
-	type netInfo struct {
-		Name   string `json:"name"`
-		Layers int    `json:"layers"`
-		MACs   int64  `json:"macs"`
-	}
-	var out []netInfo
+	var out api.NetworksResponse
 	for _, name := range workload.Names() {
 		n, err := workload.ByName(name)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeAPIError(w, http.StatusInternalServerError, api.Errorf(api.CodeInternal, "%v", err))
 			return
 		}
-		out = append(out, netInfo{n.Name, len(n.Layers), n.MACs()})
+		out.Networks = append(out.Networks, api.NetworkInfo{Name: n.Name, Layers: len(n.Layers), MACs: n.MACs()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"networks": out})
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
 	if s.ExperimentNames == nil {
-		writeError(w, http.StatusNotImplemented, fmt.Errorf("serve: experiment listing not wired"))
+		writeAPIError(w, http.StatusNotImplemented,
+			api.Errorf(api.CodeNotImplemented, "experiment listing not wired"))
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": s.ExperimentNames()})
+	writeJSON(w, http.StatusOK, api.ExperimentsResponse{Experiments: s.ExperimentNames()})
 }
 
 func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	if s.RunExperiment == nil {
-		writeError(w, http.StatusNotImplemented, fmt.Errorf("serve: experiment runner not wired"))
+		writeAPIError(w, http.StatusNotImplemented,
+			api.Errorf(api.CodeNotImplemented, "experiment runner not wired"))
 		return
 	}
-	var body struct {
-		Name        string `json:"name"`
-		Fast        bool   `json:"fast,omitempty"`
-		MaxMappings int    `json:"max_mappings,omitempty"`
-		Seed        int64  `json:"seed,omitempty"`
-	}
-	if !decodeJSON(w, r, &body) {
+	var body api.ExperimentRunRequest
+	if !s.decodeJSON(w, r, &body) {
 		return
 	}
 	tables, err := s.RunExperiment(body.Name, body.Fast, body.MaxMappings, body.Seed)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, http.StatusBadRequest, api.Errorf(api.CodeInvalidRequest, "%v", err))
 		return
 	}
-	rendered := make([]string, 0, len(tables))
+	out := api.ExperimentRunResponse{Tables: make([]string, 0, len(tables))}
 	for _, t := range tables {
-		rendered = append(rendered, t.String())
+		out.Tables = append(out.Tables, t.String())
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tables": rendered})
+	writeJSON(w, http.StatusOK, out)
 }
 
 // ListenAndServe starts the HTTP API on addr and blocks. It exists so

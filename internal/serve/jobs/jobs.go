@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -120,12 +121,25 @@ var ErrQueueFull = errors.New("jobs: pending queue full")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("jobs: store closed")
 
+// ErrUnknownJob is returned by Wait and Await for IDs the store has
+// never seen (or has already evicted).
+var ErrUnknownJob = errors.New("jobs: unknown job")
+
 // Snapshot is a point-in-time copy of one job, JSON-ready for the HTTP
 // API.
 type Snapshot struct {
 	ID     string `json:"id"`
 	Label  string `json:"label,omitempty"`
 	Status Status `json:"status"`
+	// Priority is the job's scheduling class (interactive before batch).
+	Priority Priority `json:"priority,omitempty"`
+	// Version counts the job's observable mutations (enqueue, start, each
+	// completed item, terminal transition). It is the cursor for Await and
+	// the HTTP layer's SSE/long-poll progress endpoints: a snapshot with a
+	// higher version than the one a client holds carries news. Versions
+	// are per-process — they restart from the snapshot's persisted value
+	// after a reboot — and only ever grow while the process lives.
+	Version int64 `json:"version"`
 
 	// Completed counts reported items; Total is the work-list size.
 	Completed int `json:"completed"`
@@ -155,10 +169,11 @@ func (s Snapshot) Done() bool { return s.Status.Terminal() }
 // job is the store's mutable record. All fields below the fn line are
 // guarded by the store mutex.
 type job struct {
-	id    string
-	label string
-	total int
-	fn    Fn
+	id       string
+	label    string
+	total    int
+	priority Priority
+	fn       Fn
 
 	status    Status
 	completed int
@@ -166,6 +181,12 @@ type job struct {
 	partials  []any
 	result    any
 	err       string
+	// version counts observable mutations; changed is closed and replaced
+	// on every bump, so any number of watchers (SSE streams, long-polls)
+	// can wait for "something newer than version N" without per-watcher
+	// queues.
+	version int64
+	changed chan struct{}
 
 	cancel          context.CancelFunc // non-nil only while running
 	cancelRequested bool
@@ -185,14 +206,20 @@ type job struct {
 type Store struct {
 	opts Options
 
-	mu      sync.Mutex
-	cond    *sync.Cond // wakes runners when pending grows or the store closes
-	seq     int
-	jobs    map[string]*job
-	order   []*job // insertion order: List and retention eviction
-	pending []*job // FIFO of queued jobs; cancellation removes in place
-	started bool
-	closed  bool
+	mu    sync.Mutex
+	cond  *sync.Cond // wakes runners when pending grows or the store closes
+	seq   int
+	jobs  map[string]*job
+	order []*job // insertion order: List and retention eviction
+	// pending is the two-class priority queue: one FIFO per class,
+	// dispatched interactive-first (see popPendingLocked); cancellation
+	// removes in place.
+	pending [numPriorities][]*job
+	// hiStreak counts consecutive interactive dispatches while batch work
+	// waited — the deterministic anti-starvation counter.
+	hiStreak int
+	started  bool
+	closed   bool
 
 	wg sync.WaitGroup
 	// notifyWG tracks OnTerminal/OnEvicted notifications issued from
@@ -228,35 +255,75 @@ func (s *Store) startLocked() {
 	}
 }
 
-// runner drains the pending queue until the store closes.
+// runner drains the pending queues until the store closes.
 func (s *Store) runner() {
 	defer s.wg.Done()
 	s.mu.Lock()
 	for {
-		for len(s.pending) == 0 && !s.closed {
+		for s.pendingLenLocked() == 0 && !s.closed {
 			s.cond.Wait()
 		}
-		if len(s.pending) == 0 {
+		j := s.popPendingLocked()
+		if j == nil {
 			s.mu.Unlock()
 			return
 		}
-		j := s.pending[0]
-		s.pending = s.pending[1:]
 		s.mu.Unlock()
 		s.run(j)
 		s.mu.Lock()
 	}
 }
 
+// pendingLenLocked is the total queued-job count across classes.
+func (s *Store) pendingLenLocked() int {
+	n := 0
+	for _, q := range s.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// popPendingLocked dequeues the next job to run: interactive before
+// batch, FIFO within a class, except that after starveLimit consecutive
+// interactive dispatches with batch work waiting, one batch job is
+// dispatched. The rule is a pure function of the dispatch history, so
+// scheduling is deterministic for a given submission/dispatch sequence.
+func (s *Store) popPendingLocked() *job {
+	pop := func(rank int) *job {
+		j := s.pending[rank][0]
+		s.pending[rank] = s.pending[rank][1:]
+		return j
+	}
+	switch {
+	case s.hiStreak >= starveLimit && len(s.pending[rankBatch]) > 0:
+		s.hiStreak = 0
+		return pop(rankBatch)
+	case len(s.pending[rankInteractive]) > 0:
+		if len(s.pending[rankBatch]) > 0 {
+			s.hiStreak++
+		} else {
+			s.hiStreak = 0 // nothing was passed over
+		}
+		return pop(rankInteractive)
+	case len(s.pending[rankBatch]) > 0:
+		s.hiStreak = 0
+		return pop(rankBatch)
+	}
+	return nil
+}
+
 // RetryAfter is the backoff hint to pair with ErrQueueFull (the HTTP
 // layer turns it into a Retry-After header).
 func (s *Store) RetryAfter() time.Duration { return s.opts.retryAfter() }
 
-// Stats counts jobs by lifecycle stage.
+// Stats counts jobs by lifecycle stage (queued also broken down by
+// scheduling class).
 type Stats struct {
-	Queued   int `json:"queued"`
-	Running  int `json:"running"`
-	Finished int `json:"finished"`
+	Queued            int `json:"queued"`
+	QueuedInteractive int `json:"queued_interactive"`
+	QueuedBatch       int `json:"queued_batch"`
+	Running           int `json:"running"`
+	Finished          int `json:"finished"`
 }
 
 // Stats snapshots the store's occupancy.
@@ -268,6 +335,11 @@ func (s *Store) Stats() Stats {
 		switch {
 		case j.status == StatusQueued:
 			st.Queued++
+			if j.priority.rank() == rankInteractive {
+				st.QueuedInteractive++
+			} else {
+				st.QueuedBatch++
+			}
 		case j.status == StatusRunning:
 			st.Running++
 		default:
@@ -277,18 +349,24 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Submit enqueues a job with a work list of total items and returns its
-// initial snapshot. It fails fast with ErrQueueFull when the pending
-// queue is at capacity — the backpressure contract — and never blocks on
-// a saturated pool. Cancelling a queued job frees its slot immediately.
+// Submit enqueues a batch-class job with a work list of total items and
+// returns its initial snapshot. It fails fast with ErrQueueFull when the
+// pending queue is at capacity — the backpressure contract — and never
+// blocks on a saturated pool. Cancelling a queued job frees its slot
+// immediately.
 func (s *Store) Submit(label string, total int, fn Fn) (Snapshot, error) {
+	return s.SubmitPriority(PriorityBatch, label, total, fn)
+}
+
+// SubmitPriority is Submit with an explicit scheduling class.
+func (s *Store) SubmitPriority(pri Priority, label string, total int, fn Fn) (Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return Snapshot{}, ErrClosed
 	}
 	s.seq++
-	return s.submitLocked(fmt.Sprintf("job-%06d", s.seq), label, total, fn, true)
+	return s.submitLocked(fmt.Sprintf("job-%06d", s.seq), pri, label, total, fn, true)
 }
 
 // ReserveID allocates the next job ID without creating a job, so a
@@ -306,28 +384,32 @@ func (s *Store) ReserveID() string {
 
 // SubmitReserved is Submit under an ID from ReserveID: same backpressure
 // contract (ErrQueueFull on a saturated queue), caller-ordered ID.
-func (s *Store) SubmitReserved(id, label string, total int, fn Fn) (Snapshot, error) {
+func (s *Store) SubmitReserved(id string, pri Priority, label string, total int, fn Fn) (Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return Snapshot{}, ErrClosed
 	}
-	return s.submitLocked(id, label, total, fn, true)
+	return s.submitLocked(id, pri, label, total, fn, true)
 }
 
 // submitLocked creates and enqueues one queued job. enforceBound applies
 // the pending-queue cap (fresh submissions); replay bypasses it.
-func (s *Store) submitLocked(id, label string, total int, fn Fn, enforceBound bool) (Snapshot, error) {
+func (s *Store) submitLocked(id string, pri Priority, label string, total int, fn Fn, enforceBound bool) (Snapshot, error) {
 	if fn == nil {
 		return Snapshot{}, errors.New("jobs: nil job body")
 	}
 	if id == "" {
 		return Snapshot{}, errors.New("jobs: empty job ID")
 	}
+	pri = pri.orDefault()
+	if !pri.Valid() {
+		return Snapshot{}, fmt.Errorf("jobs: unknown priority %q", pri)
+	}
 	if _, ok := s.jobs[id]; ok {
 		return Snapshot{}, fmt.Errorf("jobs: job %q already exists", id)
 	}
-	if enforceBound && len(s.pending) >= s.opts.maxQueued() {
+	if enforceBound && s.pendingLenLocked() >= s.opts.maxQueued() {
 		return Snapshot{}, ErrQueueFull
 	}
 	if total < 0 {
@@ -341,17 +423,28 @@ func (s *Store) submitLocked(id, label string, total int, fn Fn, enforceBound bo
 		id:       id,
 		label:    label,
 		total:    total,
+		priority: pri,
 		fn:       fn,
 		status:   StatusQueued,
 		partials: make([]any, total),
+		version:  1,
+		changed:  make(chan struct{}),
 		created:  time.Now(),
 		done:     make(chan struct{}),
 	}
-	s.pending = append(s.pending, j)
+	s.pending[pri.rank()] = append(s.pending[pri.rank()], j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	s.cond.Signal()
 	return j.snapshotLocked(), nil
+}
+
+// bumpLocked advances the job's version and wakes every watcher parked
+// on the previous version.
+func (s *Store) bumpLocked(j *job) {
+	j.version++
+	close(j.changed)
+	j.changed = make(chan struct{})
 }
 
 // idSeq parses the numeric suffix of a store-issued job ID
@@ -398,13 +491,19 @@ func (s *Store) Restore(snap Snapshot) error {
 		id:        snap.ID,
 		label:     snap.Label,
 		total:     snap.Total,
+		priority:  snap.Priority.orDefault(),
 		status:    snap.Status,
 		completed: snap.Completed,
 		firstErr:  snap.FirstError,
 		result:    snap.Result,
 		err:       snap.Error,
+		version:   snap.Version,
+		changed:   make(chan struct{}),
 		created:   snap.CreatedAt,
 		done:      make(chan struct{}),
+	}
+	if j.version < 1 {
+		j.version = 1
 	}
 	// Rebuild the timing so ElapsedSec survives the round trip.
 	j.started = snap.CreatedAt
@@ -429,14 +528,17 @@ func (s *Store) Restore(snap Snapshot) error {
 // previous process stopped. Replayed jobs bypass the pending-queue bound —
 // they were admitted before the restart, and bouncing them would break
 // the accepted-job contract — and advance the ID counter past their ID.
-// An ID already in the store is an error.
-func (s *Store) SubmitWithID(id, label string, total int, fn Fn) (Snapshot, error) {
+// An ID already in the store is an error. Replays keep their persisted
+// scheduling class, and because they are enqueued at boot — before any
+// new submission — FIFO-within-class guarantees no fresh same-class job
+// passes them.
+func (s *Store) SubmitWithID(id string, pri Priority, label string, total int, fn Fn) (Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return Snapshot{}, ErrClosed
 	}
-	return s.submitLocked(id, label, total, fn, false)
+	return s.submitLocked(id, pri, label, total, fn, false)
 }
 
 // run executes one dequeued job to a terminal state.
@@ -452,6 +554,7 @@ func (s *Store) run(j *job) {
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	s.bumpLocked(j)
 	s.mu.Unlock()
 
 	report := func(i int, partial any, err error) {
@@ -464,6 +567,7 @@ func (s *Store) run(j *job) {
 		if err != nil && j.firstErr == "" {
 			j.firstErr = err.Error()
 		}
+		s.bumpLocked(j)
 	}
 	result, err := j.fn(ctx, report)
 
@@ -505,6 +609,7 @@ func (s *Store) notifyTerminal(snap Snapshot, shutdown bool) {
 func (s *Store) finishLocked(j *job) []string {
 	j.fn = nil // the body never runs again; don't pin its captures
 	j.finished = time.Now()
+	s.bumpLocked(j)
 	close(j.done)
 	return s.applyRetentionLocked()
 }
@@ -568,6 +673,52 @@ func (s *Store) List() []Snapshot {
 	return out
 }
 
+// ListQuery filters and pages a listing. The zero value lists everything.
+type ListQuery struct {
+	// Status keeps only jobs in that lifecycle state ("" = all).
+	Status Status
+	// Limit caps the page size (<= 0 = unlimited).
+	Limit int
+	// After is an exclusive cursor: only jobs whose ID's monotonic
+	// sequence number exceeds After's are returned. Cursors survive
+	// eviction — the comparison is numeric, not positional — so a page
+	// boundary job evicted between requests does not skip or repeat
+	// survivors.
+	After string
+}
+
+// ListPage is List under a query: summaries in ascending-ID order, plus
+// a cursor for the next page ("" when this page exhausts the matches).
+// Pages iterate by ID, not by insertion position: a restart inserts
+// replayed (still-running) jobs after restored (finished) ones, so
+// insertion order can disagree with ID order — and an exclusive numeric
+// cursor over a misordered walk would skip the out-of-place jobs on
+// every subsequent page.
+func (s *Store) ListPage(q ListQuery) (page []Snapshot, next string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byID := make([]*job, len(s.order))
+	copy(byID, s.order)
+	sort.SliceStable(byID, func(i, j int) bool { return idSeq(byID[i].id) < idSeq(byID[j].id) })
+	afterSeq := -1
+	if q.After != "" {
+		afterSeq = idSeq(q.After)
+	}
+	for _, j := range byID {
+		if afterSeq >= 0 && idSeq(j.id) <= afterSeq {
+			continue
+		}
+		if q.Status != "" && j.status != q.Status {
+			continue
+		}
+		if q.Limit > 0 && len(page) == q.Limit {
+			return page, page[len(page)-1].ID
+		}
+		page = append(page, j.summaryLocked())
+	}
+	return page, ""
+}
+
 // Cancel requests cancellation of one job and returns its snapshot. A
 // queued job transitions straight to cancelled; a running job has its
 // context cancelled and reaches the cancelled state when its body
@@ -616,9 +767,10 @@ func (s *Store) Cancel(id string) (Snapshot, bool) {
 // but has not yet marked it running); that is fine — the runner skips
 // non-queued jobs.
 func (s *Store) dropPendingLocked(j *job) {
-	for i, p := range s.pending {
+	q := s.pending[j.priority.rank()]
+	for i, p := range q {
 		if p == j {
-			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			s.pending[j.priority.rank()] = append(q[:i], q[i+1:]...)
 			return
 		}
 	}
@@ -631,7 +783,7 @@ func (s *Store) Wait(ctx context.Context, id string) (Snapshot, error) {
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		return Snapshot{}, fmt.Errorf("jobs: unknown job %q", id)
+		return Snapshot{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
 	}
 	select {
 	case <-j.done:
@@ -641,6 +793,36 @@ func (s *Store) Wait(ctx context.Context, id string) (Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return j.snapshotLocked(), nil
+}
+
+// Await blocks until the job's version exceeds afterVersion — some
+// observable mutation the caller has not seen yet — and returns the
+// fresh snapshot. A terminal job returns immediately regardless of the
+// cursor (no further mutations are coming, and blocking forever on a
+// finished job would hang resumed watchers). This is the seam the HTTP
+// layer's SSE stream and long-poll are built on: hold a snapshot, await
+// its version, emit, repeat.
+func (s *Store) Await(ctx context.Context, id string, afterVersion int64) (Snapshot, error) {
+	for {
+		s.mu.Lock()
+		j, ok := s.jobs[id]
+		if !ok {
+			s.mu.Unlock()
+			return Snapshot{}, fmt.Errorf("%w %q", ErrUnknownJob, id)
+		}
+		if j.version > afterVersion || j.status.Terminal() {
+			snap := j.snapshotLocked()
+			s.mu.Unlock()
+			return snap, nil
+		}
+		ch := j.changed
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return Snapshot{}, ctx.Err()
+		}
+	}
 }
 
 // Close stops accepting jobs, cancels everything queued or running, and
@@ -693,6 +875,8 @@ func (j *job) summaryLocked() Snapshot {
 		ID:         j.id,
 		Label:      j.label,
 		Status:     j.status,
+		Priority:   j.priority,
+		Version:    j.version,
 		Completed:  j.completed,
 		Total:      j.total,
 		FirstError: j.firstErr,

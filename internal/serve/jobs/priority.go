@@ -1,0 +1,65 @@
+package jobs
+
+import "fmt"
+
+// Priority is a job's scheduling class. The pending queue is a strict
+// two-class priority queue — interactive jobs dispatch before batch jobs,
+// FIFO within each class — with one deterministic anti-starvation rule:
+// after starveLimit consecutive interactive dispatches while batch work
+// waits, the next dispatch takes the oldest batch job. Small interactive
+// grids therefore jump ahead of overnight sweeps without an unbounded
+// interactive stream starving the batch class forever.
+type Priority string
+
+const (
+	// PriorityInteractive is the high class: small grids a human is
+	// waiting on.
+	PriorityInteractive Priority = "interactive"
+	// PriorityBatch is the low (and default) class: overnight sweeps and
+	// other work nobody is watching.
+	PriorityBatch Priority = "batch"
+)
+
+// priority ranks, queue indices: lower runs first.
+const (
+	rankInteractive = iota
+	rankBatch
+	numPriorities
+)
+
+// starveLimit bounds how many consecutive interactive dispatches may
+// pass over waiting batch work before one batch job is dispatched.
+const starveLimit = 4
+
+// Valid reports whether p is a known class ("" is not; use orDefault).
+func (p Priority) Valid() bool {
+	return p == PriorityInteractive || p == PriorityBatch
+}
+
+// orDefault maps the empty string to PriorityBatch, so clients that never
+// heard of priorities keep their pre-priority behavior (one FIFO queue).
+func (p Priority) orDefault() Priority {
+	if p == "" {
+		return PriorityBatch
+	}
+	return p
+}
+
+// rank is the class's queue index (interactive first).
+func (p Priority) rank() int {
+	if p.orDefault() == PriorityInteractive {
+		return rankInteractive
+	}
+	return rankBatch
+}
+
+// ParsePriority validates a wire-supplied priority string; the empty
+// string is the batch default.
+func ParsePriority(s string) (Priority, error) {
+	p := Priority(s).orDefault()
+	if !p.Valid() {
+		return "", fmt.Errorf("jobs: unknown priority %q (have %q, %q)",
+			s, PriorityInteractive, PriorityBatch)
+	}
+	return p, nil
+}

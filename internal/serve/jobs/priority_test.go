@@ -1,0 +1,320 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gate blocks one runner until released, so tests control exactly when
+// the scheduler makes its next dispatch decision.
+func gate() (Fn, func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	fn := func(ctx context.Context, report Report) (any, error) {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	return fn, func() { once.Do(func() { close(ch) }) }
+}
+
+// recordingStore submits jobs that append their label to a shared log,
+// so dispatch order is observable.
+func recordingStore(t *testing.T, opts Options) (*Store, *[]string, *sync.Mutex) {
+	t.Helper()
+	s := NewStore(opts)
+	t.Cleanup(s.Close)
+	var mu sync.Mutex
+	log := []string{}
+	return s, &log, &mu
+}
+
+func runOrderJob(log *[]string, mu *sync.Mutex, label string) Fn {
+	return func(ctx context.Context, report Report) (any, error) {
+		mu.Lock()
+		*log = append(*log, label)
+		mu.Unlock()
+		return nil, nil
+	}
+}
+
+// TestPriorityOrdering is the headline guarantee: an interactive job
+// submitted AFTER queued batch jobs dispatches before them, batch jobs
+// keep FIFO order among themselves, and the schedule is deterministic.
+func TestPriorityOrdering(t *testing.T) {
+	s, log, mu := recordingStore(t, Options{MaxRunning: 1, MaxQueued: 16})
+
+	// Occupy the single runner so everything below queues.
+	blocker, release := gate()
+	bsnap, err := s.Submit("blocker", 0, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, bsnap.ID, StatusRunning)
+	for _, label := range []string{"batch-1", "batch-2"} {
+		if _, err := s.SubmitPriority(PriorityBatch, label, 0, runOrderJob(log, mu, label)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inter, err2 := s.SubmitPriority(PriorityInteractive, "inter-1", 0, runOrderJob(log, mu, "inter-1"))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if inter.Priority != PriorityInteractive {
+		t.Fatalf("snapshot priority %q", inter.Priority)
+	}
+	st := s.Stats()
+	if st.QueuedInteractive != 1 || st.QueuedBatch != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	release()
+	for _, id := range []string{"job-000002", "job-000003", "job-000004"} {
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"inter-1", "batch-1", "batch-2"}
+	if fmt.Sprint(*log) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order %v, want %v", *log, want)
+	}
+}
+
+// TestPriorityDefaultsToBatch: the empty class is batch, and Submit
+// (the legacy entry point) lands there too.
+func TestPriorityDefaultsToBatch(t *testing.T) {
+	s := NewStore(Options{MaxQueued: 4})
+	defer s.Close()
+	snap, err := s.Submit("legacy", 0, func(ctx context.Context, report Report) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Priority != PriorityBatch {
+		t.Fatalf("Submit priority %q, want batch", snap.Priority)
+	}
+	if _, err := s.SubmitPriority("urgent", "bad", 0, func(ctx context.Context, report Report) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("unknown priority must be rejected")
+	}
+	if p, err := ParsePriority(""); err != nil || p != PriorityBatch {
+		t.Fatalf("ParsePriority(\"\") = %v, %v", p, err)
+	}
+	if _, err := ParsePriority("urgent"); err == nil {
+		t.Fatal("ParsePriority must reject unknown classes")
+	}
+}
+
+// TestPriorityAntiStarvation: a continuous interactive stream cannot
+// starve batch forever — after starveLimit consecutive interactive
+// dispatches over waiting batch work, one batch job runs.
+func TestPriorityAntiStarvation(t *testing.T) {
+	s, log, mu := recordingStore(t, Options{MaxRunning: 1, MaxQueued: 64})
+	blocker, release := gate()
+	bsnap, err := s.Submit("blocker", 0, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, bsnap.ID, StatusRunning)
+	// One batch job first, then more interactive jobs than the streak
+	// limit: the batch job must appear after exactly starveLimit
+	// interactive dispatches.
+	if _, err := s.SubmitPriority(PriorityBatch, "batch-1", 0, runOrderJob(log, mu, "batch-1")); err != nil {
+		t.Fatal(err)
+	}
+	n := starveLimit + 3
+	ids := []string{"job-000002"}
+	for i := 1; i <= n; i++ {
+		label := fmt.Sprintf("inter-%d", i)
+		snap, err := s.SubmitPriority(PriorityInteractive, label, 0, runOrderJob(log, mu, label))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	release()
+	for _, id := range ids {
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	got := *log
+	wantBatchAt := starveLimit
+	if got[wantBatchAt] != "batch-1" {
+		t.Fatalf("batch-1 dispatched at %v; want position %d (after %d interactive)", got, wantBatchAt, starveLimit)
+	}
+	// And the interactive jobs stay FIFO among themselves.
+	k := 1
+	for _, l := range got {
+		if l == "batch-1" {
+			continue
+		}
+		if l != fmt.Sprintf("inter-%d", k) {
+			t.Fatalf("interactive order broken: %v", got)
+		}
+		k++
+	}
+}
+
+// TestAwaitVersionCursor: Await returns immediately for a stale cursor,
+// blocks until news for a fresh one, and returns immediately on
+// terminal jobs regardless of cursor.
+func TestAwaitVersionCursor(t *testing.T) {
+	s := NewStore(Options{MaxRunning: 1})
+	defer s.Close()
+	step := make(chan struct{})
+	snap, err := s.Submit("steps", 2, func(ctx context.Context, report Report) (any, error) {
+		<-step
+		report(0, "a", nil)
+		<-step
+		report(1, "b", nil)
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 {
+		t.Fatalf("initial version %d, want 1", snap.Version)
+	}
+
+	// Stale cursor 0: immediate (version is already 1).
+	got, err := s.Await(context.Background(), snap.ID, 0)
+	if err != nil || got.Version < 1 {
+		t.Fatalf("await stale: %v %v", got.Version, err)
+	}
+
+	// Await the first progress report concurrently with producing it.
+	type res struct {
+		snap Snapshot
+		err  error
+	}
+	ch := make(chan res, 1)
+	cur := got.Version
+	go func() {
+		s2, err := s.Await(context.Background(), snap.ID, cur)
+		ch <- res{s2, err}
+	}()
+	step <- struct{}{} // first item completes
+	r := <-ch
+	if r.err != nil || r.snap.Version <= cur {
+		t.Fatalf("await news: %+v", r)
+	}
+	step <- struct{}{} // job finishes
+	final, err := s.Wait(context.Background(), snap.ID)
+	if err != nil || !final.Done() {
+		t.Fatalf("final: %+v %v", final, err)
+	}
+	// Terminal job: even a cursor at (or past) the final version returns
+	// immediately instead of hanging.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := s.Await(context.Background(), snap.ID, final.Version+100); err != nil {
+			t.Errorf("await terminal: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Await hung on a terminal job")
+	}
+
+	// Unknown IDs are ErrUnknownJob; an expired context surfaces as its
+	// error.
+	if _, err := s.Await(context.Background(), "job-999999", 0); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	running, _ := s.Submit("idle", 0, func(ctx context.Context, report Report) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	snap2, _ := s.Get(running.ID)
+	if _, err := s.Await(ctx, running.ID, snap2.Version+10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled await: %v", err)
+	}
+}
+
+// TestListPage covers the pagination and filter contract: cursors are
+// numeric on the monotonic ID, filters compose with limits, and a
+// cursor naming an evicted job still resumes correctly.
+func TestListPage(t *testing.T) {
+	s := NewStore(Options{MaxRunning: 1, MaxQueued: 64, Retention: 64})
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		snap, err := s.Submit(fmt.Sprintf("j%d", i), 0, func(ctx context.Context, report Report) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), snap.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, next := s.ListPage(ListQuery{Limit: 2})
+	if len(page) != 2 || page[0].ID != "job-000001" || next != "job-000002" {
+		t.Fatalf("page1 %v next %q", ids(page), next)
+	}
+	page, next = s.ListPage(ListQuery{Limit: 2, After: next})
+	if len(page) != 2 || page[0].ID != "job-000003" || next != "job-000004" {
+		t.Fatalf("page2 %v next %q", ids(page), next)
+	}
+	page, next = s.ListPage(ListQuery{Limit: 2, After: next})
+	if len(page) != 1 || page[0].ID != "job-000005" || next != "" {
+		t.Fatalf("page3 %v next %q", ids(page), next)
+	}
+	// A cursor for an ID that no longer exists (evicted) still works:
+	// strictly-greater comparison, not position lookup.
+	page, _ = s.ListPage(ListQuery{After: "job-000002"})
+	if len(page) != 3 || page[0].ID != "job-000003" {
+		t.Fatalf("gap cursor %v", ids(page))
+	}
+	// Status filter: everything finished, so queued yields nothing.
+	if page, _ = s.ListPage(ListQuery{Status: StatusQueued}); len(page) != 0 {
+		t.Fatalf("queued filter %v", ids(page))
+	}
+	if page, _ = s.ListPage(ListQuery{Status: StatusSucceeded, Limit: 3}); len(page) != 3 {
+		t.Fatalf("succeeded filter %v", ids(page))
+	}
+}
+
+// TestListPageOrdersById: after a restart the store's insertion order
+// can disagree with ID order (restored terminal snapshots first, then
+// replayed lower-ID jobs). Pagination must walk by ID or the exclusive
+// cursor would skip the out-of-place jobs on every later page.
+func TestListPageOrdersByID(t *testing.T) {
+	s := NewStore(Options{MaxRunning: 1})
+	defer s.Close()
+	if err := s.Restore(Snapshot{ID: "job-000009", Status: StatusSucceeded, Version: 3}); err != nil {
+		t.Fatal(err)
+	}
+	blocker, release := gate()
+	defer release()
+	if _, err := s.SubmitWithID("job-000007", PriorityBatch, "replayed", 0, blocker); err != nil {
+		t.Fatal(err)
+	}
+	page, next := s.ListPage(ListQuery{Limit: 1})
+	if len(page) != 1 || page[0].ID != "job-000007" || next != "job-000007" {
+		t.Fatalf("page1 %v next %q, want job-000007 first", ids(page), next)
+	}
+	page, next = s.ListPage(ListQuery{Limit: 1, After: next})
+	if len(page) != 1 || page[0].ID != "job-000009" || next != "" {
+		t.Fatalf("page2 %v next %q: cursor skipped the restored job", ids(page), next)
+	}
+}
+
+func ids(snaps []Snapshot) []string {
+	out := make([]string, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.ID
+	}
+	return out
+}

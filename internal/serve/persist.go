@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/persist"
+	"repro/internal/serve/api"
 	"repro/internal/serve/jobs"
 )
 
@@ -33,46 +34,28 @@ func jobSnapKey(id string) string { return "job|" + id }
 func jobWALKey(id string) string  { return "wal|" + id }
 
 // jobWAL is the write-ahead record of an accepted sweep job: everything
-// needed to re-run it after a restart. Only JSON-expressible requests
-// are replayable — the HTTP path always is, but programmatic requests
-// carrying prebuilt *Arch/*Net values cannot be serialized, so such jobs
-// are not write-ahead-logged at all (walExpressible); their terminal
-// snapshots still persist.
+// needed to re-run it after a restart, including its scheduling class so
+// a replayed overnight sweep does not jump ahead of interactive work.
+// Only JSON-expressible requests are replayable — the HTTP path always
+// is, but programmatic requests carrying prebuilt *Arch/*Net values
+// cannot be serialized, so such jobs are not write-ahead-logged at all
+// (walExpressible); their terminal snapshots still persist.
 type jobWAL struct {
-	ID         string    `json:"id"`
-	Requests   []Request `json:"requests"`
-	Workers    int       `json:"workers,omitempty"`
-	TimeoutSec float64   `json:"timeout_sec,omitempty"`
-	CreatedAt  time.Time `json:"created_at"`
+	ID         string        `json:"id"`
+	Requests   []Request     `json:"requests"`
+	Workers    int           `json:"workers,omitempty"`
+	TimeoutSec float64       `json:"timeout_sec,omitempty"`
+	Priority   jobs.Priority `json:"priority,omitempty"`
+	CreatedAt  time.Time     `json:"created_at"`
 }
 
-// WarmStats summarizes one boot's warm-start scan.
-type WarmStats struct {
-	// Engines and Contexts count cache entries admitted from disk.
-	Engines  int `json:"engines"`
-	Contexts int `json:"contexts"`
-	// Jobs counts restored terminal snapshots; Replayed counts
-	// write-ahead jobs re-submitted because they never finished.
-	Jobs     int `json:"jobs"`
-	Replayed int `json:"replayed"`
-	// Skipped counts files discarded during the scans: corrupt,
-	// version-mismatched, or failing fingerprint re-verification. All are
-	// deleted (recomputation is the only recovery).
-	Skipped int `json:"skipped"`
-}
+// WarmStats summarizes one boot's warm-start scan (the wire type
+// api.WarmStats).
+type WarmStats = api.WarmStats
 
-// PersistStats is the /healthz "persist" section.
-type PersistStats struct {
-	Enabled bool `json:"enabled"`
-	// Warm is the boot-time scan summary.
-	Warm WarmStats `json:"warm,omitempty"`
-	// Cache and Jobs are the write-behind counters of the two stores.
-	Cache persist.Stats `json:"cache,omitempty"`
-	Jobs  persist.Stats `json:"jobs,omitempty"`
-	// Error records a store that failed to open (the server then runs
-	// without that store rather than failing: persistence is optional).
-	Error string `json:"error,omitempty"`
-}
+// PersistStats is the /healthz "persist" section (the wire type
+// api.PersistStats).
+type PersistStats = api.PersistStats
 
 // persistState carries the server's optional durable stores. Both fields
 // are nil when the corresponding directory is not configured.
@@ -244,6 +227,7 @@ func (s *Server) logJobWAL(id string, reqs []Request, opts SweepJobOptions) {
 		Requests:   reqs,
 		Workers:    opts.Workers,
 		TimeoutSec: opts.Timeout.Seconds(),
+		Priority:   opts.Priority,
 		CreatedAt:  time.Now(),
 	}
 	store.PutBlocking(persist.KindJob, jobWALKey(id), 0, func() ([]byte, error) {
@@ -337,9 +321,9 @@ func (s *Server) warmStartJobs() {
 			s.retireJobWAL(wal.ID)
 			continue
 		}
-		opts := SweepJobOptions{Workers: wal.Workers, Timeout: secondsToTimeout(wal.TimeoutSec)}
+		opts := SweepJobOptions{Workers: wal.Workers, Timeout: secondsToTimeout(wal.TimeoutSec), Priority: wal.Priority}
 		_, fn := s.sweepJobFn(wal.Requests, opts)
-		if _, err := s.jobs.SubmitWithID(wal.ID, sweepLabel(wal.Requests), len(wal.Requests), fn); err != nil {
+		if _, err := s.jobs.SubmitWithID(wal.ID, wal.Priority, sweepLabel(wal.Requests), len(wal.Requests), fn); err != nil {
 			s.persist.warm.Skipped++
 			s.retireJobWAL(wal.ID)
 			continue

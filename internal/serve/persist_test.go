@@ -255,7 +255,7 @@ func TestProgrammaticRequestsNotWALLogged(t *testing.T) {
 	dir := t.TempDir()
 	first := NewServer(BatchOptions{Workers: 1, JobsDir: dir})
 	req := warmRequest()
-	arch, err := req.resolveArch()
+	arch, err := resolveArch(&req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +394,7 @@ func TestDriftedContextRecordRecovers(t *testing.T) {
 	srv := NewServer(BatchOptions{Workers: 1})
 	defer srv.Close()
 	req := warmRequest()
-	arch, err := req.resolveArch()
+	arch, err := resolveArch(&req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/macros"
 	"repro/internal/persist"
 	"repro/internal/report"
+	"repro/internal/serve/api"
 	"repro/internal/serve/jobs"
 	"repro/internal/specfile"
 	"repro/internal/system"
@@ -96,6 +97,23 @@ type BatchOptions struct {
 	JobRetention int
 	// JobRetryAfter is the Retry-After hint paired with a 429 (default 1s).
 	JobRetryAfter time.Duration
+
+	// MaxBodyBytes bounds every request body the HTTP layer will read
+	// (default DefaultMaxBodyBytes). Oversized bodies are rejected with
+	// 413 and an invalid_request error envelope instead of being decoded
+	// unbounded.
+	MaxBodyBytes int64
+}
+
+// DefaultMaxBodyBytes is the default HTTP request-body bound (1 MiB —
+// generous for explicit request lists, far beyond any grid spec).
+const DefaultMaxBodyBytes = 1 << 20
+
+func (o BatchOptions) maxBodyBytes() int64 {
+	if o.MaxBodyBytes > 0 {
+		return o.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
 }
 
 func (o BatchOptions) asyncThreshold() int {
@@ -221,79 +239,18 @@ func (s *Server) Close() {
 	s.closePersist()
 }
 
-// Request describes one evaluation: an architecture source, an optional
-// full-system wrap, and a workload. Exactly one of Macro, Spec, or Arch
-// must be set, and exactly one of Network or Net.
-type Request struct {
-	// Tag labels the result row; defaults to "arch/network[/scenario]".
-	Tag string `json:"tag,omitempty"`
+// Request describes one evaluation. It is the wire type
+// api.EvalRequest — the contract lives in internal/serve/api; this alias
+// keeps programmatic callers (experiments, the facade) on the short
+// name.
+type Request = api.EvalRequest
 
-	// Macro names a published macro model ("base", "macro-a", ...,
-	// "digital-cim").
-	Macro string `json:"macro,omitempty"`
-	// Spec is a textual container-hierarchy specification.
-	Spec string `json:"spec,omitempty"`
-	// Arch is a prebuilt architecture (programmatic callers only).
-	Arch *core.Arch `json:"-"`
-
-	// Scenario optionally wraps the macro into a full system:
-	// "all-tensors-from-dram", "weight-stationary", or
-	// "weight-stationary+onchip-io".
-	Scenario string `json:"scenario,omitempty"`
-	// SystemMacros is the parallel macro count for the system wrap
-	// (default 1; ignored without Scenario).
-	SystemMacros int `json:"system_macros,omitempty"`
-
-	// Network names a model-zoo workload ("resnet18", "vit-base", ...).
-	Network string `json:"network,omitempty"`
-	// Net is a prebuilt workload (programmatic callers only).
-	Net *workload.Network `json:"-"`
-	// Layers caps the evaluated layer count (0 = all).
-	Layers int `json:"layers,omitempty"`
-
-	// MaxMappings overrides the server's per-layer mapping budget.
-	MaxMappings int `json:"max_mappings,omitempty"`
-	// Seed drives the mapping search (layer i uses Seed+i, matching the
-	// sequential evaluator).
-	Seed int64 `json:"seed,omitempty"`
-	// SearchWorkers overrides the server's intra-request search fan-out
-	// for this request (<= 0 keeps the server default). The effective
-	// width is still clamped by the shared concurrency budget, so a
-	// request cannot oversubscribe a busy pool; answers are identical at
-	// any width.
-	SearchWorkers int `json:"search_workers,omitempty"`
-}
-
-// Result is one completed evaluation, JSON-ready for the HTTP API. Err is
-// set instead of the metrics when the request failed; a sweep always
-// yields one Result per Request, in request order.
-type Result struct {
-	Tag     string `json:"tag"`
-	Arch    string `json:"arch,omitempty"`
-	Network string `json:"network,omitempty"`
-	Err     string `json:"error,omitempty"`
-
-	EnergyJ        float64 `json:"energy_j,omitempty"`
-	EnergyPerMACpJ float64 `json:"energy_per_mac_pj,omitempty"`
-	TOPSPerW       float64 `json:"tops_per_w,omitempty"`
-	GOPS           float64 `json:"gops,omitempty"`
-	AreaMM2        float64 `json:"area_mm2,omitempty"`
-	MACs           int64   `json:"macs,omitempty"`
-	TimeSec        float64 `json:"time_sec,omitempty"`
-	ElapsedSec     float64 `json:"elapsed_sec,omitempty"`
-	// MappingsEvaluated counts candidate mappings costed across all
-	// layers; jobs stream it with each partial result, so a client
-	// polling /v1/jobs/{id} sees search throughput, not just item counts.
-	MappingsEvaluated int64 `json:"mappings_evaluated,omitempty"`
-
-	// NetworkResult carries the full per-layer breakdown for programmatic
-	// callers (experiments); it is not serialized.
-	NetworkResult *core.NetworkResult `json:"-"`
-}
+// Result is one completed evaluation (the wire type api.EvalResult).
+type Result = api.EvalResult
 
 // resolveArch materializes the request's architecture, applying the
 // optional full-system wrap.
-func (r *Request) resolveArch() (*core.Arch, error) {
+func resolveArch(r *Request) (*core.Arch, error) {
 	sources := 0
 	for _, set := range []bool{r.Macro != "", r.Spec != "", r.Arch != nil} {
 		if set {
@@ -343,7 +300,7 @@ func scenarioByName(name string) (system.Scenario, error) {
 }
 
 // resolveNet materializes the request's workload.
-func (r *Request) resolveNet() (*workload.Network, error) {
+func resolveNet(r *Request) (*workload.Network, error) {
 	if (r.Network != "") == (r.Net != nil) {
 		return nil, errors.New("serve: request needs exactly one of network name or prebuilt net")
 	}
@@ -376,11 +333,11 @@ func (s *Server) Evaluate(req Request) (*Result, error) {
 // work instead of finishing the evaluation.
 func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) {
 	started := time.Now()
-	arch, err := req.resolveArch()
+	arch, err := resolveArch(&req)
 	if err != nil {
 		return nil, err
 	}
-	net, err := req.resolveNet()
+	net, err := resolveNet(&req)
 	if err != nil {
 		return nil, err
 	}
@@ -442,7 +399,7 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 		nr.MappingsEvaluated += int64(evaluated)
 	}
 	res := &Result{
-		Tag:               req.tag(arch.Name, net.Name),
+		Tag:               requestTag(&req, arch.Name, net.Name),
 		Arch:              arch.Name,
 		Network:           net.Name,
 		EnergyJ:           nr.Energy,
@@ -459,7 +416,7 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 	return res, nil
 }
 
-func (r *Request) tag(archName, netName string) string {
+func requestTag(r *Request, archName, netName string) string {
 	if r.Tag != "" {
 		return r.Tag
 	}
@@ -533,7 +490,7 @@ func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 						done <- indexed{i, nil}
 						continue
 					}
-					res = &Result{Tag: reqs[i].tag(reqs[i].Macro, reqs[i].Network), Err: err.Error()}
+					res = &Result{Tag: requestTag(&reqs[i], reqs[i].Macro, reqs[i].Network), Err: err.Error()}
 				}
 				done <- indexed{i, res}
 			}
@@ -578,6 +535,10 @@ type SweepJobOptions struct {
 	// context.WithTimeout, so expiry aborts in-flight layer searches and
 	// the job fails with context.DeadlineExceeded. Zero means no deadline.
 	Timeout time.Duration
+	// Priority is the job's scheduling class: interactive jobs dispatch
+	// before batch jobs (the default), FIFO within a class. Persisted in
+	// the write-ahead log, so a replayed job keeps its class.
+	Priority jobs.Priority
 }
 
 // sweepLabel names a sweep job.
@@ -645,9 +606,12 @@ func (s *Server) SubmitSweepOpts(reqs []Request, opts SweepJobOptions) (jobs.Sna
 	if len(reqs) == 0 {
 		return jobs.Snapshot{}, errors.New("serve: empty sweep")
 	}
+	if !opts.Priority.Valid() && opts.Priority != "" {
+		return jobs.Snapshot{}, fmt.Errorf("serve: unknown priority %q", opts.Priority)
+	}
 	total, fn := s.sweepJobFn(reqs, opts)
 	if s.persist.jobs == nil || !walExpressible(reqs) {
-		return s.jobs.Submit(sweepLabel(reqs), total, fn)
+		return s.jobs.SubmitPriority(opts.Priority, sweepLabel(reqs), total, fn)
 	}
 	id := s.jobs.ReserveID()
 	s.logJobWAL(id, reqs, opts)
@@ -656,7 +620,7 @@ func (s *Server) SubmitSweepOpts(reqs []Request, opts SweepJobOptions) (jobs.Sna
 	// would lose the job entirely. One fsync round per submission, well
 	// off the evaluation hot path.
 	s.persist.jobs.Flush()
-	snap, err := s.jobs.SubmitReserved(id, sweepLabel(reqs), total, fn)
+	snap, err := s.jobs.SubmitReserved(id, opts.Priority, sweepLabel(reqs), total, fn)
 	if err != nil {
 		s.retireJobWAL(id) // rejected (queue full / closing): nothing to replay
 		return snap, err
@@ -672,6 +636,17 @@ func (s *Server) Job(id string) (jobs.Snapshot, bool) { return s.jobs.Get(id) }
 
 // Jobs snapshots every retained job in submission order.
 func (s *Server) Jobs() []jobs.Snapshot { return s.jobs.List() }
+
+// JobsPage is Jobs under a status filter and a monotonic-ID cursor (the
+// GET /v1/jobs pagination).
+func (s *Server) JobsPage(q jobs.ListQuery) ([]jobs.Snapshot, string) { return s.jobs.ListPage(q) }
+
+// AwaitJob blocks until the job's version exceeds afterVersion (or the
+// job is terminal, or ctx expires) and returns the fresh snapshot — the
+// seam under the SSE stream and the long-poll job GET.
+func (s *Server) AwaitJob(ctx context.Context, id string, afterVersion int64) (jobs.Snapshot, error) {
+	return s.jobs.Await(ctx, id, afterVersion)
+}
 
 // CancelJob requests cancellation of one job (idempotent; false only for
 // unknown IDs). Cancellation propagates through the job's context into
