@@ -1,0 +1,123 @@
+// Cluster-facing subcommands: `cimloop blobd` runs the shared warm-start
+// blob tier (the ring's L3, under each node's memory and disk tiers),
+// and `cimloop cluster status` renders GET /v1/cluster — membership,
+// per-node health and ownership, forwarding counters, and blob-tier
+// state. See docs/CLUSTER.md for the topology these commands assemble.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/report"
+)
+
+// runBlobd serves one directory as the cluster's shared blob tier: a
+// plain HTTP object store speaking the persist envelope, with no
+// dependency on the serve stack, so it can restart independently of the
+// ring (nodes degrade to local tiers while it is down and repopulate it
+// on their next cold compiles).
+func runBlobd(args []string) error {
+	fs := flag.NewFlagSet("blobd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	dir := fs.String("dir", "", "directory holding the blobs (required; created if missing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("blobd: -dir is required")
+	}
+	bs, err := cluster.NewBlobServer(*dir)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           bs,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	st := bs.Stats()
+	fmt.Fprintf(os.Stderr, "cimloop: blobd serving %s on %s (%d objects)\n",
+		*dir, *addr, st.Objects)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// runCluster dispatches the cluster introspection subcommands. Only
+// "status" exists today; the subcommand level leaves room for ring
+// operations without reshaping the CLI.
+func runCluster(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("cluster: missing subcommand (try 'cimloop cluster status')")
+	}
+	switch args[0] {
+	case "status":
+		return runClusterStatus(args[1:])
+	}
+	return fmt.Errorf("cluster: unknown subcommand %q", args[0])
+}
+
+func runClusterStatus(args []string) error {
+	fs := flag.NewFlagSet("cluster status", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := client.New(*addr).ClusterStatus(ctx)
+	if err != nil {
+		return err
+	}
+	if !st.Enabled {
+		fmt.Println("clustering disabled (single-node server)")
+		return nil
+	}
+	t := report.NewTable(fmt.Sprintf("cluster via %s (self %s, %d vnodes/member)",
+		*addr, st.Self, st.VirtualNodes),
+		"node", "addr", "healthy", "version", "share %", "owned keys")
+	for _, n := range st.Nodes {
+		id := n.ID
+		if n.Self {
+			id += " *"
+		}
+		version := n.Version
+		if version == "" {
+			version = "-"
+		}
+		t.AddRow(id, n.Addr, fmt.Sprintf("%t", n.Healthy), version,
+			report.Num(n.SharePct), fmt.Sprintf("%d", n.OwnedKeys))
+	}
+	fmt.Println(t.String())
+	fmt.Printf("cached keys: %d   forwarding: %d local, %d forwarded, %d received, %d errors\n",
+		st.CachedKeys, st.Forward.Local, st.Forward.Forwarded, st.Forward.Received, st.Forward.Errors)
+	if b := st.Blob; b != nil {
+		health := "healthy"
+		if !b.Healthy {
+			health = "UNHEALTHY (serving from local tiers)"
+		}
+		fmt.Printf("blob tier %s: %s   gets %d (hits %d, misses %d), puts %d, errors %d, dropped %d\n",
+			b.URL, health, b.Stats.Gets, b.Stats.Hits, b.Stats.Misses,
+			b.Stats.Puts, b.Stats.Errors, b.Stats.Dropped)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/serve/api"
+)
+
+// ClusterClient talks to a ring of serve instances, routing each
+// evaluation to its ring owner client-side — the request lands directly
+// on the node holding (or about to hold) the warm engine and contexts,
+// skipping the server-side forwarding hop. Membership is discovered from
+// any seed's GET /v1/cluster; the client and the servers compute the
+// same cluster.EvalRouteKey from the same wire fields, so both sides
+// always agree on the owner. When the owner is unreachable the client
+// fails over along the ring's successor list, and against a non-
+// clustered server it degrades to plain single-node calls. Safe for
+// concurrent use.
+type ClusterClient struct {
+	seeds []string
+	opts  []Option
+
+	mu      sync.Mutex
+	ring    *cluster.Ring
+	clients map[string]*Client // by node ID; seed addrs use the addr itself
+}
+
+// NewCluster returns a client over the ring reachable through seeds
+// (each "host:port" or a full URL — typically the same list the servers
+// were started with). Options apply to every per-node client. Membership
+// is discovered lazily on first use; Discover forces it.
+func NewCluster(seeds []string, opts ...Option) *ClusterClient {
+	return &ClusterClient{
+		seeds:   append([]string(nil), seeds...),
+		opts:    opts,
+		clients: make(map[string]*Client),
+	}
+}
+
+// client returns (building once) the per-node client for key/addr.
+func (cc *ClusterClient) client(key, addr string) *Client {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	c, ok := cc.clients[key]
+	if !ok {
+		c = New(addr, cc.opts...)
+		cc.clients[key] = c
+	}
+	return c
+}
+
+// Discover queries the seeds in order for /v1/cluster and rebuilds the
+// ring from the first clustered answer. A reachable seed that reports
+// clustering disabled stops the scan: the deployment is single-node and
+// every call goes through that seed. Only when every seed is unreachable
+// does Discover return an error.
+func (cc *ClusterClient) Discover(ctx context.Context) error {
+	var lastErr error
+	for _, seed := range cc.seeds {
+		st, err := cc.client(seed, seed).ClusterStatus(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cc.mu.Lock()
+		if st.Enabled {
+			members := make([]cluster.Node, 0, len(st.Nodes))
+			for _, n := range st.Nodes {
+				members = append(members, cluster.Node{ID: n.ID, Addr: n.Addr})
+			}
+			cc.ring = cluster.NewRing(members, st.VirtualNodes)
+		} else {
+			cc.ring = nil
+		}
+		cc.mu.Unlock()
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no cluster seeds configured")
+	}
+	return lastErr
+}
+
+// preference returns the per-node clients to try for key, owner first.
+// With no ring (undiscovered or single-node) it is the seed list.
+func (cc *ClusterClient) preference(ctx context.Context, key string) []*Client {
+	cc.mu.Lock()
+	undiscovered := cc.ring == nil && len(cc.clients) == 0
+	cc.mu.Unlock()
+	if undiscovered {
+		_ = cc.Discover(ctx) // best effort; seeds remain the fallback
+	}
+	cc.mu.Lock()
+	ring := cc.ring
+	cc.mu.Unlock()
+	if ring == nil || key == "" {
+		out := make([]*Client, 0, len(cc.seeds))
+		for _, seed := range cc.seeds {
+			out = append(out, cc.client(seed, seed))
+		}
+		return out
+	}
+	var out []*Client
+	for _, n := range ring.Successors(key, ring.Len()) {
+		out = append(out, cc.client(n.ID, n.Addr))
+	}
+	return out
+}
+
+// Evaluate routes one evaluation to its ring owner, failing over along
+// the successor list when nodes are unreachable. A served response —
+// success or a typed *api.Error — is final; only transport failures move
+// to the next node (a peer that answered has already evaluated or
+// validated the request).
+func (cc *ClusterClient) Evaluate(ctx context.Context, req api.EvalRequest) (*api.EvalResult, error) {
+	key := cluster.EvalRouteKey(req.Macro, req.Spec, req.Scenario, req.SystemMacros)
+	var lastErr error
+	for _, c := range cc.preference(ctx, key) {
+		res, err := c.Evaluate(ctx, req)
+		if err == nil {
+			return res, nil
+		}
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no reachable cluster node")
+	}
+	return nil, lastErr
+}
+
+// Status fetches /v1/cluster from the first reachable node (ring members
+// first, then seeds).
+func (cc *ClusterClient) Status(ctx context.Context) (api.ClusterResponse, error) {
+	var lastErr error
+	for _, c := range cc.preference(ctx, "") {
+		st, err := c.ClusterStatus(ctx)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: no reachable cluster node")
+	}
+	return api.ClusterResponse{}, lastErr
+}

@@ -1,0 +1,170 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/serve/api"
+)
+
+// lateHandler lets listeners exist before the servers they delegate to:
+// ring members need each other's addresses at construction.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h = h
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// liveRing boots a three-node ring (no blob tier) behind real listeners.
+func liveRing(t *testing.T) (srvs map[string]*serve.Server, urls map[string]string, listeners map[string]*httptest.Server) {
+	t.Helper()
+	ids := []string{"node-a", "node-b", "node-c"}
+	srvs = make(map[string]*serve.Server)
+	urls = make(map[string]string)
+	listeners = make(map[string]*httptest.Server)
+	handlers := make(map[string]*lateHandler)
+	var peerParts []string
+	for _, id := range ids {
+		handlers[id] = &lateHandler{}
+		ts := httptest.NewServer(handlers[id])
+		t.Cleanup(ts.Close)
+		urls[id] = ts.URL
+		listeners[id] = ts
+		peerParts = append(peerParts, id+"="+ts.URL)
+	}
+	peers := strings.Join(peerParts, ",")
+	for _, id := range ids {
+		srv := serve.NewServer(serve.BatchOptions{
+			Workers: 2, AsyncThreshold: -1,
+			ClusterNodeID: id, ClusterPeers: peers,
+		})
+		if err := srv.ClusterError(); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		t.Cleanup(srv.Close)
+		srvs[id] = srv
+		handlers[id].set(srv.Handler())
+	}
+	return srvs, urls, listeners
+}
+
+// TestClusterClientRoutesToOwner: the client discovers the ring from one
+// seed and lands each evaluation directly on its owner — no server-side
+// forwarding hop occurs.
+func TestClusterClientRoutesToOwner(t *testing.T) {
+	srvs, urls, _ := liveRing(t)
+	ctx := context.Background()
+	cc := NewCluster([]string{urls["node-a"]})
+
+	req := api.EvalRequest{Macro: "base", Network: "toy", MaxMappings: 2}
+	res, err := cc.Evaluate(ctx, req)
+	if err != nil || res.EnergyJ <= 0 {
+		t.Fatalf("evaluate: %+v %v", res, err)
+	}
+	owner, ok := clusterOwner(t, urls, req)
+	if !ok {
+		t.Fatalf("no ring owner for request")
+	}
+	var localTotal, fwdTotal uint64
+	for id, s := range srvs {
+		st := s.ClusterStatus(ctx)
+		localTotal += st.Forward.Local
+		fwdTotal += st.Forward.Forwarded + st.Forward.Received
+		if id == owner && st.Forward.Local == 0 {
+			t.Fatalf("owner %s did not serve the request locally: %+v", id, st.Forward)
+		}
+	}
+	if localTotal != 1 || fwdTotal != 0 {
+		t.Fatalf("client-side routing should skip forwarding: local=%d forwarded+received=%d",
+			localTotal, fwdTotal)
+	}
+
+	// Status reaches the ring through any member.
+	st, err := cc.Status(ctx)
+	if err != nil || !st.Enabled || len(st.Nodes) != 3 {
+		t.Fatalf("status: %+v %v", st, err)
+	}
+}
+
+// clusterOwner recomputes the ring owner the same way client and servers
+// do.
+func clusterOwner(t *testing.T, urls map[string]string, req api.EvalRequest) (string, bool) {
+	t.Helper()
+	var members []cluster.Node
+	for id, u := range urls {
+		members = append(members, cluster.Node{ID: id, Addr: u})
+	}
+	n, ok := cluster.NewRing(members, 0).Owner(
+		cluster.EvalRouteKey(req.Macro, req.Spec, req.Scenario, req.SystemMacros))
+	return n.ID, ok
+}
+
+// TestClusterClientFailsOver: a dead owner moves the call to the next
+// node on the ring instead of failing it.
+func TestClusterClientFailsOver(t *testing.T) {
+	srvs, urls, listeners := liveRing(t)
+	ctx := context.Background()
+	req := api.EvalRequest{Macro: "macro-b", Network: "toy", MaxMappings: 2}
+	owner, ok := clusterOwner(t, urls, req)
+	if !ok {
+		t.Fatalf("no ring owner for request")
+	}
+	// Seed with a surviving node; discovery still learns the full ring.
+	var seed string
+	for id, u := range urls {
+		if id != owner {
+			seed = u
+			break
+		}
+	}
+	cc := NewCluster([]string{seed})
+	if err := cc.Discover(ctx); err != nil {
+		t.Fatalf("discover: %v", err)
+	}
+	// Kill the owner's listener so calls to it fail at the transport.
+	listeners[owner].Close()
+	srvs[owner].Close()
+
+	res, err := cc.Evaluate(ctx, req)
+	if err != nil || res.EnergyJ <= 0 {
+		t.Fatalf("failover evaluate: %+v %v", res, err)
+	}
+}
+
+// TestClusterClientSingleNode: against a non-clustered server the
+// cluster client degrades to plain calls through the seed.
+func TestClusterClientSingleNode(t *testing.T) {
+	_, c := liveServer(t, serve.BatchOptions{Workers: 2, AsyncThreshold: -1})
+	cc := NewCluster([]string{c.BaseURL()})
+	res, err := cc.Evaluate(context.Background(), api.EvalRequest{
+		Macro: "base", Network: "toy", MaxMappings: 2})
+	if err != nil || res.EnergyJ <= 0 {
+		t.Fatalf("single-node evaluate: %+v %v", res, err)
+	}
+	st, err := cc.Status(context.Background())
+	if err != nil || st.Enabled {
+		t.Fatalf("single-node status: %+v %v", st, err)
+	}
+}

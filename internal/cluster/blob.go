@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/persist"
+)
+
+// maxBlobBytes bounds one stored object (64 MiB — far beyond any
+// engine or layer-context envelope; a runaway PUT cannot fill the disk
+// in one request).
+const maxBlobBytes = 64 << 20
+
+// blobName matches the persist record-file scheme: "<kind>-<hex32>.cws".
+// Everything else — traversal attempts, temp files, dotfiles — is
+// rejected before touching the filesystem.
+var blobName = regexp.MustCompile(`^[a-z0-9]{1,16}-[0-9a-f]{32}\.cws$`)
+
+// BlobStats counts a blob server's request activity. All fields are
+// cumulative; safe to read while serving.
+type BlobStats struct {
+	Objects  int    `json:"objects"`
+	Gets     uint64 `json:"gets"`
+	Misses   uint64 `json:"misses"`
+	Puts     uint64 `json:"puts"`
+	Deletes  uint64 `json:"deletes"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// BlobServer is the shared warm-start tier: an HTTP object store over a
+// directory of persist envelopes. Objects are named by RecordName, so
+// the namespace is content-addressed; bodies are validated as envelopes
+// before they touch disk, so the tier can never serve a corrupt record
+// it accepted (a bit-flip after write is still caught by the reader's
+// checksum). One process owns the directory; writes are atomic
+// (temp + rename).
+//
+//	GET    /            store summary (JSON BlobStats; ?names=1 lists)
+//	GET    /{name}      envelope bytes, or 404
+//	PUT    /{name}      validate + store, 204
+//	DELETE /{name}      remove (idempotent), 204
+//
+// Run it standalone via `cimloop blobd`, or mount it inside another
+// mux. It implements http.Handler rooted at "/".
+type BlobServer struct {
+	dir string
+
+	gets, misses, puts, deletes, rejected atomic.Uint64
+}
+
+// NewBlobServer creates (if needed) the storage directory and returns
+// the handler.
+func NewBlobServer(dir string) (*BlobServer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cluster: empty blob directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return &BlobServer{dir: dir}, nil
+}
+
+// Dir returns the storage directory.
+func (b *BlobServer) Dir() string { return b.dir }
+
+// Stats snapshots the counters plus the current object count.
+func (b *BlobServer) Stats() BlobStats {
+	n := 0
+	if entries, err := os.ReadDir(b.dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && blobName.MatchString(e.Name()) {
+				n++
+			}
+		}
+	}
+	return BlobStats{
+		Objects: n,
+		Gets:    b.gets.Load(), Misses: b.misses.Load(),
+		Puts: b.puts.Load(), Deletes: b.deletes.Load(),
+		Rejected: b.rejected.Load(),
+	}
+}
+
+func (b *BlobServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/")
+	if name == "" {
+		b.serveIndex(w, r)
+		return
+	}
+	if !blobName.MatchString(name) {
+		b.rejected.Add(1)
+		http.Error(w, "cluster: invalid object name", http.StatusBadRequest)
+		return
+	}
+	path := filepath.Join(b.dir, name)
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		data, err := os.ReadFile(path)
+		if err != nil {
+			b.misses.Add(1)
+			http.Error(w, "cluster: no such object", http.StatusNotFound)
+			return
+		}
+		b.gets.Add(1)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+		if r.Method == http.MethodHead {
+			return
+		}
+		_, _ = w.Write(data)
+	case http.MethodPut:
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBytes+1))
+		if err != nil || len(data) > maxBlobBytes {
+			b.rejected.Add(1)
+			http.Error(w, "cluster: object too large or unreadable", http.StatusRequestEntityTooLarge)
+			return
+		}
+		// Validate the envelope end to end: a record the tier accepted is
+		// always decodable by every node, and the stored name must match
+		// the record's own key (an object filed under the wrong name would
+		// poison warm starts for that fingerprint).
+		rec, err := persist.DecodeRecord(data)
+		if err != nil {
+			b.rejected.Add(1)
+			http.Error(w, fmt.Sprintf("cluster: not a valid envelope: %v", err), http.StatusBadRequest)
+			return
+		}
+		if persist.RecordName(rec.Kind, rec.Key) != name {
+			b.rejected.Add(1)
+			http.Error(w, "cluster: object name does not match record key", http.StatusBadRequest)
+			return
+		}
+		if err := b.writeAtomic(path, data); err != nil {
+			http.Error(w, fmt.Sprintf("cluster: store failed: %v", err), http.StatusInternalServerError)
+			return
+		}
+		b.puts.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			http.Error(w, fmt.Sprintf("cluster: delete failed: %v", err), http.StatusInternalServerError)
+			return
+		}
+		b.deletes.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.Header().Set("Allow", "GET, HEAD, PUT, DELETE")
+		http.Error(w, "cluster: method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// serveIndex answers the store root: stats (the health probe) and, on
+// request, the object listing.
+func (b *BlobServer) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "cluster: method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	out := struct {
+		BlobStats
+		Names []string `json:"names,omitempty"`
+	}{BlobStats: b.Stats()}
+	if r.URL.Query().Get("names") == "1" {
+		if entries, err := os.ReadDir(b.dir); err == nil {
+			for _, e := range entries {
+				if !e.IsDir() && blobName.MatchString(e.Name()) {
+					out.Names = append(out.Names, e.Name())
+				}
+			}
+			sort.Strings(out.Names)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func (b *BlobServer) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(b.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/persist"
+)
+
+func newBlobFixture(t *testing.T) (*BlobServer, *httptest.Server) {
+	t.Helper()
+	bs, err := NewBlobServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(bs)
+	t.Cleanup(ts.Close)
+	return bs, ts
+}
+
+func mustEncode(t *testing.T, rec persist.Record) []byte {
+	t.Helper()
+	data, err := persist.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func doReq(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	bs, ts := newBlobFixture(t)
+	rec := persist.Record{Kind: persist.KindEngine, Key: "eng|abc", CostSec: 1.5, Payload: []byte(`{"x":1}`)}
+	name := persist.RecordName(rec.Kind, rec.Key)
+	data := mustEncode(t, rec)
+
+	if resp := doReq(t, http.MethodPut, ts.URL+"/"+name, data); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+	resp := doReq(t, http.MethodGet, ts.URL+"/"+name, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, data) {
+		t.Fatal("GET returned different bytes than PUT stored")
+	}
+	back, err := persist.DecodeRecord(got)
+	if err != nil || back.Key != rec.Key || string(back.Payload) != string(rec.Payload) {
+		t.Fatalf("round-tripped record mismatch: %+v err %v", back, err)
+	}
+	if st := bs.Stats(); st.Objects != 1 || st.Puts != 1 || st.Gets != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	if resp := doReq(t, http.MethodDelete, ts.URL+"/"+name, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status %d", resp.StatusCode)
+	}
+	if resp := doReq(t, http.MethodGet, ts.URL+"/"+name, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after delete: %d", resp.StatusCode)
+	}
+	// Deletes are idempotent (a retried write-behind op must not error).
+	if resp := doReq(t, http.MethodDelete, ts.URL+"/"+name, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("second DELETE status %d", resp.StatusCode)
+	}
+}
+
+func TestBlobRejectsBadObjects(t *testing.T) {
+	bs, ts := newBlobFixture(t)
+	rec := persist.Record{Kind: persist.KindEngine, Key: "eng|abc", Payload: []byte("{}")}
+	name := persist.RecordName(rec.Kind, rec.Key)
+	good := mustEncode(t, rec)
+
+	// Corrupt envelope: flip a payload byte so the CRC fails.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-6] ^= 0xff
+	if resp := doReq(t, http.MethodPut, ts.URL+"/"+name, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt PUT accepted with %d", resp.StatusCode)
+	}
+	// Valid envelope under the wrong name: poisoned fingerprint.
+	other := persist.RecordName(persist.KindEngine, "eng|other")
+	if resp := doReq(t, http.MethodPut, ts.URL+"/"+other, good); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("misnamed PUT accepted with %d", resp.StatusCode)
+	}
+	// Traversal and garbage names never reach the filesystem.
+	for _, path := range []string{"/..%2fescape.cws", "/" + strings.Repeat("x", 40), "/.tmp-123"} {
+		if resp := doReq(t, http.MethodPut, ts.URL+path, good); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad name %q accepted with %d", path, resp.StatusCode)
+		}
+	}
+	if st := bs.Stats(); st.Objects != 0 || st.Rejected < 4 {
+		t.Fatalf("stats after rejects: %+v", st)
+	}
+}
+
+func TestBlobIndex(t *testing.T) {
+	_, ts := newBlobFixture(t)
+	rec := persist.Record{Kind: persist.KindLayerContext, Key: "ctx|a|b", Payload: []byte("{}")}
+	doReq(t, http.MethodPut, ts.URL+"/"+persist.RecordName(rec.Kind, rec.Key), mustEncode(t, rec))
+
+	resp := doReq(t, http.MethodGet, ts.URL+"/?names=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"objects": 1`) ||
+		!strings.Contains(string(body), persist.RecordName(rec.Kind, rec.Key)) {
+		t.Fatalf("index body: %s", body)
+	}
+}

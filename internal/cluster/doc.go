@@ -1,0 +1,32 @@
+// Package cluster turns a set of cimloop serve instances into a ring of
+// cooperating nodes that share their most expensive asset: compiled
+// engines and per-layer amortized contexts.
+//
+// Three pieces compose, each usable alone:
+//
+//   - Ring: a deterministic consistent-hash ring over static membership.
+//     Every node builds the same ring from the same -peers list (order
+//     and duplicates do not matter), so any node can compute any key's
+//     owner locally — no coordinator, no gossip round. Virtual nodes
+//     spread each member across the hash circle for balance, and
+//     membership changes move only the departed/arrived arcs.
+//
+//   - BlobServer: a tiny HTTP object store speaking the persist envelope
+//     format (self-describing, checksummed, fingerprint-keyed). Any
+//     node's cold compile is written through to it, so every other node
+//     warm-starts from one collective compile per fingerprint,
+//     fleet-wide. Run it standalone (`cimloop blobd`) or point nodes at
+//     any S3-alike that honors GET/PUT by name.
+//
+//   - Remote: the persist.Store-shaped client of a blob tier, layered as
+//     L3 under the in-memory cache (L1) and the local disk store (L2).
+//     Writes ride a write-behind queue off the hot path; reads carry a
+//     short deadline; a circuit breaker turns a dead tier into fast
+//     local misses instead of per-request timeouts, and probes it back
+//     to health on a cooldown.
+//
+// The serving layer (internal/serve) wires these together: cache misses
+// read through L3 before compiling, computed fills write through, and a
+// forwarding middleware routes evaluation requests to the key's owner so
+// cache-heavy work lands where the cache is warm. See docs/CLUSTER.md.
+package cluster

@@ -1,0 +1,247 @@
+// Multi-node integration coverage: three real serve instances joined
+// into a ring over a shared blob tier, exercised over HTTP exactly as a
+// deployment would be. The package is cluster_test (not cluster) so it
+// can import internal/serve without a cycle — serve imports cluster for
+// the ring and remote tier.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// lateHandler lets the httptest listeners exist before the servers they
+// delegate to: ring members need each other's addresses at construction.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h = h
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testNode struct {
+	id  string
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+// startRing boots a blob tier plus three serve nodes that share it, all
+// behind real listeners.
+func startRing(t *testing.T) (nodes []*testNode, blob *cluster.BlobServer, blobTS *httptest.Server) {
+	t.Helper()
+	blob, err := cluster.NewBlobServer(t.TempDir())
+	if err != nil {
+		t.Fatalf("blob server: %v", err)
+	}
+	blobTS = httptest.NewServer(blob)
+	t.Cleanup(blobTS.Close)
+
+	ids := []string{"node-a", "node-b", "node-c"}
+	handlers := make([]*lateHandler, len(ids))
+	var peerParts []string
+	for i, id := range ids {
+		handlers[i] = &lateHandler{}
+		ts := httptest.NewServer(handlers[i])
+		t.Cleanup(ts.Close)
+		nodes = append(nodes, &testNode{id: id, ts: ts})
+		peerParts = append(peerParts, id+"="+ts.URL)
+	}
+	peers := strings.Join(peerParts, ",")
+	for i, n := range nodes {
+		srv := serve.NewServer(serve.BatchOptions{
+			Workers:        2,
+			AsyncThreshold: -1,
+			ClusterNodeID:  n.id,
+			ClusterPeers:   peers,
+			BlobURL:        blobTS.URL,
+		})
+		if err := srv.ClusterError(); err != nil {
+			t.Fatalf("%s: cluster config: %v", n.id, err)
+		}
+		t.Cleanup(srv.Close)
+		n.srv = srv
+		handlers[i].set(srv.Handler())
+	}
+	return nodes, blob, blobTS
+}
+
+// evaluate POSTs /v1/evaluate to node. pinned sets the forward hop
+// guard, so the node must serve locally instead of routing to the ring
+// owner.
+func evaluate(t *testing.T, node *testNode, macro string, pinned bool) *http.Response {
+	t.Helper()
+	body := fmt.Sprintf(`{"macro":%q,"network":"toy","max_mappings":2}`, macro)
+	req, err := http.NewRequest(http.MethodPost, node.ts.URL+"/v1/evaluate",
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if pinned {
+		req.Header.Set(serve.ForwardHeader, "1")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("evaluate %s on %s: %v", macro, node.id, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestClusterWarmShareAndDegradation is the end-to-end ring story: a
+// cold compile on one node warm-starts the others through the blob
+// tier; requests forward to their ring owner; a dead peer degrades to
+// local evaluation; a dead blob tier degrades to local tiers and shows
+// up unhealthy in /v1/cluster.
+func TestClusterWarmShareAndDegradation(t *testing.T) {
+	nodes, blob, blobTS := startRing(t)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	toy, err := workload.ByName("toy")
+	if err != nil {
+		t.Fatalf("toy workload: %v", err)
+	}
+	// One engine record plus one context record per layer.
+	wantObjects := 1 + len(toy.Layers)
+
+	// --- Warm share: cold compile on A, zero compiles on B and C. ---
+	if resp := evaluate(t, a, "base", true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold evaluate on A: status %d", resp.StatusCode)
+	}
+	if got := a.srv.CacheStats().Compiles; got == 0 {
+		t.Fatalf("A compiled nothing (compiles=%d)", got)
+	}
+	// The write-through to the blob tier is write-behind; wait for it.
+	deadline := time.Now().Add(10 * time.Second)
+	for blob.Stats().Objects < wantObjects {
+		if time.Now().After(deadline) {
+			t.Fatalf("blob tier has %d objects, want %d", blob.Stats().Objects, wantObjects)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, n := range []*testNode{b, c} {
+		if resp := evaluate(t, n, "base", true); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm evaluate on %s: status %d", n.id, resp.StatusCode)
+		}
+		st := n.srv.CacheStats()
+		if st.Compiles != 0 {
+			t.Fatalf("%s recompiled: compiles=%d, want 0 (warm-share)", n.id, st.Compiles)
+		}
+		if st.Restored == 0 {
+			t.Fatalf("%s restored nothing from the blob tier", n.id)
+		}
+	}
+
+	// --- Forwarding: an unpinned request lands on its ring owner. ---
+	ring := cluster.NewRing([]cluster.Node{
+		{ID: a.id, Addr: a.ts.URL}, {ID: b.id, Addr: b.ts.URL}, {ID: c.id, Addr: c.ts.URL},
+	}, 0)
+	byID := map[string]*testNode{a.id: a, b.id: b, c.id: c}
+	// Pick a macro owned by someone other than the node we send to, so
+	// the request must forward.
+	var fwdMacro string
+	var owner, sender *testNode
+	for _, m := range []string{"macro-a", "macro-b", "macro-c", "macro-d"} {
+		o, ok := ring.Owner(cluster.EvalRouteKey(m, "", "", 0))
+		if !ok {
+			t.Fatalf("ring owner lookup failed")
+		}
+		owner = byID[o.ID]
+		for _, n := range nodes {
+			if n != owner {
+				fwdMacro, sender = m, n
+				break
+			}
+		}
+		break
+	}
+	resp := evaluate(t, sender, fwdMacro, false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded evaluate: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(serve.ForwardedToHeader); got != owner.id {
+		t.Fatalf("forwarded-to header %q, want owner %q", got, owner.id)
+	}
+	if owner.srv.CacheStats().Compiles == 0 {
+		t.Fatalf("owner %s did not compile the forwarded request", owner.id)
+	}
+
+	// --- Dead peer: forwarding fails over to local evaluation. ---
+	// Wait for the owner's write-behind put of the forwarded macro to
+	// land before killing it, so the fallback below can warm-start.
+	deadline = time.Now().Add(10 * time.Second)
+	for blob.Stats().Objects < 2*wantObjects {
+		if time.Now().After(deadline) {
+			t.Fatalf("blob tier has %d objects, want %d", blob.Stats().Objects, 2*wantObjects)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	owner.ts.Close()
+	compilesBefore := sender.srv.CacheStats().Compiles
+	resp = evaluate(t, sender, fwdMacro, false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate with dead owner: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(serve.ForwardedToHeader); got != "" {
+		t.Fatalf("dead owner still reported as forward target %q", got)
+	}
+	st := sender.srv.ClusterStatus(context.Background())
+	if st.Forward.Errors == 0 {
+		t.Fatalf("forward failure not counted: %+v", st.Forward)
+	}
+	// The owner's cold compile reached the blob tier, so the fallback
+	// node warm-starts rather than recompiling.
+	if got := sender.srv.CacheStats().Compiles; got != compilesBefore {
+		t.Fatalf("%s recompiled %q despite the blob tier holding it (compiles %d -> %d)",
+			sender.id, fwdMacro, compilesBefore, got)
+	}
+
+	// --- Blob outage: requests keep succeeding, tier reports unhealthy. ---
+	blobTS.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	macros := []string{"digital-cim", "tpu-like", "photonic"}
+	for i := 0; ; i++ {
+		if resp := evaluate(t, sender, macros[i%len(macros)], true); resp.StatusCode != http.StatusOK {
+			t.Fatalf("evaluate during blob outage: status %d", resp.StatusCode)
+		}
+		cs := sender.srv.ClusterStatus(context.Background())
+		if cs.Blob == nil {
+			t.Fatalf("cluster status lost its blob section")
+		}
+		if !cs.Blob.Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blob tier never reported unhealthy: %+v", cs.Blob)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// RemoteStats counts one node's traffic against the shared blob tier.
+type RemoteStats struct {
+	Gets   uint64 `json:"gets"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+	Errors uint64 `json:"errors"`
+	// Dropped counts write-behind records refused by a full queue or a
+	// tripped breaker (the tier is a cache; losing a write costs another
+	// node one compile, never correctness).
+	Dropped uint64 `json:"dropped"`
+	// Healthy is the circuit breaker's current verdict.
+	Healthy bool `json:"healthy"`
+}
+
+// RemoteOptions tunes a Remote. The zero value picks the defaults.
+type RemoteOptions struct {
+	// HTTPClient substitutes the transport (tests).
+	HTTPClient *http.Client
+	// OpTimeout bounds one GET/PUT round trip (default 2s): the tier is
+	// an optimization, and a slow tier must degrade to a local miss, not
+	// a slow request.
+	OpTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that trips the
+	// breaker (default 3).
+	FailThreshold int
+	// Cooldown is how long a tripped breaker fast-fails before letting
+	// one probe through (default 5s).
+	Cooldown time.Duration
+	// QueueLen bounds the write-behind backlog (default 256).
+	QueueLen int
+
+	// now is swapped in tests to drive the breaker clock.
+	now func() time.Time
+}
+
+func (o RemoteOptions) opTimeout() time.Duration {
+	if o.OpTimeout > 0 {
+		return o.OpTimeout
+	}
+	return 2 * time.Second
+}
+
+func (o RemoteOptions) failThreshold() int {
+	if o.FailThreshold > 0 {
+		return o.FailThreshold
+	}
+	return 3
+}
+
+func (o RemoteOptions) cooldown() time.Duration {
+	if o.Cooldown > 0 {
+		return o.Cooldown
+	}
+	return 5 * time.Second
+}
+
+func (o RemoteOptions) queueLen() int {
+	if o.QueueLen > 0 {
+		return o.QueueLen
+	}
+	return 256
+}
+
+// Remote is the persist.Store-shaped client of a blob tier: Get reads
+// through with a short deadline, Put rides a write-behind queue so the
+// hot path never blocks on the network, and a circuit breaker converts
+// an unreachable tier into fast local misses (with a periodic probe to
+// notice recovery). Safe for concurrent use.
+type Remote struct {
+	base string
+	hc   *http.Client
+	opts RemoteOptions
+
+	queue chan remoteOp
+	wg    sync.WaitGroup
+	// closing guards queue sends against Close, mirroring persist.Store.
+	closing sync.RWMutex
+	closed  bool
+
+	// breaker state.
+	mu         sync.Mutex
+	consecFail int
+	downUntil  time.Time
+
+	gets, hits, misses, puts, errors, dropped atomic.Uint64
+}
+
+type remoteOp struct {
+	name   string
+	encode func() ([]byte, error) // nil: delete
+	ack    chan struct{}          // flush barrier
+}
+
+// NewRemote returns a client of the blob tier at base ("host:port" or a
+// full URL) and starts its write-behind worker.
+func NewRemote(base string, opts RemoteOptions) *Remote {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	r := &Remote{
+		base: strings.TrimRight(base, "/"),
+		hc:   opts.HTTPClient,
+		opts: opts,
+	}
+	if r.hc == nil {
+		r.hc = &http.Client{}
+	}
+	if r.opts.now == nil {
+		r.opts.now = time.Now
+	}
+	r.queue = make(chan remoteOp, r.opts.queueLen())
+	r.wg.Add(1)
+	go r.writer()
+	return r
+}
+
+// BaseURL reports the tier's resolved base URL.
+func (r *Remote) BaseURL() string { return r.base }
+
+// Stats snapshots the counters and the breaker verdict.
+func (r *Remote) Stats() RemoteStats {
+	return RemoteStats{
+		Gets: r.gets.Load(), Hits: r.hits.Load(), Misses: r.misses.Load(),
+		Puts: r.puts.Load(), Errors: r.errors.Load(), Dropped: r.dropped.Load(),
+		Healthy: r.Healthy(),
+	}
+}
+
+// Healthy reports the breaker's verdict: false while tripped (including
+// the cooldown window between probes).
+func (r *Remote) Healthy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.consecFail < r.opts.failThreshold()
+}
+
+// allowed reports whether an operation may hit the network now: always
+// while healthy; after the breaker trips, only one probe per cooldown.
+func (r *Remote) allowed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.consecFail < r.opts.failThreshold() {
+		return true
+	}
+	if now := r.opts.now(); !now.Before(r.downUntil) {
+		// Half-open: admit this probe and push the next window out, so a
+		// still-dead tier costs one timeout per cooldown, not per request.
+		r.downUntil = now.Add(r.opts.cooldown())
+		return true
+	}
+	return false
+}
+
+func (r *Remote) noteSuccess() {
+	r.mu.Lock()
+	r.consecFail = 0
+	r.mu.Unlock()
+}
+
+func (r *Remote) noteFailure() {
+	r.errors.Add(1)
+	r.mu.Lock()
+	r.consecFail++
+	if r.consecFail >= r.opts.failThreshold() {
+		r.downUntil = r.opts.now().Add(r.opts.cooldown())
+	}
+	r.mu.Unlock()
+}
+
+// Get fetches one record from the tier. ok is false on a clean miss —
+// including a tripped breaker, which is deliberately indistinguishable
+// from a miss to the caller: both mean "compile locally". err is set
+// only for records the tier returned but this node must not use
+// (corrupt envelope, key mismatch).
+func (r *Remote) Get(ctx context.Context, kind persist.Kind, key string) (persist.Record, bool, error) {
+	if !r.allowed() {
+		r.dropped.Add(1)
+		return persist.Record{}, false, nil
+	}
+	r.gets.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, r.opts.opTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.objURL(kind, key), nil)
+	if err != nil {
+		return persist.Record{}, false, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.noteFailure()
+		return persist.Record{}, false, nil
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		r.noteSuccess() // the tier answered; absence is a healthy miss
+		r.misses.Add(1)
+		return persist.Record{}, false, nil
+	case resp.StatusCode != http.StatusOK:
+		r.noteFailure()
+		return persist.Record{}, false, nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes+1))
+	if err != nil || len(data) > maxBlobBytes {
+		r.noteFailure()
+		return persist.Record{}, false, nil
+	}
+	r.noteSuccess()
+	rec, err := persist.DecodeRecord(data)
+	if err != nil {
+		return persist.Record{}, false, fmt.Errorf("cluster: remote record %s: %w", persist.RecordName(kind, key), err)
+	}
+	if rec.Kind != kind || rec.Key != key {
+		return persist.Record{}, false, fmt.Errorf("cluster: remote record %s carries key %q, wanted %q",
+			persist.RecordName(kind, key), rec.Key, key)
+	}
+	r.hits.Add(1)
+	return rec, true, nil
+}
+
+// Put enqueues a write-through of one record: encode runs on the writer
+// goroutine (the caller pays neither serialization nor network time),
+// and a full queue or tripped breaker drops the record.
+func (r *Remote) Put(kind persist.Kind, key string, costSec float64, encode func() ([]byte, error)) {
+	op := remoteOp{name: persist.RecordName(kind, key), encode: func() ([]byte, error) {
+		payload, err := encode()
+		if err != nil {
+			return nil, err
+		}
+		return persist.EncodeRecord(persist.Record{Kind: kind, Key: key, CostSec: costSec, Payload: payload})
+	}}
+	r.send(op, false)
+}
+
+// Delete enqueues removal of one record from the tier (no-op if absent).
+func (r *Remote) Delete(kind persist.Kind, key string) {
+	r.send(remoteOp{name: persist.RecordName(kind, key)}, false)
+}
+
+// Flush blocks until every previously enqueued write has been attempted.
+func (r *Remote) Flush() {
+	ack := make(chan struct{})
+	if r.send(remoteOp{ack: ack}, true) {
+		<-ack
+	}
+}
+
+// Close flushes the queue and stops the writer. Later Puts are dropped.
+func (r *Remote) Close() {
+	r.closing.Lock()
+	already := r.closed
+	r.closed = true
+	if !already {
+		close(r.queue)
+	}
+	r.closing.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Remote) send(op remoteOp, block bool) bool {
+	r.closing.RLock()
+	defer r.closing.RUnlock()
+	if r.closed {
+		if op.ack == nil {
+			r.dropped.Add(1)
+		}
+		return false
+	}
+	if block {
+		r.queue <- op
+		return true
+	}
+	select {
+	case r.queue <- op:
+		return true
+	default:
+		r.dropped.Add(1)
+		return false
+	}
+}
+
+func (r *Remote) writer() {
+	defer r.wg.Done()
+	for op := range r.queue {
+		switch {
+		case op.ack != nil:
+			close(op.ack)
+		case !r.allowed():
+			r.dropped.Add(1)
+		case op.encode == nil:
+			r.roundTrip(http.MethodDelete, op.name, nil, http.StatusNoContent, http.StatusNotFound)
+		default:
+			data, err := op.encode()
+			if err != nil {
+				r.dropped.Add(1)
+				continue
+			}
+			if r.roundTrip(http.MethodPut, op.name, data, http.StatusNoContent) {
+				r.puts.Add(1)
+			}
+		}
+	}
+}
+
+// roundTrip performs one writer-side request, feeding the breaker.
+func (r *Remote) roundTrip(method, name string, body []byte, okStatus ...int) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.opts.opTimeout())
+	defer cancel()
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.base+"/"+name, rdr)
+	if err != nil {
+		r.noteFailure()
+		return false
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.noteFailure()
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	for _, s := range okStatus {
+		if resp.StatusCode == s {
+			r.noteSuccess()
+			return true
+		}
+	}
+	r.noteFailure()
+	return false
+}
+
+func (r *Remote) objURL(kind persist.Kind, key string) string {
+	return r.base + "/" + persist.RecordName(kind, key)
+}
+
+// Probe checks the tier root once (the /v1/cluster health report calls
+// it so a tripped breaker can report recovery without waiting for
+// traffic). It respects the breaker's cooldown.
+func (r *Remote) Probe(ctx context.Context) bool {
+	if !r.allowed() {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.opts.opTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.noteFailure()
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.noteFailure()
+		return false
+	}
+	r.noteSuccess()
+	return true
+}

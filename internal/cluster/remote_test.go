@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/persist"
+)
+
+func TestRemotePutGetRoundTrip(t *testing.T) {
+	_, ts := newBlobFixture(t)
+	r := NewRemote(ts.URL, RemoteOptions{})
+	defer r.Close()
+
+	r.Put(persist.KindEngine, "eng|fp1", 2.5, func() ([]byte, error) {
+		return []byte(`{"arch":true}`), nil
+	})
+	r.Flush()
+
+	rec, ok, err := r.Get(context.Background(), persist.KindEngine, "eng|fp1")
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if rec.Key != "eng|fp1" || rec.CostSec != 2.5 || string(rec.Payload) != `{"arch":true}` {
+		t.Fatalf("record %+v", rec)
+	}
+	if _, ok, err := r.Get(context.Background(), persist.KindEngine, "eng|absent"); ok || err != nil {
+		t.Fatalf("miss: ok=%v err=%v", ok, err)
+	}
+	st := r.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 || !st.Healthy {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRemoteRejectsForeignKey(t *testing.T) {
+	// A tier answering with a record for a different key (a misbehaving
+	// proxy, a hash collision in a foreign store) must yield an error,
+	// never a silently wrong warm start.
+	mux := http.NewServeMux()
+	wrong, _ := persist.EncodeRecord(persist.Record{Kind: persist.KindEngine, Key: "eng|other", Payload: []byte("{}")})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) { w.Write(wrong) })
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	r := NewRemote(ts.URL, RemoteOptions{})
+	defer r.Close()
+	if _, ok, err := r.Get(context.Background(), persist.KindEngine, "eng|mine"); ok || err == nil {
+		t.Fatalf("foreign record: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRemoteBreakerTripsAndRecovers(t *testing.T) {
+	var down atomic.Bool
+	_, ts := newBlobFixture(t)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		resp, err := http.Get(ts.URL + req.URL.Path)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+	}))
+	defer proxy.Close()
+
+	clock := time.Unix(1000, 0)
+	r := NewRemote(proxy.URL, RemoteOptions{
+		FailThreshold: 2,
+		Cooldown:      10 * time.Second,
+		now:           func() time.Time { return clock },
+	})
+	defer r.Close()
+
+	down.Store(true)
+	ctx := context.Background()
+	// Two failures trip the breaker...
+	r.Get(ctx, persist.KindEngine, "eng|a")
+	r.Get(ctx, persist.KindEngine, "eng|b")
+	if r.Healthy() {
+		t.Fatal("breaker did not trip after threshold failures")
+	}
+	// ...and while tripped, requests are dropped without touching the
+	// network (they count as dropped, not gets).
+	before := r.Stats().Gets
+	if _, ok, _ := r.Get(ctx, persist.KindEngine, "eng|c"); ok {
+		t.Fatal("tripped breaker returned a hit")
+	}
+	if got := r.Stats().Gets; got != before {
+		t.Fatalf("tripped breaker still hit the network (gets %d -> %d)", before, got)
+	}
+
+	// After the cooldown, one probe goes through; with the tier healthy
+	// again it resets the breaker.
+	down.Store(false)
+	clock = clock.Add(11 * time.Second)
+	if _, ok, err := r.Get(ctx, persist.KindEngine, "eng|d"); ok || err != nil {
+		t.Fatalf("probe miss expected: ok=%v err=%v", ok, err)
+	}
+	if !r.Healthy() {
+		t.Fatal("breaker did not recover after a successful probe")
+	}
+}
+
+func TestRemoteProbe(t *testing.T) {
+	_, ts := newBlobFixture(t)
+	r := NewRemote(ts.URL, RemoteOptions{})
+	defer r.Close()
+	if !r.Probe(context.Background()) {
+		t.Fatal("probe against a live tier failed")
+	}
+	ts.Close()
+	if r.Probe(context.Background()) {
+		t.Fatal("probe against a dead tier succeeded")
+	}
+}
+
+func TestRemoteCloseDropsLatePuts(t *testing.T) {
+	_, ts := newBlobFixture(t)
+	r := NewRemote(ts.URL, RemoteOptions{})
+	r.Close()
+	r.Put(persist.KindEngine, "eng|late", 0, func() ([]byte, error) { return []byte("{}"), nil })
+	if st := r.Stats(); st.Dropped != 1 || st.Puts != 0 {
+		t.Fatalf("stats after late put: %+v", st)
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one ring member: a stable identifier (the unit of ownership)
+// and the base URL other nodes reach it at.
+type Node struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// DefaultVirtualNodes is the per-member virtual-node count when a Ring
+// is built with vnodes <= 0. 128 points per member keeps the largest
+// ownership share within a few percent of fair for small clusters while
+// the ring stays tiny (a 16-node ring is 2048 points).
+const DefaultVirtualNodes = 128
+
+// Ring is a deterministic consistent-hash ring: a pure function of its
+// member set and virtual-node count. Two processes given the same
+// members — in any order, with any duplication — build byte-identical
+// rings, so every node computes the same owner for every key without
+// coordination. Immutable after New; safe for concurrent use.
+type Ring struct {
+	nodes  []Node   // unique members, sorted by ID
+	points []uint64 // sorted vnode positions on the hash circle
+	owner  []int    // owner[i] indexes nodes for points[i]
+	vnodes int
+}
+
+// NewRing builds a ring from members. Duplicate IDs collapse to the
+// first occurrence, order is irrelevant (members are sorted by ID), and
+// vnodes <= 0 selects DefaultVirtualNodes. An empty member set yields a
+// ring that owns nothing (Owner reports false).
+func NewRing(members []Node, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	nodes := make([]Node, 0, len(members))
+	for _, m := range members {
+		if m.ID == "" || seen[m.ID] {
+			continue
+		}
+		seen[m.ID] = true
+		nodes = append(nodes, m)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	r := &Ring{nodes: nodes, vnodes: vnodes}
+	type point struct {
+		pos  uint64
+		node int
+	}
+	pts := make([]point, 0, len(nodes)*vnodes)
+	for ni, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, point{hashPoint(n.ID, v), ni})
+		}
+	}
+	// Position ties (astronomically unlikely with a 64-bit circle) break
+	// by node index — deterministic because nodes are sorted by ID.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].pos != pts[j].pos {
+			return pts[i].pos < pts[j].pos
+		}
+		return pts[i].node < pts[j].node
+	})
+	r.points = make([]uint64, len(pts))
+	r.owner = make([]int, len(pts))
+	for i, p := range pts {
+		r.points[i] = p.pos
+		r.owner[i] = p.node
+	}
+	return r
+}
+
+// hashPoint places one virtual node on the circle. The vnode index is
+// folded into the hashed text (not the position) so a member's points
+// are scattered, not clustered.
+func hashPoint(id string, vnode int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", id, vnode)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// hashKey places a key on the circle. Keys and vnodes share the hash
+// function but not the input grammar ("key|" prefix), so a key can never
+// collide with a vnode by construction.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte("key|" + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the unique members, sorted by ID. The slice is shared;
+// do not mutate.
+func (r *Ring) Nodes() []Node { return r.nodes }
+
+// Len is the unique member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// VirtualNodes reports the per-member virtual-node count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Owner maps a key to its owning member: the first virtual node at or
+// clockwise after the key's position. ok is false only for an empty
+// ring.
+func (r *Ring) Owner(key string) (Node, bool) {
+	if len(r.points) == 0 {
+		return Node{}, false
+	}
+	pos := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= pos })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point succeeds its last
+	}
+	return r.nodes[r.owner[i]], true
+}
+
+// Successors returns up to n distinct members in ownership order
+// starting at the key's owner — the preference list for failover (the
+// owner first, then the members whose arcs follow it).
+func (r *Ring) Successors(key string, n int) []Node {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	pos := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= pos })
+	out := make([]Node, 0, n)
+	seen := make(map[int]bool, n)
+	for step := 0; step < len(r.points) && len(out) < n; step++ {
+		ni := r.owner[(i+step)%len(r.points)]
+		if !seen[ni] {
+			seen[ni] = true
+			out = append(out, r.nodes[ni])
+		}
+	}
+	return out
+}
+
+// Shares returns each member's exact fraction of the hash circle — the
+// expected share of a uniformly hashed key population it owns. Fractions
+// sum to 1 for a non-empty ring.
+func (r *Ring) Shares() map[string]float64 {
+	shares := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return shares
+	}
+	const circle = float64(1<<63) * 2 // 2^64 as float64
+	for i, pos := range r.points {
+		// The arc ENDING at points[i] belongs to its owner; it starts at
+		// the previous point (wrapping below zero for the first).
+		var arc uint64
+		if i == 0 {
+			arc = pos + (^r.points[len(r.points)-1] + 1) // pos - last, mod 2^64
+		} else {
+			arc = pos - r.points[i-1]
+		}
+		shares[r.nodes[r.owner[i]].ID] += float64(arc) / circle
+	}
+	return shares
+}
+
+// ParsePeers parses a static membership list of the form
+// "id=url[,id=url...]" (the -peers flag). IDs must be unique and
+// non-empty; URLs must be non-empty.
+func ParsePeers(s string) ([]Node, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty peers list")
+	}
+	var nodes []Node
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: malformed peer %q (want id=url)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		nodes = append(nodes, Node{ID: id, Addr: strings.TrimRight(addr, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty peers list")
+	}
+	return nodes, nil
+}
+
+// EvalRouteKey derives the routing key of an evaluation request from its
+// wire fields alone — no architecture resolution, so both the SDK and
+// the forwarding middleware compute it identically and cheaply. Requests
+// for the same (architecture source, system wrap) route to the same
+// owner, which is where the engine and layer contexts are (or will be)
+// cached. Returns "" for requests with no routable source (prebuilt
+// in-process values); callers then skip routing.
+func EvalRouteKey(macro, spec, scenario string, systemMacros int) string {
+	if macro == "" && spec == "" {
+		return ""
+	}
+	if systemMacros <= 0 {
+		systemMacros = 1
+	}
+	return fmt.Sprintf("eval|macro=%s|spec=%s|scenario=%s|n=%d", macro, spec, scenario, systemMacros)
+}

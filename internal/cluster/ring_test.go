@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testNodes(n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: fmt.Sprintf("node-%c", 'a'+i), Addr: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return nodes
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("eng|fingerprint-%04d", i)
+	}
+	return keys
+}
+
+// assign maps every key to its owner ID.
+func assign(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		n, ok := r.Owner(k)
+		if !ok {
+			out[k] = ""
+			continue
+		}
+		out[k] = n.ID
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossConstruction: the assignment is a pure
+// function of the member set — member order, duplicates, and repeated
+// construction (a process restart) must not move a single key.
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	nodes := testNodes(5)
+	keys := testKeys(2000)
+	want := assign(NewRing(nodes, 0), keys)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Node(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		// Inject duplicates: static -peers lists get copy-pasted.
+		shuffled = append(shuffled, shuffled[rng.Intn(len(shuffled))])
+		got := assign(NewRing(shuffled, 0), keys)
+		for k, owner := range want {
+			if got[k] != owner {
+				t.Fatalf("trial %d: key %q moved %s -> %s on reconstruction", trial, k, owner, got[k])
+			}
+		}
+	}
+}
+
+// TestRingPinnedAssignment pins a handful of concrete assignments: the
+// hash placement is part of the cluster's persistent contract (every
+// node of every version must agree on owners), so a change to the hash
+// or the vnode grammar must fail loudly here, not skew-route in prod.
+func TestRingPinnedAssignment(t *testing.T) {
+	r := NewRing(testNodes(3), 0)
+	pinned := map[string]string{
+		"eng|fingerprint-0000":                "node-a",
+		"eng|fingerprint-0001":                "node-c",
+		"eng|fingerprint-0002":                "node-a",
+		"eng|fingerprint-0003":                "node-c",
+		"eng|fingerprint-0004":                "node-a",
+		"eval|macro=base|spec=|scenario=|n=1": "node-a",
+	}
+	for key, want := range pinned {
+		if n, _ := r.Owner(key); n.ID != want {
+			t.Errorf("Owner(%q) = %s, pinned %s (hash function or vnode grammar changed!)", key, n.ID, want)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding one member to an n-node ring
+// must move roughly 1/(n+1) of the keys — all of them TO the new
+// member; no key may shuffle between surviving members.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	nodes := testNodes(4)
+	keys := testKeys(4000)
+	before := assign(NewRing(nodes, 0), keys)
+	after := assign(NewRing(append(testNodes(4), Node{ID: "node-new", Addr: "http://10.0.0.99:8080"}), 0), keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] == after[k] {
+			continue
+		}
+		moved++
+		if after[k] != "node-new" {
+			t.Fatalf("key %q moved %s -> %s, but only the joining node may gain keys", k, before[k], after[k])
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Fair share is 1/5; vnode placement noise allows a wide but
+	// bounded corridor.
+	if frac < 0.10 || frac > 0.30 {
+		t.Fatalf("join moved %.1f%% of keys, want ~20%%", frac*100)
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing a member must move exactly
+// that member's keys; every other assignment is untouched.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	nodes := testNodes(5)
+	keys := testKeys(4000)
+	before := assign(NewRing(nodes, 0), keys)
+	after := assign(NewRing(nodes[:4], 0), keys) // node-e departs
+
+	for _, k := range keys {
+		if before[k] != "node-e" {
+			if after[k] != before[k] {
+				t.Fatalf("key %q was owned by surviving %s but moved to %s", k, before[k], after[k])
+			}
+		} else if after[k] == "node-e" || after[k] == "" {
+			t.Fatalf("departed node still owns key %q", k)
+		}
+	}
+}
+
+// TestRingBalance: with the default vnode count, every member's exact
+// hash-circle share stays near fair, and the shares sum to 1.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		r := NewRing(testNodes(n), 0)
+		shares := r.Shares()
+		total := 0.0
+		fair := 1.0 / float64(n)
+		for id, s := range shares {
+			total += s
+			if s < fair*0.5 || s > fair*1.7 {
+				t.Errorf("%d nodes: %s owns %.3f of the circle, fair is %.3f", n, id, s, fair)
+			}
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("%d nodes: shares sum to %.6f, want 1", n, total)
+		}
+	}
+}
+
+// TestRingSuccessors: the preference list starts at the owner, holds
+// distinct members, and covers the whole ring when asked.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(testNodes(4), 0)
+	for _, k := range testKeys(50) {
+		owner, _ := r.Owner(k)
+		succ := r.Successors(k, 4)
+		if len(succ) != 4 {
+			t.Fatalf("Successors returned %d members, want 4", len(succ))
+		}
+		if succ[0].ID != owner.ID {
+			t.Fatalf("preference list starts at %s, owner is %s", succ[0].ID, owner.ID)
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n.ID] {
+				t.Fatalf("duplicate member %s in preference list", n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if _, ok := NewRing(nil, 0).Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	one := NewRing([]Node{{ID: "solo", Addr: "http://x"}}, 0)
+	for _, k := range testKeys(20) {
+		if n, ok := one.Owner(k); !ok || n.ID != "solo" {
+			t.Fatalf("single-node ring routed %q to %q", k, n.ID)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	nodes, err := ParsePeers("a=http://h1:1, b=h2:2 ,c=https://h3/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Node{{ID: "a", Addr: "http://h1:1"}, {ID: "b", Addr: "http://h2:2"}, {ID: "c", Addr: "https://h3"}}
+	if len(nodes) != len(want) {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("peer %d = %+v, want %+v", i, nodes[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "a=", "=url", "a=u,a=v", "justtext"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEvalRouteKey(t *testing.T) {
+	if EvalRouteKey("", "", "", 0) != "" {
+		t.Fatal("unroutable request must yield empty key")
+	}
+	a := EvalRouteKey("base", "", "weight-stationary", 0)
+	b := EvalRouteKey("base", "", "weight-stationary", 1)
+	if a != b {
+		t.Fatal("SystemMacros 0 and 1 must route identically (both mean one macro)")
+	}
+	if EvalRouteKey("base", "", "", 1) == EvalRouteKey("macro-a", "", "", 1) {
+		t.Fatal("different macros must route differently")
+	}
+}

@@ -105,12 +105,19 @@ func (s *Store) Stats() Stats {
 	}
 }
 
-// fileName maps a record key to its stable on-disk name. Keys embed hex
-// fingerprints and separator characters, so the name is a hash of the key;
-// the authoritative key is stored inside the envelope.
-func (s *Store) fileName(kind Kind, key string) string {
+// RecordName maps a record key to its stable file (or object) name.
+// Keys embed hex fingerprints and separator characters, so the name is a
+// hash of the key; the authoritative key is stored inside the envelope.
+// The disk store and the cluster blob tier share this scheme, so a file
+// copied between the two tiers keeps its identity.
+func RecordName(kind Kind, key string) string {
 	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(s.dir, fmt.Sprintf("%s-%s%s", kind, hex.EncodeToString(sum[:16]), fileSuffix))
+	return fmt.Sprintf("%s-%s%s", kind, hex.EncodeToString(sum[:16]), fileSuffix)
+}
+
+// fileName is RecordName joined onto the store directory.
+func (s *Store) fileName(kind Kind, key string) string {
+	return filepath.Join(s.dir, RecordName(kind, key))
 }
 
 // Put enqueues a record without blocking: encode runs on the writer

@@ -105,16 +105,36 @@ func goldenCases() []struct {
 		{"experiment_run_response", ExperimentRunResponse{Tables: []string{"| fig2a |"}}},
 		{"healthz_response", HealthzResponse{
 			Status:    "ok",
+			Version:   Version,
 			UptimeSec: 12.5,
-			Cache:     CacheStats{Hits: 10, Misses: 2, Evictions: 1, Entries: 9, Restored: 4},
+			Cache:     CacheStats{Hits: 10, Misses: 2, Evictions: 1, Entries: 9, Restored: 4, Compiles: 6},
 			Jobs:      jobs.Stats{Queued: 2, QueuedInteractive: 1, QueuedBatch: 1, Running: 1, Finished: 5},
-			Search:    BudgetStats{Capacity: 8, Available: 3, SearchWorkers: 4},
+			Search:    BudgetStats{Capacity: 8, Available: 3, SearchWorkers: 4, BlockedAcquires: 2},
 			Persist: PersistStats{
 				Enabled: true,
 				Warm:    WarmStats{Engines: 1, Contexts: 2, Jobs: 3, Replayed: 1, Skipped: 1},
 				Error:   "jobs dir: permission denied",
 			},
 		}},
+		{"cluster_response", ClusterResponse{
+			Enabled:      true,
+			Self:         "node-a",
+			VirtualNodes: 128,
+			Nodes: []ClusterNodeStatus{
+				{ID: "node-a", Addr: "http://10.0.0.1:8080", Self: true, Healthy: true,
+					Version: Version, SharePct: 34.5, OwnedKeys: 12},
+				{ID: "node-b", Addr: "http://10.0.0.2:8080", Healthy: false,
+					SharePct: 65.5, OwnedKeys: 3},
+			},
+			CachedKeys: 15,
+			Forward:    ClusterForwardStats{Local: 9, Forwarded: 4, Received: 2, Errors: 1},
+			Blob: &ClusterBlobStats{
+				URL:     "http://10.0.0.9:8090",
+				Healthy: true,
+				Stats:   RemoteTierStats{Gets: 8, Hits: 5, Misses: 3, Puts: 6, Errors: 1, Dropped: 2},
+			},
+		}},
+		{"cluster_response_disabled", ClusterResponse{}},
 		{"error_queue_full", Error{
 			Code: CodeQueueFull, Message: "jobs: pending queue full",
 			RetryAfterSec: 2,
@@ -204,6 +224,8 @@ func newOfSameType(t *testing.T, v any) any {
 		return new(ExperimentRunResponse)
 	case HealthzResponse:
 		return new(HealthzResponse)
+	case ClusterResponse:
+		return new(ClusterResponse)
 	case Error:
 		return new(Error)
 	default:

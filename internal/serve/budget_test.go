@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestAcquireWaitBlocksForFirstToken: with the budget drained, blocking
+// mode parks for the first token and picks it up when released, without
+// waiting for the full complement.
+func TestAcquireWaitBlocksForFirstToken(t *testing.T) {
+	b := newTokenBudget(2)
+	if got := b.tryAcquire(2); got != 2 {
+		t.Fatalf("drain got %d tokens", got)
+	}
+	done := make(chan int, 1)
+	go func() { done <- b.acquireWait(context.Background(), 2, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	b.release(1)
+	if got := <-done; got != 1 {
+		t.Fatalf("acquireWait got %d tokens, want the 1 released", got)
+	}
+	if n := b.blockedAcquires(); n != 1 {
+		t.Fatalf("blockedAcquires = %d, want 1", n)
+	}
+	b.release(1)
+}
+
+// TestAcquireWaitTimesOut: an empty budget that stays empty bounds the
+// wait and returns zero tokens.
+func TestAcquireWaitTimesOut(t *testing.T) {
+	b := newTokenBudget(1)
+	b.tryAcquire(1)
+	start := time.Now()
+	if got := b.acquireWait(context.Background(), 3, 30*time.Millisecond); got != 0 {
+		t.Fatalf("got %d tokens from an empty budget", got)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("returned after %v, want the ~30ms wait", elapsed)
+	}
+}
+
+// TestAcquireWaitNonBlockingPaths: a free token or a non-positive wait
+// must behave exactly like tryAcquire (no blocking, no counter).
+func TestAcquireWaitNonBlockingPaths(t *testing.T) {
+	b := newTokenBudget(2)
+	if got := b.acquireWait(context.Background(), 2, time.Second); got != 2 {
+		t.Fatalf("free budget: got %d, want 2", got)
+	}
+	if got := b.acquireWait(context.Background(), 1, 0); got != 0 {
+		t.Fatalf("wait=0 on empty budget: got %d, want 0", got)
+	}
+	if n := b.blockedAcquires(); n != 0 {
+		t.Fatalf("blockedAcquires = %d, want 0 (no blocking path taken)", n)
+	}
+}
+
+// TestAcquireWaitCancelled: context cancellation ends the park early.
+func TestAcquireWaitCancelled(t *testing.T) {
+	b := newTokenBudget(1)
+	b.tryAcquire(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if got := b.acquireWait(ctx, 1, 10*time.Second); got != 0 {
+		t.Fatalf("cancelled wait returned %d tokens", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation did not end the wait (took %v)", elapsed)
+	}
+}
+
+// TestBlockingWaitSizing pins the deadline-headroom policy: no deadline
+// gets the cap, a near deadline disables blocking, and mid-range
+// headroom scales the window down.
+func TestBlockingWaitSizing(t *testing.T) {
+	if w := blockingWait(context.Background()); w != budgetWaitCap {
+		t.Fatalf("no deadline: wait %v, want cap %v", w, budgetWaitCap)
+	}
+	near, cancel := context.WithTimeout(context.Background(), budgetHeadroomMin/2)
+	defer cancel()
+	if w := blockingWait(near); w != 0 {
+		t.Fatalf("near deadline: wait %v, want 0", w)
+	}
+	far, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel2()
+	if w := blockingWait(far); w != budgetWaitCap {
+		t.Fatalf("far deadline: wait %v, want cap %v", w, budgetWaitCap)
+	}
+	mid, cancel3 := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel3()
+	if w := blockingWait(mid); w <= 0 || w > budgetWaitCap {
+		t.Fatalf("3s headroom: wait %v, want ~headroom/16 within (0, %v]", w, budgetWaitCap)
+	}
+}

@@ -44,13 +44,24 @@ type Cache struct {
 	clock    float64 // GDSF inflation clock L
 	useSeq   uint64  // recency counter for LRU tie-breaking
 
-	hits, misses, evictions, restored uint64
+	hits, misses, evictions, restored, compiles uint64
 
 	// onFill, when set (before first use), is invoked after each
-	// successful computation — outside the cache lock — with the entry's
-	// key, value, and measured compute seconds. The persistence layer
-	// hooks its write-behind store here.
-	onFill func(key string, val any, costSec float64)
+	// successful fill — outside the cache lock — with the entry's key,
+	// value, and cost. computed distinguishes a real compilation (cost was
+	// measured here) from a loader restore (cost came with the record);
+	// the persistence layer writes both through to local disk but only
+	// computed values out to the cluster blob tier, so restored records
+	// never echo back to their source.
+	onFill func(key string, val any, costSec float64, computed bool)
+
+	// loader, when set (before first use), is consulted on each miss
+	// before the compute closure runs — the read-through seam for warm
+	// tiers beyond this process (the cluster's remote blob tier). It
+	// returns the restored value and its original compute cost. The
+	// per-entry once.Do gives loader lookups the same singleflight as
+	// computations: one fetch per key, however many concurrent callers.
+	loader func(key string) (val any, costSec float64, ok bool)
 }
 
 // cacheEntry is one cache slot. The compute closure is stored on the
@@ -58,12 +69,14 @@ type Cache struct {
 // once.Do(fill): whoever gets there first computes, everyone else blocks
 // until the value is published.
 type cacheEntry struct {
-	key     string
-	compute func() (any, error)
-	once    sync.Once
-	val     any
-	err     error
-	costSec float64 // measured by fill; set under the cache lock
+	key      string
+	compute  func() (any, error)
+	loader   func(key string) (any, float64, bool)
+	once     sync.Once
+	val      any
+	err      error
+	costSec  float64 // measured by fill; set under the cache lock
+	computed bool    // true if fill ran compute (vs a loader restore)
 
 	// GDSF bookkeeping, guarded by the cache lock.
 	freq     float64
@@ -73,9 +86,18 @@ type cacheEntry struct {
 }
 
 func (e *cacheEntry) fill() {
+	if e.loader != nil {
+		if val, costSec, ok := e.loader(e.key); ok {
+			e.val, e.costSec = val, costSec
+			e.compute, e.loader = nil, nil
+			return
+		}
+		e.loader = nil
+	}
 	start := time.Now()
 	e.val, e.err = e.compute()
 	e.costSec = time.Since(start).Seconds()
+	e.computed = true
 	e.compute = nil
 }
 
@@ -133,7 +155,7 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Entries: len(c.items), Restored: c.restored,
+		Entries: len(c.items), Restored: c.restored, Compiles: c.compiles,
 	}
 }
 
@@ -178,10 +200,17 @@ func (c *Cache) removeLocked(e *cacheEntry) {
 	}
 }
 
-// getOrCompute returns the cached value for key, computing and inserting
-// it on miss. Failed computations are not cached: the entry is removed so
-// a later request retries.
+// getOrCompute returns the cached value for key, consulting the warm
+// loader and then computing on miss. Failed computations are not cached:
+// the entry is removed so a later request retries.
 func (c *Cache) getOrCompute(key string, compute func() (any, error)) (any, error) {
+	return c.lookup(key, compute, true)
+}
+
+// lookup is getOrCompute with the loader optional: a caller that just
+// invalidated a loader-restored value retries with useLoader false, so
+// the recompute cannot fetch the same bad record again.
+func (c *Cache) lookup(key string, compute func() (any, error), useLoader bool) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.items[key]; ok {
 		c.hits++
@@ -196,6 +225,9 @@ func (c *Cache) getOrCompute(key string, compute func() (any, error)) (any, erro
 		compute: compute,
 		freq:    1,
 		prio:    math.Inf(1), // pinned until the fill settles its cost
+	}
+	if useLoader {
+		e.loader = c.loader
 	}
 	c.insertLocked(e)
 	c.mu.Unlock()
@@ -215,10 +247,15 @@ func (c *Cache) getOrCompute(key string, compute func() (any, error)) (any, erro
 		e.prio = c.clock + e.freq*e.costSec
 		heap.Fix(&c.pq, e.index)
 	}
+	if e.computed {
+		c.compiles++
+	} else {
+		c.restored++
+	}
 	onFill := c.onFill
 	c.mu.Unlock()
 	if onFill != nil {
-		onFill(e.key, e.val, e.costSec)
+		onFill(e.key, e.val, e.costSec, e.computed)
 	}
 	return e.val, e.err
 }
@@ -271,7 +308,9 @@ func (c *Cache) LayerContext(eng *core.Engine, l workload.Layer) (*core.LayerCon
 	compute := func() (any, error) { return eng.PrepareLayer(l) }
 	levels := len(eng.Arch().Levels)
 	for attempt := 0; ; attempt++ {
-		v, err := c.getOrCompute(key, compute)
+		// The retry after an invalidation skips the warm loader: the bad
+		// record came from a warm tier, and refetching it would loop.
+		v, err := c.lookup(key, compute, attempt == 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/persist"
+	"repro/internal/serve/api"
+)
+
+// Cluster mode: this file wires internal/cluster into the server. Three
+// seams, all optional and independent of the single-node paths:
+//
+//   - a consistent-hash ring over the static peer list decides which
+//     node owns each evaluation request and cache key;
+//   - the forwarding middleware proxies POST /v1/evaluate to the owner
+//     (hop-guarded by ForwardHeader, degrading to local evaluation when
+//     the owner is unreachable);
+//   - the shared blob tier is layered under the cache as L3 — cold
+//     compiles write through to it, misses read through it — so any
+//     node's compile warm-starts every other node.
+//
+// GET /v1/cluster reports membership, per-peer health, the local cache's
+// key-ownership split, and the blob tier's state.
+
+// ForwardHeader marks a request as already forwarded once. Its presence
+// pins the request to the receiving node — a one-hop guard, so a skewed
+// or mixed-version ring can never bounce a request in a forwarding loop.
+const ForwardHeader = "X-Cimloop-Forwarded"
+
+// ForwardedToHeader is set on a proxied response with the owner's node
+// ID, so clients (and the smoke tests) can see where a request landed.
+const ForwardedToHeader = "X-Cimloop-Forwarded-To"
+
+// peerProbe is one cached health check of a ring member.
+type peerProbe struct {
+	healthy bool
+	version string
+	at      time.Time
+}
+
+// clusterState carries the server's optional cluster wiring. The zero
+// value (single-node, no blob tier) disables everything.
+type clusterState struct {
+	enabled bool // ring routing on (node id + peers configured)
+	self    cluster.Node
+	ring    *cluster.Ring
+	remote  *cluster.Remote // shared blob tier; nil without BlobURL
+	err     string          // configuration error; cluster then stays off
+
+	// probeClient bounds health probes; forwardClient carries proxied
+	// evaluations and is deliberately unbounded (the evaluation itself
+	// may be long) — the caller's request context still cancels it.
+	probeClient   *http.Client
+	forwardClient *http.Client
+
+	local, forwarded, received, forwardErrs atomic.Uint64
+
+	probeTTL time.Duration
+	mu       sync.Mutex
+	probes   map[string]peerProbe
+}
+
+// initCluster wires the optional ring and blob tier from BatchOptions.
+// Misconfiguration is recorded, not fatal (mirroring openPersist): the
+// server still serves single-node, and ClusterError surfaces the problem
+// for callers that prefer failing fast.
+func (s *Server) initCluster(opts BatchOptions) {
+	cs := &s.cluster
+	cs.probeTTL = 5 * time.Second
+	cs.probeClient = &http.Client{Timeout: 2 * time.Second}
+	cs.forwardClient = &http.Client{}
+	cs.probes = make(map[string]peerProbe)
+	if opts.BlobURL != "" {
+		cs.remote = cluster.NewRemote(opts.BlobURL, cluster.RemoteOptions{})
+	}
+	if opts.ClusterNodeID == "" && opts.ClusterPeers == "" {
+		return
+	}
+	if opts.ClusterNodeID == "" || opts.ClusterPeers == "" {
+		cs.err = "cluster: -node-id and -peers must be set together"
+		return
+	}
+	peers, err := cluster.ParsePeers(opts.ClusterPeers)
+	if err != nil {
+		cs.err = err.Error()
+		return
+	}
+	for _, p := range peers {
+		if p.ID == opts.ClusterNodeID {
+			cs.self = p
+			cs.ring = cluster.NewRing(peers, opts.ClusterVNodes)
+			cs.enabled = true
+			return
+		}
+	}
+	cs.err = fmt.Sprintf("cluster: node id %q is not in the peers list", opts.ClusterNodeID)
+}
+
+// ClusterError reports a cluster misconfiguration, for callers (the CLI)
+// that prefer failing fast over silently serving single-node.
+func (s *Server) ClusterError() error {
+	if s.cluster.err != "" {
+		return fmt.Errorf("serve: %s", s.cluster.err)
+	}
+	return nil
+}
+
+// closeCluster stops the blob-tier client (flushing its write-behind
+// queue first, so a just-compiled engine reaches the shared tier even on
+// immediate shutdown).
+func (s *Server) closeCluster() {
+	if s.cluster.remote != nil {
+		s.cluster.remote.Close()
+	}
+}
+
+// remoteLoader returns the cache's L3 read-through hook: fetch the key
+// from the blob tier, decode, and re-verify its content fingerprint —
+// exactly the checks the boot-time disk scan applies, because a shared
+// tier is written by other nodes and trusted even less than local disk.
+// Records failing verification are purged from the tier and reported as
+// misses, so one poisoned object costs one local compile, once.
+func (s *Server) remoteLoader() func(key string) (any, float64, bool) {
+	remote := s.cluster.remote
+	return func(key string) (any, float64, bool) {
+		ctx := context.Background()
+		switch {
+		case strings.HasPrefix(key, "eng|"):
+			rec, ok, err := remote.Get(ctx, persist.KindEngine, key)
+			if err != nil || !ok {
+				return nil, 0, false
+			}
+			eng, err := persist.DecodeEngine(rec.Payload)
+			if err != nil || engineKey(ArchFingerprint(eng.Arch())) != key {
+				remote.Delete(persist.KindEngine, key)
+				return nil, 0, false
+			}
+			return eng, rec.CostSec, true
+		case strings.HasPrefix(key, "ctx|"):
+			rec, ok, err := remote.Get(ctx, persist.KindLayerContext, key)
+			if err != nil || !ok {
+				return nil, 0, false
+			}
+			lctx, err := persist.DecodeLayerContext(rec.Payload)
+			if err != nil {
+				remote.Delete(persist.KindLayerContext, key)
+				return nil, 0, false
+			}
+			parts := strings.Split(key, "|")
+			if len(parts) != 3 || contextKey(parts[1], LayerFingerprint(lctx.Layer)) != key {
+				remote.Delete(persist.KindLayerContext, key)
+				return nil, 0, false
+			}
+			return lctx, rec.CostSec, true
+		}
+		return nil, 0, false
+	}
+}
+
+// evalRouteKey extracts the routing key from a raw /v1/evaluate body
+// without full decoding (unknown-field and validity errors stay with the
+// local handler, which reports them properly).
+func evalRouteKey(body []byte) string {
+	var probe struct {
+		Macro        string `json:"macro"`
+		Spec         string `json:"spec"`
+		Scenario     string `json:"scenario"`
+		SystemMacros int    `json:"system_macros"`
+	}
+	if json.Unmarshal(body, &probe) != nil {
+		return ""
+	}
+	return cluster.EvalRouteKey(probe.Macro, probe.Spec, probe.Scenario, probe.SystemMacros)
+}
+
+// handleEvaluateRouted is the POST /v1/evaluate entry: on a clustered
+// server it forwards requests owned by a peer (once — ForwardHeader pins
+// the second hop), and any forwarding failure degrades to local
+// evaluation, so routing is strictly an optimization: no request ever
+// fails because a peer is down.
+func (s *Server) handleEvaluateRouted(w http.ResponseWriter, r *http.Request) {
+	cs := &s.cluster
+	if !cs.enabled {
+		s.handleEvaluate(w, r)
+		return
+	}
+	if r.Header.Get(ForwardHeader) != "" {
+		cs.received.Add(1)
+		s.handleEvaluate(w, r)
+		return
+	}
+	limit := s.opts.maxBodyBytes()
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest,
+			api.Errorf(api.CodeInvalidRequest, "reading request body: %v", err))
+		return
+	}
+	// Hand the buffered body back to whichever handler runs it (the local
+	// handler re-applies the size bound, so an oversized body still 413s).
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	key := evalRouteKey(body)
+	if key == "" {
+		s.handleEvaluate(w, r)
+		return
+	}
+	owner, ok := cs.ring.Owner(key)
+	if !ok || owner.ID == cs.self.ID {
+		cs.local.Add(1)
+		s.handleEvaluate(w, r)
+		return
+	}
+	if s.forwardEvaluate(w, r, body, owner) {
+		cs.forwarded.Add(1)
+		return
+	}
+	// The owner is unreachable: evaluate here rather than fail. The
+	// result is identical — the owner merely had the warmer cache.
+	cs.forwardErrs.Add(1)
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	s.handleEvaluate(w, r)
+}
+
+// forwardEvaluate proxies one evaluation to its owner, relaying status,
+// content type, and body verbatim. Returns false — with nothing written —
+// if the owner could not be reached or did not answer coherently.
+func (s *Server) forwardEvaluate(w http.ResponseWriter, r *http.Request, body []byte, owner cluster.Node) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		owner.Addr+"/v1/evaluate", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, s.cluster.self.ID)
+	resp, err := s.cluster.forwardClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set(ForwardedToHeader, owner.ID)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// ClusterStatus assembles the GET /v1/cluster report: static membership
+// with per-peer health and version, the exact hash-circle share and the
+// local cache's key-ownership split per member, forwarding counters, and
+// the blob tier's state. Peer probes are cached for probeTTL so a burst
+// of status reads costs one probe round.
+func (s *Server) ClusterStatus(ctx context.Context) api.ClusterResponse {
+	cs := &s.cluster
+	var out api.ClusterResponse
+	if cs.remote != nil {
+		healthy := cs.remote.Healthy()
+		if !healthy {
+			// The breaker is tripped; let its half-open window decide
+			// whether a probe may check for recovery right now.
+			healthy = cs.remote.Probe(ctx)
+		}
+		st := cs.remote.Stats()
+		out.Blob = &api.ClusterBlobStats{
+			URL:     cs.remote.BaseURL(),
+			Healthy: healthy,
+			Stats: api.RemoteTierStats{
+				Gets: st.Gets, Hits: st.Hits, Misses: st.Misses,
+				Puts: st.Puts, Errors: st.Errors, Dropped: st.Dropped,
+			},
+		}
+	}
+	if !cs.enabled {
+		return out
+	}
+	out.Enabled = true
+	out.Self = cs.self.ID
+	out.VirtualNodes = cs.ring.VirtualNodes()
+	out.Forward = api.ClusterForwardStats{
+		Local:     cs.local.Load(),
+		Forwarded: cs.forwarded.Load(),
+		Received:  cs.received.Load(),
+		Errors:    cs.forwardErrs.Load(),
+	}
+	owned := make(map[string]int)
+	keys := s.snapshotCacheKeys()
+	for k := range keys {
+		if n, ok := cs.ring.Owner(k); ok {
+			owned[n.ID]++
+		}
+	}
+	out.CachedKeys = len(keys)
+	shares := cs.ring.Shares()
+	for _, n := range cs.ring.Nodes() {
+		ns := api.ClusterNodeStatus{
+			ID: n.ID, Addr: n.Addr,
+			SharePct:  shares[n.ID] * 100,
+			OwnedKeys: owned[n.ID],
+		}
+		if n.ID == cs.self.ID {
+			ns.Self, ns.Healthy, ns.Version = true, true, api.Version
+		} else {
+			ns.Healthy, ns.Version = s.probePeer(ctx, n)
+		}
+		out.Nodes = append(out.Nodes, ns)
+	}
+	return out
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.ClusterStatus(r.Context()))
+}
+
+// probePeer health-checks one ring member (GET /healthz), caching the
+// verdict for probeTTL.
+func (s *Server) probePeer(ctx context.Context, n cluster.Node) (bool, string) {
+	cs := &s.cluster
+	cs.mu.Lock()
+	if p, ok := cs.probes[n.ID]; ok && time.Since(p.at) < cs.probeTTL {
+		cs.mu.Unlock()
+		return p.healthy, p.version
+	}
+	cs.mu.Unlock()
+	var p peerProbe
+	if req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.Addr+"/healthz", nil); err == nil {
+		if resp, err := cs.probeClient.Do(req); err == nil {
+			var h api.HealthzResponse
+			if resp.StatusCode == http.StatusOK &&
+				json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h) == nil &&
+				h.Status == "ok" {
+				p.healthy, p.version = true, h.Version
+			}
+			resp.Body.Close()
+		}
+	}
+	p.at = time.Now()
+	cs.mu.Lock()
+	cs.probes[n.ID] = p
+	cs.mu.Unlock()
+	return p.healthy, p.version
+}

@@ -20,7 +20,13 @@ import (
 // defined in internal/serve/api and documented in docs/API.md:
 //
 //	GET  /healthz               liveness + cache/job/budget/persist stats
-//	POST /v1/evaluate           api.EvalRequest -> api.EvalResult
+//	GET  /v1/cluster            api.ClusterResponse: ring membership,
+//	                            per-node health/version, key-ownership
+//	                            split, blob-tier state
+//	POST /v1/evaluate           api.EvalRequest -> api.EvalResult; on a
+//	                            clustered server, requests owned by a
+//	                            peer are forwarded to it (one hop,
+//	                            guarded by X-Cimloop-Forwarded)
 //	POST /v1/sweep              api.SweepRequest -> api.SweepResponse;
 //	                            grids at or beyond the async threshold
 //	                            (or "async": true) return 202 +
@@ -48,7 +54,8 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluateRouted)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -191,6 +198,7 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.HealthzResponse{
 		Status:    "ok",
+		Version:   api.Version,
 		UptimeSec: time.Since(s.start).Seconds(),
 		Cache:     s.CacheStats(),
 		Jobs:      s.JobStats(),

@@ -116,20 +116,32 @@ func (s *Server) openPersist(cacheDir, jobsDir string) {
 }
 
 // cacheFillHook returns the cache's onFill callback: encode (on the
-// writer goroutine) and enqueue each computed engine/context, tagged with
-// its measured compile cost so a future warm start seeds the GDSF weight.
-func (s *Server) cacheFillHook() func(key string, val any, costSec float64) {
+// writer goroutine) and enqueue each filled engine/context, tagged with
+// its compile cost so a future warm start seeds the GDSF weight. Every
+// fill lands in the local disk store; only computed fills also write
+// through to the cluster blob tier — a value restored FROM that tier
+// must not echo straight back to it.
+func (s *Server) cacheFillHook() func(key string, val any, costSec float64, computed bool) {
 	store := s.persist.cache
-	return func(key string, val any, costSec float64) {
+	remote := s.cluster.remote
+	return func(key string, val any, costSec float64, computed bool) {
+		var kind persist.Kind
+		var encode func() ([]byte, error)
 		switch v := val.(type) {
 		case *core.Engine:
-			store.Put(persist.KindEngine, key, costSec, func() ([]byte, error) {
-				return persist.EncodeEngine(v)
-			})
+			kind = persist.KindEngine
+			encode = func() ([]byte, error) { return persist.EncodeEngine(v) }
 		case *core.LayerContext:
-			store.Put(persist.KindLayerContext, key, costSec, func() ([]byte, error) {
-				return persist.EncodeLayerContext(v)
-			})
+			kind = persist.KindLayerContext
+			encode = func() ([]byte, error) { return persist.EncodeLayerContext(v) }
+		default:
+			return
+		}
+		if store != nil {
+			store.Put(kind, key, costSec, encode)
+		}
+		if remote != nil && computed {
+			remote.Put(kind, key, costSec, encode)
 		}
 	}
 }

@@ -103,6 +103,25 @@ type BatchOptions struct {
 	// 413 and an invalid_request error envelope instead of being decoded
 	// unbounded.
 	MaxBodyBytes int64
+
+	// ClusterNodeID and ClusterPeers turn the server into one member of a
+	// static ring (see internal/cluster and docs/CLUSTER.md): NodeID must
+	// match one entry of the Peers list ("id=url,id=url,..."), ownership
+	// of cache keys and evaluation requests is split by consistent
+	// hashing, and POST /v1/evaluate requests owned by a peer are
+	// forwarded to it. Both empty disables clustering (the default;
+	// behavior is then identical to earlier versions).
+	ClusterNodeID string
+	ClusterPeers  string
+	// ClusterVNodes overrides the ring's virtual-node count (default
+	// cluster.DefaultVirtualNodes). Every member must use the same value.
+	ClusterVNodes int
+	// BlobURL layers a shared remote blob tier (a `cimloop blobd`
+	// process, or any HTTP object store speaking the persist envelope)
+	// under the local cache: cold compiles write through to it, and cache
+	// misses read through it before compiling — so any node's compile
+	// warm-starts every other node. Usable with or without the ring.
+	BlobURL string
 }
 
 // DefaultMaxBodyBytes is the default HTTP request-body bound (1 MiB —
@@ -166,6 +185,7 @@ type Server struct {
 	jobs    *jobs.Store
 	budget  *tokenBudget
 	persist persistState
+	cluster clusterState
 	start   time.Time
 
 	// ExperimentNames and RunExperiment are injected by the facade so the
@@ -191,8 +211,14 @@ func NewServer(opts BatchOptions) *Server {
 		start:  time.Now(),
 	}
 	s.openPersist(opts.CacheDir, opts.JobsDir)
-	if s.persist.cache != nil {
+	s.initCluster(opts)
+	if s.persist.cache != nil || s.cluster.remote != nil {
 		s.cache.onFill = s.cacheFillHook()
+	}
+	if s.cluster.remote != nil {
+		// L3 read-through: a local miss consults the shared blob tier
+		// before compiling, under the cache's per-key singleflight.
+		s.cache.loader = s.remoteLoader()
 	}
 	jo := jobs.Options{
 		MaxRunning: opts.MaxRunningJobs,
@@ -223,9 +249,10 @@ func (s *Server) JobStats() jobs.Stats { return s.jobs.Stats() }
 // SearchStats snapshots the shared evaluation-concurrency budget.
 func (s *Server) SearchStats() BudgetStats {
 	return BudgetStats{
-		Capacity:      s.budget.capacity(),
-		Available:     s.budget.available(),
-		SearchWorkers: s.opts.searchWorkers(),
+		Capacity:        s.budget.capacity(),
+		Available:       s.budget.available(),
+		SearchWorkers:   s.opts.searchWorkers(),
+		BlockedAcquires: s.budget.blockedAcquires(),
 	}
 }
 
@@ -237,6 +264,7 @@ func (s *Server) SearchStats() BudgetStats {
 func (s *Server) Close() {
 	s.jobs.Close()
 	s.closePersist()
+	s.closeCluster()
 }
 
 // Request describes one evaluation. It is the wire type
@@ -320,6 +348,35 @@ func resolveNet(r *Request) (*workload.Network, error) {
 	return net, nil
 }
 
+// Blocking budget mode: how long one layer's fan-out acquisition may
+// park for its first token. budgetWaitCap bounds the wait absolutely;
+// a request whose deadline is nearer than budgetHeadroomMin never
+// blocks at all (its remaining time belongs to the search itself).
+const (
+	budgetWaitCap     = 250 * time.Millisecond
+	budgetHeadroomMin = 2 * time.Second
+)
+
+// blockingWait sizes the per-layer blocking-acquire window from the
+// request's deadline: no deadline means the full cap, a near deadline
+// means no blocking, and in between the wait is a small fraction of the
+// headroom (headroom/16, capped) so even a many-layer network spends a
+// bounded share of its budget parked.
+func blockingWait(ctx context.Context) time.Duration {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return budgetWaitCap
+	}
+	headroom := time.Until(d)
+	if headroom < budgetHeadroomMin {
+		return 0
+	}
+	if w := headroom / 16; w < budgetWaitCap {
+		return w
+	}
+	return budgetWaitCap
+}
+
 // Evaluate runs one request through the cache: the engine and every layer
 // context are fetched (or compiled once) from the content-addressed
 // cache, and only the per-mapping count analysis runs unconditionally.
@@ -377,10 +434,13 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 		// The calling goroutine is one search worker for free; extras are
 		// borrowed per layer from the shared budget so concurrent requests
 		// split the machine instead of stacking goroutines. Returned
-		// between layers, the tokens keep the split fluid.
+		// between layers, the tokens keep the split fluid. A request with
+		// ample deadline headroom may park briefly for its first extra
+		// token (blocking budget mode) rather than degrade to a serial
+		// search the moment the pool is saturated.
 		extra := 0
 		if searchWorkers > 1 {
-			extra = s.budget.tryAcquire(searchWorkers - 1)
+			extra = s.budget.acquireWait(ctx, searchWorkers-1, blockingWait(ctx))
 		}
 		r, evaluated, err := eng.SearchLayerOptsCtx(ctx, lctx, core.SearchOptions{
 			MaxMappings:   mappings,

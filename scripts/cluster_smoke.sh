@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boot a shared blob tier (`cimloop blobd`) plus a
+# three-node `cimloop serve` ring over it and prove the deployment story
+# end to end with the real binary:
+#   - a cold compile on node A warm-starts B and C through the blob tier
+#     (their compile counters stay at zero)
+#   - unpinned requests forward to their ring owner (X-Cimloop-Forwarded-To)
+#   - `cimloop cluster status` renders membership, health, and the tier
+#   - killing a node leaves the ring serving (forward falls back local)
+#   - killing the blob tier degrades gracefully: requests keep
+#     succeeding from local tiers and /v1/cluster reports the tier
+#     unhealthy
+#
+# Run from the repo root:  ./scripts/cluster_smoke.sh
+# Needs: go, curl, jq.
+set -euo pipefail
+
+BLOB_ADDR="127.0.0.1:18190"
+A_ADDR="127.0.0.1:18191"
+B_ADDR="127.0.0.1:18192"
+C_ADDR="127.0.0.1:18193"
+BLOB="http://$BLOB_ADDR"
+A="http://$A_ADDR"
+B="http://$B_ADDR"
+C="http://$C_ADDR"
+PEERS="node-a=$A,node-b=$B,node-c=$C"
+WORK=$(mktemp -d)
+BIN="$WORK/cimloop"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "cluster_smoke: FAIL — $*" >&2; exit 1; }
+
+wait_healthy() { # url name
+  for _ in $(seq 1 100); do
+    curl -sf "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "$2 never became healthy"
+}
+
+# Evaluate $2 on node $1; extra curl args pass through (e.g. the pin
+# header). Prints the response headers+body (curl -si).
+evaluate() { # base macro [curl args...]
+  local base=$1 macro=$2; shift 2
+  curl -si -X POST "$base/v1/evaluate" -H 'Content-Type: application/json' "$@" \
+    --data "{\"macro\":\"$macro\",\"network\":\"toy\",\"max_mappings\":2}"
+}
+
+compiles() { curl -sf "$1/healthz" | jq -r .cache.compiles; }
+
+echo "cluster_smoke: building cimloop"
+go build -o "$BIN" ./cmd/cimloop
+
+echo "cluster_smoke: booting blob tier + 3-node ring"
+"$BIN" blobd -addr "$BLOB_ADDR" -dir "$WORK/blob" & PIDS+=($!)
+for _ in $(seq 1 100); do
+  curl -sf "$BLOB/" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BLOB/" >/dev/null || fail "blobd never came up"
+
+"$BIN" serve -addr "$A_ADDR" -workers 1 -async-threshold -1 \
+  -node-id node-a -peers "$PEERS" -blob "$BLOB" & PIDS+=($!)
+"$BIN" serve -addr "$B_ADDR" -workers 1 -async-threshold -1 \
+  -node-id node-b -peers "$PEERS" -blob "$BLOB" & PIDS+=($!)
+"$BIN" serve -addr "$C_ADDR" -workers 1 -async-threshold -1 \
+  -node-id node-c -peers "$PEERS" -blob "$BLOB" & C_PID=$!; PIDS+=($C_PID)
+wait_healthy "$A" node-a; wait_healthy "$B" node-b; wait_healthy "$C" node-c
+
+echo "cluster_smoke: cold compile on A, warm-share to B and C"
+# The X-Cimloop-Forwarded hop guard pins each request to the node it
+# lands on, so we control exactly who compiles.
+OUT=$(evaluate "$A" base -H 'X-Cimloop-Forwarded: smoke')
+echo "$OUT" | head -1 | grep -q ' 200 ' || fail "cold evaluate on A: $(echo "$OUT" | head -1)"
+[ "$(compiles "$A")" -gt 0 ] || fail "A compiled nothing"
+
+# A's write-through to the tier is write-behind: wait until the object
+# count settles (engine + per-layer contexts).
+LAST=-1
+for _ in $(seq 1 100); do
+  N=$(curl -sf "$BLOB/" | jq -r .objects)
+  [ "$N" -ge 2 ] && [ "$N" = "$LAST" ] && break
+  LAST=$N
+  sleep 0.2
+done
+[ "$N" -ge 2 ] || fail "blob tier never filled (objects=$N)"
+
+for NODE in "$B:node-b" "$C:node-c"; do
+  BASE=${NODE%:*}; NAME=${NODE#*:}
+  OUT=$(evaluate "$BASE" base -H 'X-Cimloop-Forwarded: smoke')
+  echo "$OUT" | head -1 | grep -q ' 200 ' || fail "warm evaluate on $NAME"
+  [ "$(compiles "$BASE")" = 0 ] || fail "$NAME recompiled (compiles=$(compiles "$BASE")) — warm share broken"
+done
+echo "cluster_smoke: B and C served with zero compiles"
+
+echo "cluster_smoke: unpinned requests forward to the ring owner"
+# "base" has exactly one owner, so of three unpinned sends (one per
+# node) exactly two must carry the forwarded-to marker.
+FWD=0
+for BASE in "$A" "$B" "$C"; do
+  OUT=$(evaluate "$BASE" base)
+  echo "$OUT" | head -1 | grep -q ' 200 ' || fail "unpinned evaluate via $BASE"
+  echo "$OUT" | grep -qi '^X-Cimloop-Forwarded-To:' && FWD=$((FWD+1))
+done
+[ "$FWD" = 2 ] || fail "expected 2 forwarded sends out of 3, saw $FWD"
+
+echo "cluster_smoke: cluster status CLI"
+STATUS=$("$BIN" cluster status -addr "$A")
+for NAME in node-a node-b node-c; do
+  echo "$STATUS" | grep -q "$NAME" || fail "cluster status missing $NAME: $STATUS"
+done
+echo "$STATUS" | grep -q "blob tier $BLOB: healthy" || fail "blob tier not healthy in: $STATUS"
+
+echo "cluster_smoke: killing node-c — ring keeps serving"
+kill "$C_PID"; wait "$C_PID" 2>/dev/null || true
+for BASE in "$A" "$B"; do
+  OUT=$(evaluate "$BASE" base)
+  echo "$OUT" | head -1 | grep -q ' 200 ' || fail "evaluate via $BASE after node-c died"
+done
+
+echo "cluster_smoke: killing blob tier — nodes degrade to local tiers"
+kill "${PIDS[0]}"; wait "${PIDS[0]}" 2>/dev/null || true
+# Fresh macros force remote lookups; each failure feeds the breaker
+# until /v1/cluster reports the tier down. Requests must keep working.
+UNHEALTHY=""
+for i in $(seq 1 50); do
+  for MACRO in macro-a macro-b macro-c; do
+    OUT=$(evaluate "$A" "$MACRO" -H 'X-Cimloop-Forwarded: smoke')
+    echo "$OUT" | head -1 | grep -q ' 200 ' || fail "evaluate during blob outage"
+  done
+  if [ "$(curl -sf "$A/v1/cluster" | jq -r .blob.healthy)" = false ]; then
+    UNHEALTHY=yes; break
+  fi
+  sleep 0.2
+done
+[ -n "$UNHEALTHY" ] || fail "/v1/cluster never reported the blob tier unhealthy"
+
+kill -TERM "${PIDS[1]}" && wait "${PIDS[1]}" || fail "node-a exited non-zero on SIGTERM"
+kill -TERM "${PIDS[2]}" && wait "${PIDS[2]}" || fail "node-b exited non-zero on SIGTERM"
+PIDS=()
+echo "cluster_smoke: PASS — warm share across nodes, owner forwarding, graceful degradation"
