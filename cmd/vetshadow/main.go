@@ -1,0 +1,157 @@
+// Command vetshadow flags declarations that shadow Go's predeclared
+// built-in functions (cap, len, max, copy, ...). Shadowing a builtin is
+// legal Go, but it silently disables the builtin for the rest of the
+// scope — this repo once had a `cap` parameter shadow the capacity
+// builtin inside the sampler hot path, which is exactly the class of
+// bug that reads fine and bites later. CI runs this over the whole
+// repo; it exits 1 with file:line diagnostics when it finds any.
+//
+// Struct field names are deliberately exempt: a field named `cap` is
+// only reachable through a selector (x.cap) and cannot shadow the
+// builtin in any expression.
+//
+// Usage: vetshadow [dir ...]   (defaults to ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// builtinFuncs are the predeclared function identifiers. Predeclared
+// types (int, string, error, ...) are not listed: shadowing those is a
+// different (and far more visible) sin, and flagging them would drown
+// the signal.
+var builtinFuncs = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true,
+	"new": true, "panic": true, "print": true, "println": true,
+	"real": true, "recover": true,
+}
+
+type finding struct {
+	pos  token.Position
+	name string
+	what string
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	var findings []finding
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("parse %s: %w", path, err)
+			}
+			findings = append(findings, checkFile(fset, file)...)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetshadow:", err)
+			os.Exit(2)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s %q shadows builtin\n", f.pos, f.what, f.name)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkFile walks one file and reports every declaration of a builtin
+// function name: short-variable assignments, var/const specs, function
+// parameters and results, range-clause variables, and named types.
+func checkFile(fset *token.FileSet, file *ast.File) []finding {
+	var out []finding
+	report := func(id *ast.Ident, what string) {
+		if id != nil && builtinFuncs[id.Name] {
+			out = append(out, finding{pos: fset.Position(id.Pos()), name: id.Name, what: what})
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						report(id, "variable")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				report(id, "variable")
+			}
+		case *ast.FuncType:
+			for _, field := range fieldList(n.Params) {
+				for _, id := range field.Names {
+					report(id, "parameter")
+				}
+			}
+			for _, field := range fieldList(n.Results) {
+				for _, id := range field.Names {
+					report(id, "result")
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					report(id, "range variable")
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					report(id, "range variable")
+				}
+			}
+		case *ast.TypeSpec:
+			report(n.Name, "type")
+		case *ast.StructType:
+			// Field names live behind a selector; they cannot shadow.
+			// Descend into field types only (a func-typed field still has
+			// parameters worth checking via its own FuncType node).
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+func fieldList(l *ast.FieldList) []*ast.Field {
+	if l == nil {
+		return nil
+	}
+	return l.List
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func findingsFor(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, file)
+}
+
+func TestFlagsShadowingDeclarations(t *testing.T) {
+	src := `package p
+
+func f(cap int) (len int) {
+	max := 1
+	var copy = 2
+	for min := range []int{} {
+		_ = min
+	}
+	_ = max
+	_ = copy
+	return cap
+}
+
+type delete struct{}
+`
+	got := findingsFor(t, src)
+	want := map[string]string{
+		"cap":    "parameter",
+		"len":    "result",
+		"max":    "variable",
+		"copy":   "variable",
+		"min":    "range variable",
+		"delete": "type",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %v, want %d", len(got), got, len(want))
+	}
+	for _, f := range got {
+		if want[f.name] != f.what {
+			t.Errorf("%s reported as %q, want %q", f.name, f.what, want[f.name])
+		}
+	}
+}
+
+func TestStructFieldsAndUsesAreExempt(t *testing.T) {
+	src := `package p
+
+// Field names are only reachable via selectors; they cannot shadow.
+type rowSet struct {
+	cap int
+	len int
+}
+
+func g(s []int) int {
+	// Plain uses of builtins are of course fine.
+	t := make([]int, len(s), cap(s))
+	copy(t, s)
+	return max(len(t), 1)
+}
+
+// Plain assignment (=, not :=) to an existing name declares nothing.
+func h(x int) int {
+	x = cap([]int{})
+	return x
+}
+`
+	if got := findingsFor(t, src); len(got) != 0 {
+		t.Fatalf("want no findings, got %v", got)
+	}
+}

@@ -211,6 +211,15 @@ type SearchOptions struct {
 	// winner), so the knob trades goroutines for single-request latency
 	// without changing any answer.
 	SearchWorkers int
+	// SampleShards splits candidate *generation* across this many
+	// independent seeded streams with a deterministic merge
+	// (mapper.Options.Shards), lifting the serial-sampler ceiling on
+	// SearchWorkers speedup. Unlike SearchWorkers, the shard count is part
+	// of the result's identity: values > 1 sample a different (still
+	// deterministic) candidate set, so results are reproducible only at
+	// equal (Seed, SampleShards). <= 1 keeps today's single-stream
+	// sequence.
+	SampleShards int
 }
 
 // SearchLayer finds the lowest-energy mapping for a prepared layer,
@@ -237,6 +246,9 @@ func (e *Engine) SearchLayerCtx(ctx context.Context, lctx *LayerContext, maxMapp
 // bit-identical to the serial path's.
 func (e *Engine) SearchLayerOptsCtx(ctx context.Context, lctx *LayerContext, so SearchOptions) (*Result, int, error) {
 	opts := e.arch.MapperOptions(so.MaxMappings, so.Seed)
+	if so.SampleShards > 1 {
+		opts.Shards = so.SampleShards
+	}
 	if so.SearchWorkers > 1 {
 		cost := func(m *mapping.Mapping) (float64, error) {
 			r, err := e.EvaluateMapping(lctx, m)

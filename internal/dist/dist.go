@@ -321,14 +321,14 @@ func SumN(p *PMF, n int) (*PMF, error) {
 // (the "+1 bit per 4x rows" coupling of the ADC sizing study). For the
 // non-negative slice-product PMFs this models, clipping each partial sum
 // is identical to clipping the final sum.
-func SumNCapped(p *PMF, n int, cap float64) (*PMF, error) {
-	if cap <= 0 || math.IsNaN(cap) {
-		return nil, fmt.Errorf("dist: sum cap %g must be positive", cap)
+func SumNCapped(p *PMF, n int, ceiling float64) (*PMF, error) {
+	if ceiling <= 0 || math.IsNaN(ceiling) {
+		return nil, fmt.Errorf("dist: sum cap %g must be positive", ceiling)
 	}
-	return sumN(p, n, cap)
+	return sumN(p, n, ceiling)
 }
 
-func sumN(p *PMF, n int, cap float64) (*PMF, error) {
+func sumN(p *PMF, n int, ceiling float64) (*PMF, error) {
 	if p == nil {
 		return nil, errors.New("dist: sum of nil PMF")
 	}
@@ -336,10 +336,10 @@ func sumN(p *PMF, n int, cap float64) (*PMF, error) {
 		return nil, fmt.Errorf("dist: sum of %d draws", n)
 	}
 	clip := func(q *PMF) *PMF {
-		if math.IsInf(cap, 1) || q.Max() <= cap {
+		if math.IsInf(ceiling, 1) || q.Max() <= ceiling {
 			return q
 		}
-		return q.Map(func(v float64) float64 { return math.Min(v, cap) })
+		return q.Map(func(v float64) float64 { return math.Min(v, ceiling) })
 	}
 	base := clip(p.Rebin(convBins))
 	var acc *PMF

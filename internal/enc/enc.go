@@ -257,11 +257,11 @@ func (s Slicing) SlicePMF(p *dist.PMF, i int) (*dist.PMF, error) {
 	if i < 0 || i >= s.NumSlices() {
 		return nil, fmt.Errorf("enc: slice index %d out of [0,%d)", i, s.NumSlices())
 	}
-	max := int64(1)<<uint(s.TotalBits) - 1
+	limit := int64(1)<<uint(s.TotalBits) - 1
 	pts := make([]dist.Point, 0, p.Len())
 	for _, pt := range p.Points() {
 		v := int64(pt.Value)
-		if float64(v) != pt.Value || v < 0 || v > max {
+		if float64(v) != pt.Value || v < 0 || v > limit {
 			return nil, fmt.Errorf("enc: rail value %g not representable in %d bits", pt.Value, s.TotalBits)
 		}
 		pts = append(pts, dist.Point{Value: float64(s.SliceValue(int(v), i)), Prob: pt.Prob})

@@ -122,7 +122,9 @@ func SearchParallelCtx(ctx context.Context, levels []spec.Level, e *tensor.Einsu
 	close(feed)
 	wg.Wait()
 	if sampleErr != nil {
-		return nil, 0, sampleErr
+		// Same contract as the cancellation path below: report how much
+		// work was done before the generator failed.
+		return nil, total.evaluated, sampleErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, total.evaluated, err

@@ -22,6 +22,12 @@ const (
 	// KindJob is an async-job record: a terminal snapshot or a queued-job
 	// WAL entry, distinguished by key prefix (see internal/serve).
 	KindJob Kind = 3
+	// KindLayerContextCol is a layer context in the binary columnar
+	// payload format (EncodeLayerContextColumnar): PMF points and energy
+	// tables as raw float64 columns instead of JSON, cutting
+	// warm-from-disk decode cost. Readers accept both kinds; new writes
+	// use this one.
+	KindLayerContextCol Kind = 4
 )
 
 // String names the kind for filenames and diagnostics.
@@ -33,11 +39,13 @@ func (k Kind) String() string {
 		return "ctx"
 	case KindJob:
 		return "job"
+	case KindLayerContextCol:
+		return "ctxc"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
 
-func (k Kind) valid() bool { return k >= KindEngine && k <= KindJob }
+func (k Kind) valid() bool { return k >= KindEngine && k <= KindLayerContextCol }
 
 // Record is one persisted entry: a kind, its content-addressed key, the
 // measured cost of recomputing it (seconds; cache records only), and the

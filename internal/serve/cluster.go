@@ -147,18 +147,30 @@ func (s *Server) remoteLoader() func(key string) (any, float64, bool) {
 			}
 			return eng, rec.CostSec, true
 		case strings.HasPrefix(key, "ctx|"):
-			rec, ok, err := remote.Get(ctx, persist.KindLayerContext, key)
-			if err != nil || !ok {
+			// Columnar first (what this version writes through), then the
+			// legacy JSON kind — objects stored by pre-columnar nodes live
+			// under a different record name, so a mixed-version tier needs
+			// both probes.
+			kind := persist.KindLayerContextCol
+			rec, ok, err := remote.Get(ctx, kind, key)
+			if err != nil {
 				return nil, 0, false
 			}
-			lctx, err := persist.DecodeLayerContext(rec.Payload)
+			if !ok {
+				kind = persist.KindLayerContext
+				rec, ok, err = remote.Get(ctx, kind, key)
+				if err != nil || !ok {
+					return nil, 0, false
+				}
+			}
+			lctx, err := persist.DecodeLayerContextKind(kind, rec.Payload)
 			if err != nil {
-				remote.Delete(persist.KindLayerContext, key)
+				remote.Delete(kind, key)
 				return nil, 0, false
 			}
 			parts := strings.Split(key, "|")
 			if len(parts) != 3 || contextKey(parts[1], LayerFingerprint(lctx.Layer)) != key {
-				remote.Delete(persist.KindLayerContext, key)
+				remote.Delete(kind, key)
 				return nil, 0, false
 			}
 			return lctx, rec.CostSec, true

@@ -132,8 +132,15 @@ func (s *Server) cacheFillHook() func(key string, val any, costSec float64, comp
 			kind = persist.KindEngine
 			encode = func() ([]byte, error) { return persist.EncodeEngine(v) }
 		case *core.LayerContext:
-			kind = persist.KindLayerContext
-			encode = func() ([]byte, error) { return persist.EncodeLayerContext(v) }
+			// New context writes use the binary columnar payload; old JSON
+			// records stay readable (warmStartCache accepts both kinds),
+			// but the filename is kind-prefixed, so retire the legacy file
+			// for this key or both would be rescanned forever.
+			kind = persist.KindLayerContextCol
+			encode = func() ([]byte, error) { return persist.EncodeLayerContextColumnar(v) }
+			if store != nil {
+				store.Delete(persist.KindLayerContext, key)
+			}
 		default:
 			return
 		}
@@ -169,8 +176,11 @@ func (s *Server) warmStartCache() {
 				return fmt.Errorf("serve: engine record key mismatch")
 			}
 			s.cache.admit(rec.Key, rec.CostSec, eng)
-		case persist.KindLayerContext:
-			lctx, err := persist.DecodeLayerContext(rec.Payload)
+		case persist.KindLayerContext, persist.KindLayerContextCol:
+			// Both payload generations are admitted: columnar is what this
+			// version writes, JSON is the fallback for records from before
+			// the codec (or written by older nodes).
+			lctx, err := persist.DecodeLayerContextKind(rec.Kind, rec.Payload)
 			if err != nil {
 				return err
 			}

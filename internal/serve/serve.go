@@ -56,14 +56,24 @@ type BatchOptions struct {
 	MaxMappings int
 	// SearchWorkers is the default intra-request mapping-search fan-out:
 	// each layer's candidate evaluations spread across up to this many
-	// goroutines (default 1: serial search). Parallel search is
-	// bit-identical to serial — deterministic minimum-cost, lowest-index
-	// winner — so the knob only trades goroutines for single-request
-	// latency. The fan-out draws on a concurrency budget shared with the
-	// request-level worker pool (capacity max(Workers, SearchWorkers)), so
-	// nested parallelism never oversubscribes: a saturated pool degrades
-	// searches to serial, a lone request gets the whole budget.
+	// goroutines. Parallel search is bit-identical to serial —
+	// deterministic minimum-cost, lowest-index winner — so the knob only
+	// trades goroutines for single-request latency. Zero (the default)
+	// picks the width adaptively per layer from measured candidate cost
+	// (see searchTuner); negative forces serial search. The fan-out draws
+	// on a concurrency budget shared with the request-level worker pool,
+	// so nested parallelism never oversubscribes: a saturated pool
+	// degrades searches to serial, a lone request gets the whole budget.
 	SearchWorkers int
+	// SampleShards is the default candidate-generation shard count
+	// (core.SearchOptions.SampleShards): > 1 generates each layer's
+	// candidates from that many concurrent seeded streams with a
+	// deterministic merge. Results are a pure function of
+	// (seed, shard count) — but a *different* function than the
+	// single-stream default, so the server never picks this adaptively;
+	// it is fixed configuration (or per-request via sample_shards) and
+	// defaults to 1, preserving every historical result byte for byte.
+	SampleShards int
 	// CacheEntries bounds the engine/context cache (default
 	// DefaultCacheEntries).
 	CacheEntries int
@@ -159,19 +169,39 @@ func (o BatchOptions) mappings() int {
 	return 60
 }
 
+// searchWorkers resolves the configured default fan-out: > 0 is that
+// fixed width, negative is serial (1), and 0 — the zero value — is the
+// adaptive sentinel (the tuner picks a width per layer).
 func (o BatchOptions) searchWorkers() int {
 	if o.SearchWorkers > 0 {
 		return o.SearchWorkers
+	}
+	if o.SearchWorkers < 0 {
+		return 1
+	}
+	return 0 // adaptive
+}
+
+func (o BatchOptions) adaptiveSearch() bool { return o.SearchWorkers == 0 }
+
+func (o BatchOptions) sampleShards() int {
+	if o.SampleShards > 1 {
+		return o.SampleShards
 	}
 	return 1
 }
 
 // budgetCapacity sizes the shared concurrency budget: wide enough for the
 // request pool at full tilt, and for the configured search fan-out when a
-// single request has the server to itself.
+// single request has the server to itself. In adaptive mode the widest
+// useful fan-out is one goroutine per CPU.
 func (o BatchOptions) budgetCapacity() int {
 	n := o.workers()
-	if sw := o.searchWorkers(); sw > n {
+	if o.adaptiveSearch() {
+		if c := runtime.NumCPU(); c > n {
+			n = c
+		}
+	} else if sw := o.searchWorkers(); sw > n {
 		n = sw
 	}
 	return n
@@ -184,6 +214,7 @@ type Server struct {
 	cache   *Cache
 	jobs    *jobs.Store
 	budget  *tokenBudget
+	tuner   searchTuner
 	persist persistState
 	cluster clusterState
 	start   time.Time
@@ -246,14 +277,20 @@ func (s *Server) CacheStats() Stats { return s.cache.Stats() }
 // JobStats snapshots the job store's occupancy.
 func (s *Server) JobStats() jobs.Stats { return s.jobs.Stats() }
 
-// SearchStats snapshots the shared evaluation-concurrency budget.
+// SearchStats snapshots the shared evaluation-concurrency budget and, in
+// adaptive mode, the width tuner.
 func (s *Server) SearchStats() BudgetStats {
-	return BudgetStats{
+	st := BudgetStats{
 		Capacity:        s.budget.capacity(),
 		Available:       s.budget.available(),
 		SearchWorkers:   s.opts.searchWorkers(),
 		BlockedAcquires: s.budget.blockedAcquires(),
+		Adaptive:        s.opts.adaptiveSearch(),
 	}
+	if st.Adaptive {
+		st.AdaptivePlans, st.TunedLayers = s.tuner.stats()
+	}
+	return st
 }
 
 // Close cancels every queued or running job, waits for the job runners
@@ -409,9 +446,24 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 	if mappings <= 0 {
 		mappings = s.opts.mappings()
 	}
+	// Per-request search_workers: > 0 fixed width, negative serial, 0
+	// defers to the server default — which may itself be the adaptive
+	// sentinel (0), in which case the tuner picks a width per layer.
 	searchWorkers := req.SearchWorkers
-	if searchWorkers <= 0 {
+	adaptive := false
+	switch {
+	case searchWorkers < 0:
+		searchWorkers = 1
+	case searchWorkers == 0:
 		searchWorkers = s.opts.searchWorkers()
+		adaptive = searchWorkers == 0
+	}
+	// Shard count is part of the result's identity (it selects the
+	// candidate set), so unlike the width it is never adapted: request
+	// field, else server configuration, else 1 (the historical stream).
+	shards := req.SampleShards
+	if shards <= 0 {
+		shards = s.opts.sampleShards()
 	}
 	// Every evaluating goroutine — a sweep worker or a direct caller —
 	// holds one budget token for the duration of its request, so the
@@ -438,18 +490,29 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 		// ample deadline headroom may park briefly for its first extra
 		// token (blocking budget mode) rather than degrade to a serial
 		// search the moment the pool is saturated.
-		extra := 0
-		if searchWorkers > 1 {
-			extra = s.budget.acquireWait(ctx, searchWorkers-1, blockingWait(ctx))
+		width := searchWorkers
+		var key string
+		if adaptive {
+			key = tunerKey(arch.Name, l.Name)
+			width = s.tuner.width(key, mappings, s.budget.capacity())
 		}
+		extra := 0
+		if width > 1 {
+			extra = s.budget.acquireWait(ctx, width-1, blockingWait(ctx))
+		}
+		searchStart := time.Now()
 		r, evaluated, err := eng.SearchLayerOptsCtx(ctx, lctx, core.SearchOptions{
 			MaxMappings:   mappings,
 			Seed:          req.Seed + int64(i),
 			SearchWorkers: 1 + extra,
+			SampleShards:  shards,
 		})
 		s.budget.release(extra)
 		if err != nil {
 			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
+		}
+		if adaptive {
+			s.tuner.observe(key, evaluated, 1+extra, time.Since(searchStart))
 		}
 		nr.PerLayer = append(nr.PerLayer, r)
 		rep := float64(l.Repeat)

@@ -289,9 +289,9 @@ func parseScalarOrFlow(s string, lineNo int) (any, error) {
 }
 
 // splitFlow splits "[a, b, {c: d}]"-style content at top-level commas.
-func splitFlow(s string, open, close rune, lineNo int) ([]string, error) {
-	if !strings.HasSuffix(s, string(close)) {
-		return nil, fmt.Errorf("yamlite: line %d: unterminated %c...%c", lineNo, open, close)
+func splitFlow(s string, opener, closer rune, lineNo int) ([]string, error) {
+	if !strings.HasSuffix(s, string(closer)) {
+		return nil, fmt.Errorf("yamlite: line %d: unterminated %c...%c", lineNo, opener, closer)
 	}
 	inner := s[1 : len(s)-1]
 	var items []string
