@@ -270,8 +270,15 @@ type (
 	EvalResult = serve.Result
 	// CacheStats snapshots the service cache's hit/miss/eviction counters.
 	CacheStats = serve.Stats
-	// SweepJobOptions tunes one async sweep job (workers, deadline).
+	// SweepJobOptions tunes one async sweep job (workers, deadline,
+	// priority, tenant).
 	SweepJobOptions = serve.SweepJobOptions
+	// Tenants is a parsed multi-tenant configuration: bearer tokens,
+	// weighted-fair-queuing weights, and per-tenant quotas. Set it on
+	// BatchOptions.Tenants to require authentication.
+	Tenants = serve.Tenants
+	// TenantConfig is one tenant's entry in a Tenants configuration.
+	TenantConfig = serve.TenantConfig
 	// PersistStats snapshots the durable warm-start layer (warm-scan
 	// counts plus write-behind counters; zero-valued when disabled).
 	PersistStats = serve.PersistStats
@@ -356,6 +363,10 @@ func SweepGrid(macroNames, networks, scenarios []string, layers, maxMappings int
 
 // SweepResultsTable renders sweep results as a report table.
 func SweepResultsTable(results []*EvalResult) *Table { return serve.SweepTable(results) }
+
+// LoadTenantsFile reads a tenant file (see docs/TENANCY.md) for
+// BatchOptions.Tenants.
+func LoadTenantsFile(path string) (*Tenants, error) { return serve.LoadTenantsFile(path) }
 
 // Experiments lists the reproducible paper tables and figures.
 func Experiments() []string { return experiments.Names() }

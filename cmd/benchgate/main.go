@@ -45,9 +45,26 @@ type Baseline struct {
 	Note string `json:"note,omitempty"`
 	// Reference names the benchmark used to normalize machine speed.
 	Reference string `json:"reference"`
+	// CPUs is the logical CPU count of the recording host. A baseline
+	// recorded below 4 CPUs has no meaningful multi-core figures, so the
+	// Serial-vs-Parallel8 speedup gate skips (with a visible warning)
+	// rather than judging parallel scaling against serial-machine data.
+	CPUs int `json:"cpus,omitempty"`
 	// NsPerOp maps benchmark name (without the -procs suffix) to its
 	// recorded ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// warnf emits a skip notice both as plain output and as a GitHub Actions
+// workflow command, so a skipped gate surfaces as an annotation on the
+// run instead of a line lost in the log. Outside Actions the `::warning`
+// line is inert stdout.
+func warnf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	fmt.Println("benchgate: " + msg)
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		fmt.Printf("::warning title=benchgate::%s\n", msg)
+	}
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
@@ -106,7 +123,7 @@ func main() {
 	}
 
 	if *update {
-		b := Baseline{Note: *note, Reference: *ref, NsPerOp: cur}
+		b := Baseline{Note: *note, Reference: *ref, CPUs: runtime.NumCPU(), NsPerOp: cur}
 		if b.Note == "" {
 			b.Note = fmt.Sprintf("recorded on a %d-CPU host; refresh: go test -run xxx -bench . -benchtime 3x -count 3 . > bench.txt && go run ./cmd/benchgate -update bench.txt", runtime.NumCPU())
 		}
@@ -192,11 +209,17 @@ func main() {
 	if *minSpeedup > 0 {
 		serial, okS := cur["BenchmarkSearchLayerSerial"]
 		par, okP := cur["BenchmarkSearchLayerParallel8"]
+		_, okBaseS := base.NsPerOp["BenchmarkSearchLayerSerial"]
+		_, okBaseP := base.NsPerOp["BenchmarkSearchLayerParallel8"]
 		switch {
+		case base.CPUs > 0 && base.CPUs < 4:
+			warnf("committed baseline was recorded on %d CPU(s) and lacks meaningful multi-core entries — Serial-vs-Parallel8 gate skipped; refresh %s on a >=4-CPU host", base.CPUs, *baselinePath)
+		case !okBaseS || !okBaseP:
+			warnf("committed baseline lacks the SearchLayer serial/parallel pair — Serial-vs-Parallel8 gate skipped; refresh %s with the full bench set", *baselinePath)
 		case runtime.NumCPU() < 4:
-			fmt.Printf("benchgate: %d CPUs — parallel-speedup assertion skipped\n", runtime.NumCPU())
+			warnf("%d CPUs on this host — parallel-speedup assertion skipped", runtime.NumCPU())
 		case !okS || !okP:
-			fmt.Println("benchgate: SearchLayer serial/parallel pair not in this run — speedup assertion skipped")
+			warnf("SearchLayer serial/parallel pair not in this run — speedup assertion skipped")
 		default:
 			speedup := serial / par
 			fmt.Printf("benchgate: search fan-out speedup %.2fx at 8 workers (need >= %.2fx)\n", speedup, *minSpeedup)

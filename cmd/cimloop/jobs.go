@@ -58,6 +58,23 @@ func addrFlag(fs *flag.FlagSet) *string {
 	return fs.String("addr", "http://localhost:8080", "base URL of the cimloop serve instance")
 }
 
+// tokenFlag registers the shared -token flag (falling back to the
+// CIMLOOP_TOKEN environment variable, so the secret can stay out of
+// shell history and process listings).
+func tokenFlag(fs *flag.FlagSet) *string {
+	return fs.String("token", os.Getenv("CIMLOOP_TOKEN"),
+		"bearer token for a multi-tenant server (default $CIMLOOP_TOKEN; empty = no auth header)")
+}
+
+// newClient builds the SDK client with the shared flags applied.
+func newClient(addr, token string) *client.Client {
+	var opts []client.Option
+	if token != "" {
+		opts = append(opts, client.WithToken(token))
+	}
+	return client.New(addr, opts...)
+}
+
 // unaryCtx bounds one-shot calls (submit, list, status, cancel) so a
 // hung server fails the command instead of wedging it; waits manage
 // their own deadlines (-timeout, streaming).
@@ -81,6 +98,7 @@ func splitList(s string) []string {
 func jobsSubmit(args []string) error {
 	fs := flag.NewFlagSet("jobs submit", flag.ContinueOnError)
 	addr := addrFlag(fs)
+	token := tokenFlag(fs)
 	macroList := fs.String("macros", "", "comma-separated macro models to sweep")
 	networks := fs.String("networks", "", "comma-separated workloads to sweep")
 	scenarios := fs.String("scenarios", "", "comma-separated full-system scenarios (optional)")
@@ -111,7 +129,7 @@ func jobsSubmit(args []string) error {
 	if len(req.Macros) == 0 || len(req.Networks) == 0 {
 		return fmt.Errorf("jobs submit: need -macros and -networks")
 	}
-	c := client.New(*addr)
+	c := newClient(*addr, *token)
 	ctx, cancel := unaryCtx()
 	acc, err := c.SubmitJob(ctx, req)
 	cancel()
@@ -129,6 +147,7 @@ func jobsSubmit(args []string) error {
 func jobsList(args []string) error {
 	fs := flag.NewFlagSet("jobs list", flag.ContinueOnError)
 	addr := addrFlag(fs)
+	token := tokenFlag(fs)
 	status := fs.String("status", "", "filter by status (queued, running, succeeded, failed, cancelled)")
 	limit := fs.Int("limit", 0, "page size (0 = server default)")
 	cursor := fs.String("cursor", "", "resume after this job ID (next_cursor from the previous page)")
@@ -137,7 +156,7 @@ func jobsList(args []string) error {
 	}
 	ctx, cancel := unaryCtx()
 	defer cancel()
-	out, err := client.New(*addr).Jobs(ctx, api.JobListQuery{
+	out, err := newClient(*addr, *token).Jobs(ctx, api.JobListQuery{
 		Status: jobs.Status(*status),
 		Limit:  *limit,
 		Cursor: *cursor,
@@ -167,6 +186,12 @@ func printSnapshot(j jobs.Snapshot) {
 	t.AddRow("label", j.Label)
 	t.AddRow("status", string(j.Status))
 	t.AddRow("priority", string(j.Priority))
+	if j.Tenant != "" {
+		t.AddRow("tenant", j.Tenant)
+	}
+	if j.Resumes > 0 {
+		t.AddRow("resumes", strconv.Itoa(j.Resumes))
+	}
 	t.AddRow("progress", fmt.Sprintf("%d/%d", j.Completed, j.Total))
 	if j.FirstError != "" {
 		t.AddRow("first error", j.FirstError)
@@ -184,12 +209,13 @@ func printSnapshot(j jobs.Snapshot) {
 func jobsStatus(id string, args []string) error {
 	fs := flag.NewFlagSet("jobs status", flag.ContinueOnError)
 	addr := addrFlag(fs)
+	token := tokenFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, cancel := unaryCtx()
 	defer cancel()
-	snap, err := client.New(*addr).Job(ctx, id)
+	snap, err := newClient(*addr, *token).Job(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -200,12 +226,13 @@ func jobsStatus(id string, args []string) error {
 func jobsWait(id string, args []string) error {
 	fs := flag.NewFlagSet("jobs wait", flag.ContinueOnError)
 	addr := addrFlag(fs)
+	token := tokenFlag(fs)
 	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
 	poll := fs.Bool("poll", false, "poll instead of streaming progress via SSE")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return waitAndPrint(client.New(*addr), id, *timeout, *poll)
+	return waitAndPrint(newClient(*addr, *token), id, *timeout, *poll)
 }
 
 // waitAndPrint drives the SDK's WaitJob to a terminal state, echoing
@@ -257,12 +284,13 @@ func waitAndPrint(c *client.Client, id string, timeout time.Duration, forcePoll 
 func jobsCancel(id string, args []string) error {
 	fs := flag.NewFlagSet("jobs cancel", flag.ContinueOnError)
 	addr := addrFlag(fs)
+	token := tokenFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx, cancel := unaryCtx()
 	defer cancel()
-	snap, err := client.New(*addr).CancelJob(ctx, id)
+	snap, err := newClient(*addr, *token).CancelJob(ctx, id)
 	if err != nil {
 		return err
 	}

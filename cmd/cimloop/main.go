@@ -147,8 +147,19 @@ func runServe(args []string) error {
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default)")
 	blob := fs.String("blob", "",
 		"shared blob-tier base URL (a cimloop blobd instance); any node's compile warm-starts the others")
+	tenantsFile := fs.String("tenants", "",
+		"tenant file (YAML): bearer tokens, fair-queuing weights, per-tenant quotas; enables auth (empty = open server)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var tenants *cimloop.Tenants
+	if *tenantsFile != "" {
+		// A requested-but-broken tenant file must fail at startup: booting
+		// an open server where auth was asked for is the worst failure mode.
+		var err error
+		if tenants, err = cimloop.LoadTenantsFile(*tenantsFile); err != nil {
+			return err
+		}
 	}
 	// The facade's constructor wires the experiment runner so
 	// /v1/experiments can list and regenerate paper artifacts.
@@ -168,6 +179,7 @@ func runServe(args []string) error {
 		ClusterPeers:   *peers,
 		ClusterVNodes:  *vnodes,
 		BlobURL:        *blob,
+		Tenants:        tenants,
 	})
 	// Requested-but-broken durability should fail loudly at startup, not
 	// silently serve cold forever.

@@ -45,6 +45,7 @@ type Client struct {
 	base       string
 	hc         *http.Client
 	maxRetries int
+	token      string
 	// sleep is swapped in tests so retry backoff doesn't slow the suite.
 	sleep func(context.Context, time.Duration) error
 }
@@ -64,6 +65,13 @@ func WithHTTPClient(hc *http.Client) Option {
 // (default 3; 0 disables).
 func WithMaxRetries(n int) Option {
 	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithToken sends "Authorization: Bearer <token>" on every request
+// (including SSE streams), for servers running with a tenant file.
+// Empty means no header — the default for single-tenant servers.
+func WithToken(token string) Option {
+	return func(c *Client) { c.token = token }
 }
 
 // New returns a client for the serve instance at addr ("host:port" or a
@@ -89,6 +97,13 @@ func New(addr string, opts ...Option) *Client {
 
 // BaseURL reports the resolved server base URL.
 func (c *Client) BaseURL() string { return c.base }
+
+// authorize stamps the bearer token onto a request when one is set.
+func (c *Client) authorize(req *http.Request) {
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+}
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
@@ -127,6 +142,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body any) (
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		c.authorize(req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return 0, nil, err

@@ -31,6 +31,7 @@ func (c *Client) StreamJobEvents(ctx context.Context, id string, lastEventID int
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	c.authorize(req)
 	if lastEventID > 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastEventID, 10))
 	}

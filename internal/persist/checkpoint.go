@@ -1,0 +1,83 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CheckpointRecord is one completed grid item of a sweep job: which job,
+// which item index, and the item's serialized result (the serving layer
+// stores the JSON api.EvalResult). Checkpoints ride the write-behind
+// queue as KindCheckpoint envelopes while the job runs; at boot,
+// warm-scan hands them to WAL replay so only unfinished items are
+// re-evaluated, and the terminal hook deletes them with the WAL.
+type CheckpointRecord struct {
+	JobID   string
+	Index   int
+	Payload []byte
+}
+
+// checkpointMagic guards the payload format inside the (already
+// checksummed) persist envelope; ckptVersion is bumped on layout change.
+var checkpointMagic = [4]byte{'C', 'K', 'P', '1'}
+
+const ckptVersion = 1
+
+// ckptOverhead is the byte count of everything but the job ID and the
+// payload: magic, version, job-ID length, index, payload length.
+const ckptOverhead = 4 + 2 + 4 + 4 + 4
+
+// EncodeCheckpointRecord serializes a checkpoint for use as a
+// KindCheckpoint envelope payload.
+func EncodeCheckpointRecord(c CheckpointRecord) ([]byte, error) {
+	if c.JobID == "" {
+		return nil, errors.New("persist: checkpoint has no job ID")
+	}
+	if c.Index < 0 {
+		return nil, fmt.Errorf("persist: negative checkpoint index %d", c.Index)
+	}
+	buf := make([]byte, 0, ckptOverhead+len(c.JobID)+len(c.Payload))
+	buf = append(buf, checkpointMagic[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, ckptVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.JobID)))
+	buf = append(buf, c.JobID...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c.Index))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Payload)))
+	buf = append(buf, c.Payload...)
+	return buf, nil
+}
+
+// DecodeCheckpointRecord parses an encoded checkpoint, validating
+// structure (the enclosing envelope already validated the checksum).
+// Every failure is ErrCorrupt: the caller skips and deletes the record,
+// re-evaluating that item instead.
+func DecodeCheckpointRecord(data []byte) (CheckpointRecord, error) {
+	if len(data) < ckptOverhead {
+		return CheckpointRecord{}, fmt.Errorf("%w: %d bytes is shorter than a checkpoint", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[:4]) != checkpointMagic {
+		return CheckpointRecord{}, fmt.Errorf("%w: bad checkpoint magic %q", ErrCorrupt, data[:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != ckptVersion {
+		return CheckpointRecord{}, fmt.Errorf("%w: checkpoint version %d, supported %d", ErrVersion, v, ckptVersion)
+	}
+	idLen := int(binary.BigEndian.Uint32(data[6:10]))
+	rest := len(data) - ckptOverhead
+	if idLen <= 0 || idLen > rest {
+		return CheckpointRecord{}, fmt.Errorf("%w: job-ID length %d exceeds record", ErrCorrupt, idLen)
+	}
+	c := CheckpointRecord{JobID: string(data[10 : 10+idLen])}
+	off := 10 + idLen
+	idx := binary.BigEndian.Uint32(data[off : off+4])
+	if idx > 1<<31-1 {
+		return CheckpointRecord{}, fmt.Errorf("%w: checkpoint index %d out of range", ErrCorrupt, idx)
+	}
+	c.Index = int(idx)
+	payloadLen := int(binary.BigEndian.Uint32(data[off+4 : off+8]))
+	if payloadLen != rest-idLen {
+		return CheckpointRecord{}, fmt.Errorf("%w: payload length %d does not match record size", ErrCorrupt, payloadLen)
+	}
+	c.Payload = append([]byte(nil), data[off+8:off+8+payloadLen]...)
+	return c, nil
+}

@@ -1,0 +1,105 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testCheckpoint() CheckpointRecord {
+	return CheckpointRecord{
+		JobID:   "job-000042",
+		Index:   7,
+		Payload: []byte(`{"energy_j":1.5}`),
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	want := testCheckpoint()
+	data, err := EncodeCheckpointRecord(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpointRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != want.JobID || got.Index != want.Index || !bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("round trip: %+v != %+v", got, want)
+	}
+	// An empty payload is legal (an item whose result serialized to
+	// nothing still marks the item finished).
+	data, err = EncodeCheckpointRecord(CheckpointRecord{JobID: "job-000001", Index: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeCheckpointRecord(data); err != nil || len(got.Payload) != 0 {
+		t.Fatalf("empty payload round trip: %+v %v", got, err)
+	}
+}
+
+func TestCheckpointRejectsInvalid(t *testing.T) {
+	if _, err := EncodeCheckpointRecord(CheckpointRecord{Index: 1}); err == nil {
+		t.Fatal("encode without a job ID must fail")
+	}
+	if _, err := EncodeCheckpointRecord(CheckpointRecord{JobID: "j", Index: -1}); err == nil {
+		t.Fatal("encode with a negative index must fail")
+	}
+}
+
+func TestCheckpointTruncation(t *testing.T) {
+	data, err := EncodeCheckpointRecord(testCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeCheckpointRecord(data[:n]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", n, len(data))
+		}
+	}
+}
+
+func TestCheckpointBadMagicAndVersion(t *testing.T) {
+	data, err := EncodeCheckpointRecord(testCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := DecodeCheckpointRecord(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad[5] = 99
+	if _, err := DecodeCheckpointRecord(bad); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+// TestCheckpointInsideEnvelope pins the composed on-disk form: a
+// checkpoint payload inside a KindCheckpoint envelope survives the full
+// encode/decode stack.
+func TestCheckpointInsideEnvelope(t *testing.T) {
+	inner, err := EncodeCheckpointRecord(testCheckpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := EncodeRecord(Record{Kind: KindCheckpoint, Key: "ckpt|job-000042|000007", Payload: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeRecord(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Kind != KindCheckpoint || rec.Kind.String() != "ckpt" {
+		t.Fatalf("kind %v (%s)", rec.Kind, rec.Kind)
+	}
+	got, err := DecodeCheckpointRecord(rec.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != "job-000042" || got.Index != 7 {
+		t.Fatalf("nested round trip: %+v", got)
+	}
+}

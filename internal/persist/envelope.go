@@ -28,6 +28,11 @@ const (
 	// warm-from-disk decode cost. Readers accept both kinds; new writes
 	// use this one.
 	KindLayerContextCol Kind = 4
+	// KindCheckpoint is one completed grid item of a running sweep job
+	// (EncodeCheckpointRecord), written through the write-behind queue as
+	// the item finishes so WAL replay resumes from the last checkpoint
+	// instead of item zero.
+	KindCheckpoint Kind = 5
 )
 
 // String names the kind for filenames and diagnostics.
@@ -41,11 +46,13 @@ func (k Kind) String() string {
 		return "job"
 	case KindLayerContextCol:
 		return "ctxc"
+	case KindCheckpoint:
+		return "ckpt"
 	}
 	return fmt.Sprintf("kind%d", uint8(k))
 }
 
-func (k Kind) valid() bool { return k >= KindEngine && k <= KindLayerContextCol }
+func (k Kind) valid() bool { return k >= KindEngine && k <= KindCheckpoint }
 
 // Record is one persisted entry: a kind, its content-addressed key, the
 // measured cost of recomputing it (seconds; cache records only), and the

@@ -1,0 +1,69 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord hammers the envelope decoder with arbitrary bytes:
+// it must never panic, and any input it accepts must re-encode to a
+// byte-identical envelope (the decoder admits only canonical forms).
+func FuzzDecodeRecord(f *testing.F) {
+	seed, err := EncodeRecord(Record{Kind: KindEngine, Key: "eng|abc", CostSec: 1.25, Payload: []byte(`{"a":1}`)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	ck, err := EncodeCheckpointRecord(testCheckpoint())
+	if err != nil {
+		f.Fatal(err)
+	}
+	env, err := EncodeRecord(Record{Kind: KindCheckpoint, Key: "ckpt|job-000001|000000", Payload: ck})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(env)
+	f.Add([]byte("CWS1 not a record"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decoded record does not re-encode: %+v: %v", rec, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted non-canonical envelope:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+// FuzzDecodeCheckpointRecord is the same property for the checkpoint
+// payload codec: no panics, and accepted inputs are canonical.
+func FuzzDecodeCheckpointRecord(f *testing.F) {
+	seed, err := EncodeCheckpointRecord(testCheckpoint())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	empty, err := EncodeCheckpointRecord(CheckpointRecord{JobID: "job-000001"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte("CKP1 junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeCheckpointRecord(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeCheckpointRecord(rec)
+		if err != nil {
+			t.Fatalf("decoded checkpoint does not re-encode: %+v: %v", rec, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted non-canonical checkpoint:\n in  %x\n out %x", data, out)
+		}
+	})
+}

@@ -297,6 +297,12 @@ type BudgetStats struct {
 	// layers whose next search gets a measured width rather than the
 	// serial first-probe.
 	TunedLayers int `json:"tuned_layers,omitempty"`
+	// MappingsEvaluated is the lifetime count of candidate mappings costed
+	// by this server across all requests and jobs. Monotonic, so two reads
+	// bracket exactly the search work done between them — the tenancy
+	// smoke test uses the delta to prove a resumed job re-evaluated only
+	// its unfinished items.
+	MappingsEvaluated int64 `json:"mappings_evaluated"`
 }
 
 // WarmStats summarizes one boot's warm-start scan.
@@ -308,6 +314,10 @@ type WarmStats struct {
 	// write-ahead jobs re-submitted because they never finished.
 	Jobs     int `json:"jobs"`
 	Replayed int `json:"replayed"`
+	// Checkpoints counts finished grid items restored into replayed jobs
+	// from per-item checkpoint records — items the replay will report as
+	// done instead of re-evaluating.
+	Checkpoints int `json:"checkpoints,omitempty"`
 	// Skipped counts files discarded during the scans: corrupt,
 	// version-mismatched, or failing fingerprint re-verification. All are
 	// deleted (recomputation is the only recovery).

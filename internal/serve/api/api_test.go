@@ -34,9 +34,11 @@ func goldenCases() []struct {
 		Label:      "sweep of 2 requests",
 		Status:     jobs.StatusRunning,
 		Priority:   jobs.PriorityInteractive,
+		Tenant:     "team-a",
 		Version:    5,
 		Completed:  1,
 		Total:      2,
+		Resumes:    1,
 		FirstError: "boom",
 		Results:    []any{map[string]any{"tag": "base/toy"}, nil},
 		CreatedAt:  created,
@@ -87,7 +89,8 @@ func goldenCases() []struct {
 			Jobs: []jobs.Snapshot{snap},
 			Stats: jobs.Stats{
 				Queued: 1, QueuedInteractive: 1, QueuedBatch: 0,
-				Running: 1, Finished: 3,
+				QueuedByTenant: map[string]int{"team-a": 1},
+				Running:        1, Finished: 3, Preemptions: 2,
 			},
 			NextCursor: "job-000007",
 		}},
@@ -109,10 +112,11 @@ func goldenCases() []struct {
 			UptimeSec: 12.5,
 			Cache:     CacheStats{Hits: 10, Misses: 2, Evictions: 1, Entries: 9, Restored: 4, Compiles: 6},
 			Jobs:      jobs.Stats{Queued: 2, QueuedInteractive: 1, QueuedBatch: 1, Running: 1, Finished: 5},
-			Search:    BudgetStats{Capacity: 8, Available: 3, SearchWorkers: 4, BlockedAcquires: 2},
+			Search: BudgetStats{Capacity: 8, Available: 3, SearchWorkers: 4,
+				BlockedAcquires: 2, MappingsEvaluated: 1200},
 			Persist: PersistStats{
 				Enabled: true,
-				Warm:    WarmStats{Engines: 1, Contexts: 2, Jobs: 3, Replayed: 1, Skipped: 1},
+				Warm:    WarmStats{Engines: 1, Contexts: 2, Jobs: 3, Replayed: 1, Checkpoints: 2, Skipped: 1},
 				Error:   "jobs dir: permission denied",
 			},
 		}},
@@ -142,6 +146,15 @@ func goldenCases() []struct {
 		{"error_with_details", Error{
 			Code: CodeInvalidRequest, Message: "request body exceeds 64 bytes",
 			Details: map[string]string{"max_bytes": "64"},
+		}},
+		{"error_unauthorized", Error{
+			Code: CodeUnauthorized, Message: "unknown bearer token",
+		}},
+		{"error_tenant_queue_full", Error{
+			Code:          CodeQueueFull,
+			Message:       "jobs: tenant \"team-a\" has 2 jobs pending (quota 2)",
+			RetryAfterSec: 2,
+			Details:       map[string]string{"tenant": "team-a"},
 		}},
 	}
 }

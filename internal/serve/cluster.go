@@ -254,6 +254,11 @@ func (s *Server) forwardEvaluate(w http.ResponseWriter, r *http.Request, body []
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardHeader, s.cluster.self.ID)
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		// A multi-tenant ring needs the caller's credentials at the owner
+		// too, or every forwarded evaluation would bounce with a 401.
+		req.Header.Set("Authorization", auth)
+	}
 	resp, err := s.cluster.forwardClient.Do(req)
 	if err != nil {
 		return false

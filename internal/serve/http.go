@@ -66,7 +66,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("POST /v1/experiments", s.handleExperimentRun)
-	return withRecovery(withJSONErrors(mux))
+	// Auth runs outside the mux so an unauthenticated request learns
+	// nothing about the route table; /healthz is exempt inside withAuth.
+	return withRecovery(withJSONErrors(s.withAuth(mux)))
 }
 
 // withJSONErrors rewrites the mux's built-in plain-text 404/405
@@ -246,7 +248,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	reqs := resolveSweep(&body)
 	// Grid-sized sweeps don't hold the connection open: hand back a job.
 	if thr := s.opts.asyncThreshold(); body.Async || (thr > 0 && len(reqs) >= thr) {
-		s.acceptJob(w, reqs, SweepJobOptions{Timeout: sweepTimeout(&body), Priority: body.Priority})
+		s.acceptJob(w, reqs, SweepJobOptions{
+			Timeout:  sweepTimeout(&body),
+			Priority: body.Priority,
+			Tenant:   tenantFrom(r.Context()),
+		})
 		return
 	}
 	// The request context stops the feeder when the client disconnects
@@ -297,6 +303,12 @@ func (s *Server) acceptJob(w http.ResponseWriter, reqs []Request, opts SweepJobO
 			secs = 1
 		}
 		e := api.Errorf(api.CodeQueueFull, "%v", err)
+		var tq *jobs.TenantQueueFullError
+		if errors.As(err, &tq) {
+			// Per-tenant quota, not global backpressure: name the tenant so
+			// a client can tell "my quota" from "the server is busy".
+			e.Details = map[string]string{"tenant": tq.Tenant}
+		}
 		e.RetryAfterSec = secs
 		writeAPIError(w, http.StatusTooManyRequests, e)
 		return
@@ -323,7 +335,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !validSweepPriority(w, body.Priority) {
 		return
 	}
-	s.acceptJob(w, resolveSweep(&body), SweepJobOptions{Timeout: sweepTimeout(&body), Priority: body.Priority})
+	s.acceptJob(w, resolveSweep(&body), SweepJobOptions{
+		Timeout:  sweepTimeout(&body),
+		Priority: body.Priority,
+		Tenant:   tenantFrom(r.Context()),
+	})
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -351,6 +367,11 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		lq.Limit = n
 	}
 	lq.After = q.Get("cursor")
+	if s.opts.Tenants.Enabled() {
+		// A tenant lists only its own jobs; the shared Stats block still
+		// reflects the whole queue (capacity is a shared resource).
+		lq.Tenant = tenantFrom(r.Context())
+	}
 	page, next := s.jobs.ListPage(lq)
 	writeJSON(w, http.StatusOK, api.JobListResponse{
 		Jobs:       page,
@@ -382,12 +403,18 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		after = n
 	}
 	if after < 0 {
-		snap, ok := s.Job(id)
+		snap, ok := s.jobForTenant(r, id)
 		if !ok {
 			writeJobNotFound(w, id)
 			return
 		}
 		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	// Scope check before parking: another tenant's job must 404 now, not
+	// hold the connection open against a job the caller may not see.
+	if _, ok := s.jobForTenant(r, id); !ok {
+		writeJobNotFound(w, id)
 		return
 	}
 	// One poll round is always bounded: wait_sec caps it explicitly,
@@ -414,7 +441,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		// The poll window elapsed with no news: answer the current state
 		// (the client sees an unchanged version). A dropped client gets
 		// whatever write fails silently — it is gone either way.
-		snap, ok := s.Job(id)
+		snap, ok := s.jobForTenant(r, id)
 		if !ok {
 			writeJobNotFound(w, id)
 			return
@@ -435,6 +462,10 @@ func writeJobNotFound(w http.ResponseWriter, id string) {
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if _, ok := s.jobForTenant(r, id); !ok {
+		writeJobNotFound(w, id)
+		return
+	}
 	snap, ok := s.CancelJob(id)
 	if !ok {
 		writeJobNotFound(w, id)

@@ -84,6 +84,10 @@ type Options struct {
 	// persistence layer deletes the job's on-disk snapshot here, so the
 	// disk tier is bounded by the same retention as the memory tier.
 	OnEvicted func(id string)
+	// Tenants maps tenant ids to their scheduling parameters (WFQ weight
+	// and per-tenant pending quota). Tenants absent from the map — and
+	// the anonymous tenant "" — run at weight 1 with no per-tenant bound.
+	Tenants map[string]Tenant
 }
 
 func (o Options) maxRunning() int {
@@ -133,6 +137,13 @@ type Snapshot struct {
 	Status Status `json:"status"`
 	// Priority is the job's scheduling class (interactive before batch).
 	Priority Priority `json:"priority,omitempty"`
+	// Tenant is the submitting tenant's id ("" when the server runs
+	// without a tenants file).
+	Tenant string `json:"tenant,omitempty"`
+	// Resumes counts how many times the job was preempted and requeued
+	// (each resume re-dispatches the body, which skips checkpointed
+	// items).
+	Resumes int `json:"resumes,omitempty"`
 	// Version counts the job's observable mutations (enqueue, start, each
 	// completed item, terminal transition). It is the cursor for Await and
 	// the HTTP layer's SSE/long-poll progress endpoints: a snapshot with a
@@ -173,6 +184,7 @@ type job struct {
 	label    string
 	total    int
 	priority Priority
+	tenant   string
 	fn       Fn
 
 	status    Status
@@ -181,6 +193,16 @@ type job struct {
 	partials  []any
 	result    any
 	err       string
+	// finishTag is the job's WFQ virtual finish time, assigned once at
+	// admission (see enqueueLocked); enqSeq is the deterministic
+	// tie-breaker (global submission order).
+	finishTag float64
+	enqSeq    int64
+	// resumes counts preemption round trips; dispatchBase is the
+	// completed count when the current dispatch started, so Preempting
+	// can require progress before another yield.
+	resumes      int
+	dispatchBase int
 	// version counts observable mutations; changed is closed and replaced
 	// on every bump, so any number of watchers (SSE streams, long-polls)
 	// can wait for "something newer than version N" without per-watcher
@@ -211,10 +233,20 @@ type Store struct {
 	seq   int
 	jobs  map[string]*job
 	order []*job // insertion order: List and retention eviction
-	// pending is the two-class priority queue: one FIFO per class,
-	// dispatched interactive-first (see popPendingLocked); cancellation
-	// removes in place.
-	pending [numPriorities][]*job
+	// pending is the weighted-fair queue: per class, one FIFO per
+	// tenant, dispatched interactive-class-first and min-finish-tag
+	// within a class (see popPendingLocked / popClassLocked);
+	// cancellation removes in place. pendingN counts queued jobs per
+	// class; vtime is each class's virtual clock.
+	pending  [numPriorities]map[string][]*job
+	pendingN [numPriorities]int
+	vtime    [numPriorities]float64
+	// tenants is per-tenant scheduler state; enqSeq is the global
+	// admission counter (WFQ tie-breaker); preemptions counts
+	// yield-and-requeue round trips across all jobs.
+	tenants     map[string]*tenantState
+	enqSeq      int64
+	preemptions int64
 	// hiStreak counts consecutive interactive dispatches while batch work
 	// waited — the deterministic anti-starvation counter.
 	hiStreak int
@@ -236,8 +268,9 @@ type Store struct {
 // experiment runner's package-level sweeper, say) cost nothing.
 func NewStore(opts Options) *Store {
 	s := &Store{
-		opts: opts,
-		jobs: make(map[string]*job),
+		opts:    opts,
+		jobs:    make(map[string]*job),
+		tenants: make(map[string]*tenantState),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -277,37 +310,33 @@ func (s *Store) runner() {
 // pendingLenLocked is the total queued-job count across classes.
 func (s *Store) pendingLenLocked() int {
 	n := 0
-	for _, q := range s.pending {
-		n += len(q)
+	for _, c := range s.pendingN {
+		n += c
 	}
 	return n
 }
 
-// popPendingLocked dequeues the next job to run: interactive before
-// batch, FIFO within a class, except that after starveLimit consecutive
-// interactive dispatches with batch work waiting, one batch job is
-// dispatched. The rule is a pure function of the dispatch history, so
-// scheduling is deterministic for a given submission/dispatch sequence.
+// popPendingLocked dequeues the next job to run: interactive class
+// before batch, WFQ order within a class (popClassLocked), except that
+// after starveLimit consecutive interactive dispatches with batch work
+// waiting, one batch job is dispatched. The rule is a pure function of
+// the submission/dispatch history, so scheduling is deterministic for a
+// given submission sequence.
 func (s *Store) popPendingLocked() *job {
-	pop := func(rank int) *job {
-		j := s.pending[rank][0]
-		s.pending[rank] = s.pending[rank][1:]
-		return j
-	}
 	switch {
-	case s.hiStreak >= starveLimit && len(s.pending[rankBatch]) > 0:
+	case s.hiStreak >= starveLimit && s.pendingN[rankBatch] > 0:
 		s.hiStreak = 0
-		return pop(rankBatch)
-	case len(s.pending[rankInteractive]) > 0:
-		if len(s.pending[rankBatch]) > 0 {
+		return s.popClassLocked(rankBatch)
+	case s.pendingN[rankInteractive] > 0:
+		if s.pendingN[rankBatch] > 0 {
 			s.hiStreak++
 		} else {
 			s.hiStreak = 0 // nothing was passed over
 		}
-		return pop(rankInteractive)
-	case len(s.pending[rankBatch]) > 0:
+		return s.popClassLocked(rankInteractive)
+	case s.pendingN[rankBatch] > 0:
 		s.hiStreak = 0
-		return pop(rankBatch)
+		return s.popClassLocked(rankBatch)
 	}
 	return nil
 }
@@ -317,20 +346,25 @@ func (s *Store) popPendingLocked() *job {
 func (s *Store) RetryAfter() time.Duration { return s.opts.retryAfter() }
 
 // Stats counts jobs by lifecycle stage (queued also broken down by
-// scheduling class).
+// scheduling class and by tenant).
 type Stats struct {
 	Queued            int `json:"queued"`
 	QueuedInteractive int `json:"queued_interactive"`
 	QueuedBatch       int `json:"queued_batch"`
 	Running           int `json:"running"`
 	Finished          int `json:"finished"`
+	// QueuedByTenant breaks the queued count down by tenant id (absent
+	// when every queued job belongs to the anonymous tenant).
+	QueuedByTenant map[string]int `json:"queued_by_tenant,omitempty"`
+	// Preemptions counts yield-and-requeue round trips since boot.
+	Preemptions int64 `json:"preemptions,omitempty"`
 }
 
 // Stats snapshots the store's occupancy.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var st Stats
+	st := Stats{Preemptions: s.preemptions}
 	for _, j := range s.order {
 		switch {
 		case j.status == StatusQueued:
@@ -339,6 +373,12 @@ func (s *Store) Stats() Stats {
 				st.QueuedInteractive++
 			} else {
 				st.QueuedBatch++
+			}
+			if j.tenant != "" {
+				if st.QueuedByTenant == nil {
+					st.QueuedByTenant = make(map[string]int)
+				}
+				st.QueuedByTenant[j.tenant]++
 			}
 		case j.status == StatusRunning:
 			st.Running++
@@ -349,24 +389,49 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Submit enqueues a batch-class job with a work list of total items and
-// returns its initial snapshot. It fails fast with ErrQueueFull when the
-// pending queue is at capacity — the backpressure contract — and never
-// blocks on a saturated pool. Cancelling a queued job frees its slot
-// immediately.
-func (s *Store) Submit(label string, total int, fn Fn) (Snapshot, error) {
-	return s.SubmitPriority(PriorityBatch, label, total, fn)
+// Submission describes one job for SubmitJob. The zero value of every
+// optional field is meaningful: ID "" allocates the next store ID,
+// Priority "" is batch, Tenant "" is the anonymous tenant.
+type Submission struct {
+	ID       string
+	Priority Priority
+	Tenant   string
+	Label    string
+	Total    int
+	Fn       Fn
+	// Replay bypasses the pending-queue bound and the per-tenant quota:
+	// the job was admitted before a restart (it has a WAL) and bouncing
+	// it now would break the accepted-job contract.
+	Replay bool
 }
 
-// SubmitPriority is Submit with an explicit scheduling class.
-func (s *Store) SubmitPriority(pri Priority, label string, total int, fn Fn) (Snapshot, error) {
+// SubmitJob enqueues one job and returns its initial snapshot. It fails
+// fast with ErrQueueFull when the pending queue is at capacity (or a
+// TenantQueueFullError when the tenant's own quota is) — the
+// backpressure contract — and never blocks on a saturated pool.
+// Cancelling a queued job frees its slot immediately.
+func (s *Store) SubmitJob(sub Submission) (Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return Snapshot{}, ErrClosed
 	}
-	s.seq++
-	return s.submitLocked(fmt.Sprintf("job-%06d", s.seq), pri, label, total, fn, true)
+	if sub.ID == "" {
+		s.seq++
+		sub.ID = fmt.Sprintf("job-%06d", s.seq)
+	}
+	return s.submitLocked(sub)
+}
+
+// Submit enqueues a batch-class job with a work list of total items
+// (see SubmitJob for the backpressure contract).
+func (s *Store) Submit(label string, total int, fn Fn) (Snapshot, error) {
+	return s.SubmitJob(Submission{Label: label, Total: total, Fn: fn})
+}
+
+// SubmitPriority is Submit with an explicit scheduling class.
+func (s *Store) SubmitPriority(pri Priority, label string, total int, fn Fn) (Snapshot, error) {
+	return s.SubmitJob(Submission{Priority: pri, Label: label, Total: total, Fn: fn})
 }
 
 // ReserveID allocates the next job ID without creating a job, so a
@@ -385,46 +450,51 @@ func (s *Store) ReserveID() string {
 // SubmitReserved is Submit under an ID from ReserveID: same backpressure
 // contract (ErrQueueFull on a saturated queue), caller-ordered ID.
 func (s *Store) SubmitReserved(id string, pri Priority, label string, total int, fn Fn) (Snapshot, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return Snapshot{}, ErrClosed
-	}
-	return s.submitLocked(id, pri, label, total, fn, true)
+	return s.SubmitJob(Submission{ID: id, Priority: pri, Label: label, Total: total, Fn: fn})
 }
 
-// submitLocked creates and enqueues one queued job. enforceBound applies
-// the pending-queue cap (fresh submissions); replay bypasses it.
-func (s *Store) submitLocked(id string, pri Priority, label string, total int, fn Fn, enforceBound bool) (Snapshot, error) {
-	if fn == nil {
+// submitLocked creates and enqueues one queued job. Fresh submissions
+// honor the pending-queue cap and the tenant's quota; replays bypass
+// both.
+func (s *Store) submitLocked(sub Submission) (Snapshot, error) {
+	if sub.Fn == nil {
 		return Snapshot{}, errors.New("jobs: nil job body")
 	}
-	if id == "" {
+	if sub.ID == "" {
 		return Snapshot{}, errors.New("jobs: empty job ID")
 	}
-	pri = pri.orDefault()
+	pri := sub.Priority.orDefault()
 	if !pri.Valid() {
 		return Snapshot{}, fmt.Errorf("jobs: unknown priority %q", pri)
 	}
-	if _, ok := s.jobs[id]; ok {
-		return Snapshot{}, fmt.Errorf("jobs: job %q already exists", id)
+	if _, ok := s.jobs[sub.ID]; ok {
+		return Snapshot{}, fmt.Errorf("jobs: job %q already exists", sub.ID)
 	}
-	if enforceBound && s.pendingLenLocked() >= s.opts.maxQueued() {
-		return Snapshot{}, ErrQueueFull
+	if !sub.Replay {
+		if s.pendingLenLocked() >= s.opts.maxQueued() {
+			return Snapshot{}, ErrQueueFull
+		}
+		if t, ok := s.opts.Tenants[sub.Tenant]; ok && t.MaxPending > 0 {
+			if ts, ok := s.tenants[sub.Tenant]; ok && ts.queued >= t.MaxPending {
+				return Snapshot{}, &TenantQueueFullError{Tenant: sub.Tenant, Limit: t.MaxPending}
+			}
+		}
 	}
+	total := sub.Total
 	if total < 0 {
 		total = 0
 	}
 	s.startLocked()
-	if n := idSeq(id); n > s.seq {
+	if n := idSeq(sub.ID); n > s.seq {
 		s.seq = n
 	}
 	j := &job{
-		id:       id,
-		label:    label,
+		id:       sub.ID,
+		label:    sub.Label,
 		total:    total,
 		priority: pri,
-		fn:       fn,
+		tenant:   sub.Tenant,
+		fn:       sub.Fn,
 		status:   StatusQueued,
 		partials: make([]any, total),
 		version:  1,
@@ -432,10 +502,9 @@ func (s *Store) submitLocked(id string, pri Priority, label string, total int, f
 		created:  time.Now(),
 		done:     make(chan struct{}),
 	}
-	s.pending[pri.rank()] = append(s.pending[pri.rank()], j)
+	s.enqueueLocked(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
-	s.cond.Signal()
 	return j.snapshotLocked(), nil
 }
 
@@ -492,12 +561,14 @@ func (s *Store) Restore(snap Snapshot) error {
 		label:     snap.Label,
 		total:     snap.Total,
 		priority:  snap.Priority.orDefault(),
+		tenant:    snap.Tenant,
 		status:    snap.Status,
 		completed: snap.Completed,
 		firstErr:  snap.FirstError,
 		result:    snap.Result,
 		err:       snap.Error,
 		version:   snap.Version,
+		resumes:   snap.Resumes,
 		changed:   make(chan struct{}),
 		created:   snap.CreatedAt,
 		done:      make(chan struct{}),
@@ -529,16 +600,12 @@ func (s *Store) Restore(snap Snapshot) error {
 // they were admitted before the restart, and bouncing them would break
 // the accepted-job contract — and advance the ID counter past their ID.
 // An ID already in the store is an error. Replays keep their persisted
-// scheduling class, and because they are enqueued at boot — before any
-// new submission — FIFO-within-class guarantees no fresh same-class job
-// passes them.
+// scheduling class and tenant, and because they are enqueued at boot —
+// before any new submission — a replayed job's WFQ tags are assigned in
+// the same relative order as the original admissions, so the dispatch
+// order survives the restart.
 func (s *Store) SubmitWithID(id string, pri Priority, label string, total int, fn Fn) (Snapshot, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return Snapshot{}, ErrClosed
-	}
-	return s.submitLocked(id, pri, label, total, fn, false)
+	return s.SubmitJob(Submission{ID: id, Priority: pri, Label: label, Total: total, Fn: fn, Replay: true})
 }
 
 // run executes one dequeued job to a terminal state.
@@ -554,6 +621,7 @@ func (s *Store) run(j *job) {
 	j.status = StatusRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.dispatchBase = j.completed
 	s.bumpLocked(j)
 	s.mu.Unlock()
 
@@ -573,15 +641,36 @@ func (s *Store) run(j *job) {
 
 	s.mu.Lock()
 	j.cancel = nil
+	if errors.Is(err, ErrPreempted) && !j.cancelRequested && !s.closed {
+		// Cooperative yield: the body checkpointed its progress and bowed
+		// out. Requeue at the head of its tenant/class FIFO (original
+		// finish tag, so it cannot leapfrog peers) and leave the job
+		// non-terminal — no OnTerminal, done stays open, the WAL stays.
+		j.status = StatusQueued
+		j.resumes++
+		s.preemptions++
+		s.requeueLocked(j)
+		s.bumpLocked(j)
+		s.mu.Unlock()
+		return
+	}
 	switch {
 	case j.cancelRequested:
 		j.status = StatusCancelled
-		if err != nil && !errors.Is(err, context.Canceled) {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, ErrPreempted) {
 			j.err = err.Error()
 		}
 	case err != nil:
 		j.status = StatusFailed
-		j.err = err.Error()
+		if errors.Is(err, ErrPreempted) {
+			// The store is closing: the runner is about to exit, so the
+			// yielded job cannot be requeued. Classify it like any other
+			// shutdown interruption so its WAL replays next boot.
+			j.status = StatusCancelled
+			j.cancelRequested = true
+		} else {
+			j.err = err.Error()
+		}
 	default:
 		j.status = StatusSucceeded
 		j.result = result
@@ -677,6 +766,10 @@ func (s *Store) List() []Snapshot {
 type ListQuery struct {
 	// Status keeps only jobs in that lifecycle state ("" = all).
 	Status Status
+	// Tenant keeps only jobs owned by that tenant id ("" = all). The
+	// HTTP layer sets it from the authenticated token so tenants only
+	// see their own jobs.
+	Tenant string
 	// Limit caps the page size (<= 0 = unlimited).
 	Limit int
 	// After is an exclusive cursor: only jobs whose ID's monotonic
@@ -709,6 +802,9 @@ func (s *Store) ListPage(q ListQuery) (page []Snapshot, next string) {
 			continue
 		}
 		if q.Status != "" && j.status != q.Status {
+			continue
+		}
+		if q.Tenant != "" && j.tenant != q.Tenant {
 			continue
 		}
 		if q.Limit > 0 && len(page) == q.Limit {
@@ -767,10 +863,18 @@ func (s *Store) Cancel(id string) (Snapshot, bool) {
 // but has not yet marked it running); that is fine — the runner skips
 // non-queued jobs.
 func (s *Store) dropPendingLocked(j *job) {
-	q := s.pending[j.priority.rank()]
+	rank := j.priority.rank()
+	q := s.pending[rank][j.tenant]
 	for i, p := range q {
 		if p == j {
-			s.pending[j.priority.rank()] = append(q[:i], q[i+1:]...)
+			q = append(q[:i], q[i+1:]...)
+			if len(q) == 0 {
+				delete(s.pending[rank], j.tenant)
+			} else {
+				s.pending[rank][j.tenant] = q
+			}
+			s.pendingN[rank]--
+			s.tenantStateLocked(j.tenant).queued--
 			return
 		}
 	}
@@ -876,6 +980,8 @@ func (j *job) summaryLocked() Snapshot {
 		Label:      j.label,
 		Status:     j.status,
 		Priority:   j.priority,
+		Tenant:     j.tenant,
+		Resumes:    j.resumes,
 		Version:    j.version,
 		Completed:  j.completed,
 		Total:      j.total,

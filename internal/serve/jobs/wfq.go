@@ -1,0 +1,198 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Tenant is one tenant's scheduling parameters. The store treats tenant
+// ids as opaque strings; the serving layer resolves bearer tokens to
+// them. Jobs submitted without a tenant share the anonymous tenant ""
+// at weight 1, which reproduces the pre-tenancy FIFO exactly.
+type Tenant struct {
+	// Weight is the tenant's relative share of dispatches within a
+	// scheduling class (<= 0 means 1). A weight-3 tenant drains roughly
+	// three units of work for every unit a weight-1 tenant drains.
+	Weight float64
+	// MaxPending bounds the tenant's queued (not running) jobs;
+	// submissions beyond it fail with a TenantQueueFullError
+	// (<= 0 means no per-tenant bound beyond the global MaxQueued).
+	MaxPending int
+}
+
+// ErrPreempted is the sentinel a job body returns after yielding
+// cooperatively: the store requeues the job at the head of its
+// tenant/class FIFO instead of finishing it, so the body runs again —
+// resuming from its checkpoints — once the higher-priority work that
+// triggered the yield has been dispatched.
+var ErrPreempted = errors.New("jobs: job preempted")
+
+// TenantQueueFullError is the per-tenant quota rejection. It matches
+// errors.Is(err, ErrQueueFull) so every existing queue-full consumer
+// (the HTTP 429 mapping, the SDK's retry loop) treats it as
+// backpressure; the HTTP layer additionally surfaces which tenant hit
+// its bound.
+type TenantQueueFullError struct {
+	Tenant string
+	Limit  int
+}
+
+func (e *TenantQueueFullError) Error() string {
+	return fmt.Sprintf("jobs: tenant %q pending queue full (max %d)", e.Tenant, e.Limit)
+}
+
+// Is reports ErrQueueFull equivalence (see type comment).
+func (e *TenantQueueFullError) Is(target error) bool { return target == ErrQueueFull }
+
+// tenantState is the store's per-tenant scheduler bookkeeping.
+type tenantState struct {
+	// lastFinish is the finish tag most recently assigned to this
+	// tenant's jobs in each class; a tenant's tags are strictly
+	// increasing, so FIFO-within-tenant is implied by tag order.
+	lastFinish [numPriorities]float64
+	// queued counts the tenant's jobs currently in the pending queue
+	// (both classes) — the MaxPending quota denominator.
+	queued int
+}
+
+// weightOf resolves a tenant's WFQ weight (unknown tenants and the
+// anonymous tenant weigh 1).
+func (s *Store) weightOf(tenant string) float64 {
+	if t, ok := s.opts.Tenants[tenant]; ok && t.Weight > 0 {
+		return t.Weight
+	}
+	return 1
+}
+
+// tenantStateLocked returns (creating on first use) the tenant's
+// scheduler state.
+func (s *Store) tenantStateLocked(tenant string) *tenantState {
+	ts, ok := s.tenants[tenant]
+	if !ok {
+		ts = &tenantState{}
+		s.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// enqueueLocked assigns the job its virtual finish tag and queues it.
+//
+// Standard WFQ: the job's virtual start is the later of the class's
+// virtual time and the tenant's last finish tag (so an idle tenant
+// re-enters at the current virtual time instead of burning its saved-up
+// share, and a busy tenant's jobs stay FIFO); its finish tag is the
+// start plus the job's cost (work-list size, min 1) over the tenant's
+// weight. Dispatch picks the smallest finish tag, so a weight-w tenant
+// drains w units of cost per unit of virtual time.
+func (s *Store) enqueueLocked(j *job) {
+	rank := j.priority.rank()
+	ts := s.tenantStateLocked(j.tenant)
+	start := s.vtime[rank]
+	if ts.lastFinish[rank] > start {
+		start = ts.lastFinish[rank]
+	}
+	cost := float64(j.total)
+	if cost < 1 {
+		cost = 1
+	}
+	j.finishTag = start + cost/s.weightOf(j.tenant)
+	ts.lastFinish[rank] = j.finishTag
+	s.enqSeq++
+	j.enqSeq = s.enqSeq
+	s.pushLocked(j, false)
+}
+
+// requeueLocked returns a preempted job to the head of its tenant/class
+// FIFO. The job keeps the finish tag from its original admission: its
+// tag is <= every tag behind it in the tenant's FIFO (tags are
+// monotonic per tenant/class), so head insertion preserves tag order,
+// and keeping the tag means a preempted job cannot leapfrog tenants it
+// had not already beaten.
+func (s *Store) requeueLocked(j *job) {
+	s.pushLocked(j, true)
+}
+
+// pushLocked inserts a job into the pending structure (front=true for
+// preemption requeues) and wakes a runner.
+func (s *Store) pushLocked(j *job, front bool) {
+	rank := j.priority.rank()
+	if s.pending[rank] == nil {
+		s.pending[rank] = make(map[string][]*job)
+	}
+	q := s.pending[rank][j.tenant]
+	if front {
+		q = append([]*job{j}, q...)
+	} else {
+		q = append(q, j)
+	}
+	s.pending[rank][j.tenant] = q
+	s.pendingN[rank]++
+	s.tenantStateLocked(j.tenant).queued++
+	s.cond.Signal()
+}
+
+// popClassLocked dequeues the class's next job under WFQ order: the
+// head with the smallest finish tag across tenants, ties broken by
+// enqueue sequence (pure submission order), so the choice is a
+// deterministic function of the submission history regardless of map
+// iteration order. The class's virtual time advances to the dispatched
+// tag — never backwards, which matters when a preemption requeue
+// re-dispatches an old tag.
+func (s *Store) popClassLocked(rank int) *job {
+	var best *job
+	bestTenant := ""
+	for tenant, q := range s.pending[rank] {
+		h := q[0]
+		if best == nil || h.finishTag < best.finishTag ||
+			(h.finishTag == best.finishTag && h.enqSeq < best.enqSeq) {
+			best, bestTenant = h, tenant
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	q := s.pending[rank][bestTenant]
+	if len(q) == 1 {
+		delete(s.pending[rank], bestTenant)
+	} else {
+		s.pending[rank][bestTenant] = q[1:]
+	}
+	s.pendingN[rank]--
+	s.tenantStateLocked(bestTenant).queued--
+	if best.finishTag > s.vtime[rank] {
+		s.vtime[rank] = best.finishTag
+	}
+	return best
+}
+
+// Preempting reports whether the running job id should yield at its
+// next item boundary: it is a batch-class job, interactive work is
+// waiting with no idle runner to take it, and the job has completed at
+// least one item since it was dispatched (so a batch job dispatched by
+// the anti-starvation rule gets its guaranteed unit of progress instead
+// of thrashing straight back to the queue). The sweep layer polls this
+// between grid items.
+func (s *Store) Preempting(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	j, ok := s.jobs[id]
+	if !ok || j.status != StatusRunning || j.priority.rank() != rankBatch {
+		return false
+	}
+	if s.pendingN[rankInteractive] == 0 {
+		return false
+	}
+	if j.completed <= j.dispatchBase {
+		return false
+	}
+	running := 0
+	for _, o := range s.order {
+		if o.status == StatusRunning {
+			running++
+		}
+	}
+	return running >= s.opts.maxRunning()
+}

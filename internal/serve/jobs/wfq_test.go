@@ -1,0 +1,338 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// twoTenants is the fixture schedule used by the WFQ ordering tests:
+// tenant a at weight 2, tenant b at weight 1, equal-cost jobs submitted
+// a1..a4 then b1..b4 while the runner is blocked.
+func twoTenants() map[string]Tenant {
+	return map[string]Tenant{
+		"a": {Weight: 2},
+		"b": {Weight: 1},
+	}
+}
+
+// wfqWant is the dispatch order WFQ must produce for the twoTenants
+// fixture: finish tags a=0.5,1.0,1.5,2.0 and b=1,2,3,4, ties broken by
+// submission order, giving tenant a two dispatches for every one of b.
+var wfqWant = []string{"a1", "a2", "b1", "a3", "a4", "b2", "b3", "b4"}
+
+// submitFixture submits the twoTenants schedule into a store whose
+// runner is already blocked, returning the submitted IDs in order.
+func submitFixture(t *testing.T, s *Store, log *[]string, mu interface {
+	Lock()
+	Unlock()
+}, replay bool) []string {
+	t.Helper()
+	var ids []string
+	for _, spec := range []struct{ tenant, label string }{
+		{"a", "a1"}, {"a", "a2"}, {"a", "a3"}, {"a", "a4"},
+		{"b", "b1"}, {"b", "b2"}, {"b", "b3"}, {"b", "b4"},
+	} {
+		fn := func(label string) Fn {
+			return func(ctx context.Context, report Report) (any, error) {
+				mu.Lock()
+				*log = append(*log, label)
+				mu.Unlock()
+				return nil, nil
+			}
+		}(spec.label)
+		snap, err := s.SubmitJob(Submission{
+			Tenant: spec.tenant, Label: spec.label, Total: 1, Fn: fn, Replay: replay,
+		})
+		if err != nil {
+			t.Fatalf("submit %s: %v", spec.label, err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	return ids
+}
+
+// TestWFQWeightedOrder pins the weighted interleave: a weight-2 tenant
+// drains two equal-cost jobs for every one a weight-1 tenant drains,
+// and the whole schedule is deterministic.
+func TestWFQWeightedOrder(t *testing.T) {
+	s, log, mu := recordingStore(t, Options{MaxRunning: 1, MaxQueued: 16, Tenants: twoTenants()})
+	blocker, release := gate()
+	bsnap, err := s.Submit("blocker", 0, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, bsnap.ID, StatusRunning)
+	jobIDs := submitFixture(t, s, log, mu, false)
+	if snap, _ := s.Get(jobIDs[0]); snap.Tenant != "a" {
+		t.Fatalf("snapshot tenant %q, want a", snap.Tenant)
+	}
+	st := s.Stats()
+	if st.QueuedByTenant["a"] != 4 || st.QueuedByTenant["b"] != 4 {
+		t.Fatalf("per-tenant queued %+v", st.QueuedByTenant)
+	}
+	release()
+	for _, id := range jobIDs {
+		if _, err := s.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(*log) != fmt.Sprint(wfqWant) {
+		t.Fatalf("dispatch order %v, want %v", *log, wfqWant)
+	}
+}
+
+// TestWFQDeterministicAcrossReplay re-submits the same schedule through
+// the replay path (Submission.Replay, as WAL replay does at boot, in
+// ascending-ID order) into a fresh store and requires the identical
+// dispatch order: finish tags are a pure function of the submission
+// sequence, so a restart cannot reorder the queue.
+func TestWFQDeterministicAcrossReplay(t *testing.T) {
+	for _, replay := range []bool{false, true} {
+		s, log, mu := recordingStore(t, Options{MaxRunning: 1, MaxQueued: 16, Tenants: twoTenants()})
+		blocker, release := gate()
+		bsnap, err := s.Submit("blocker", 0, blocker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitStatus(t, s, bsnap.ID, StatusRunning)
+		jobIDs := submitFixture(t, s, log, mu, replay)
+		release()
+		for _, id := range jobIDs {
+			if _, err := s.Wait(context.Background(), id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mu.Lock()
+		got := fmt.Sprint(*log)
+		mu.Unlock()
+		if got != fmt.Sprint(wfqWant) {
+			t.Fatalf("replay=%v dispatch order %v, want %v", replay, got, wfqWant)
+		}
+	}
+}
+
+// TestTenantQuota: a tenant at its MaxPending bound is rejected with a
+// TenantQueueFullError (which is ErrQueueFull to every existing
+// consumer) while other tenants keep submitting; cancelling a queued
+// job frees the tenant's slot immediately.
+func TestTenantQuota(t *testing.T) {
+	s := NewStore(Options{MaxRunning: 1, MaxQueued: 16, Tenants: map[string]Tenant{
+		"a": {Weight: 1, MaxPending: 2},
+		"b": {Weight: 1},
+	}})
+	defer s.Close()
+	blocker, release := gate()
+	defer release()
+	bsnap, err := s.Submit("blocker", 0, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, bsnap.ID, StatusRunning)
+	nop := func(ctx context.Context, report Report) (any, error) { return nil, nil }
+	var queued []string
+	for i := 0; i < 2; i++ {
+		snap, err := s.SubmitJob(Submission{Tenant: "a", Label: "a", Fn: nop})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		queued = append(queued, snap.ID)
+	}
+	_, err = s.SubmitJob(Submission{Tenant: "a", Label: "a-over", Fn: nop})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-quota err = %v, want ErrQueueFull equivalence", err)
+	}
+	var tqf *TenantQueueFullError
+	if !errors.As(err, &tqf) || tqf.Tenant != "a" || tqf.Limit != 2 {
+		t.Fatalf("over-quota err = %#v, want TenantQueueFullError{a, 2}", err)
+	}
+	// Other tenants are not throttled by a's quota.
+	if _, err := s.SubmitJob(Submission{Tenant: "b", Label: "b", Fn: nop}); err != nil {
+		t.Fatalf("tenant b blocked by a's quota: %v", err)
+	}
+	// Cancelling a queued job frees the slot now, not at dispatch.
+	if snap, ok := s.Cancel(queued[0]); !ok || snap.Status != StatusCancelled {
+		t.Fatalf("cancel queued: %v %+v", ok, snap)
+	}
+	if _, err := s.SubmitJob(Submission{Tenant: "a", Label: "a-readmit", Fn: nop}); err != nil {
+		t.Fatalf("submit after freeing quota slot: %v", err)
+	}
+}
+
+// TestPreemptRequiresProgress: Preempting stays false until the batch
+// job has completed an item since its dispatch — the guaranteed unit of
+// progress that stops an anti-starvation dispatch from thrashing
+// straight back to the queue — and flips true once interactive work
+// waits behind a busy runner.
+func TestPreemptRequiresProgress(t *testing.T) {
+	s := NewStore(Options{MaxRunning: 1, MaxQueued: 8})
+	defer s.Close()
+	id := s.ReserveID()
+	step := make(chan struct{})
+	fin := make(chan struct{})
+	if _, err := s.SubmitJob(Submission{ID: id, Priority: PriorityBatch, Label: "batch", Total: 2,
+		Fn: func(ctx context.Context, report Report) (any, error) {
+			select {
+			case <-step:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			report(0, nil, nil)
+			select {
+			case <-fin:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			report(1, nil, nil)
+			return nil, nil
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, id, StatusRunning)
+	if s.Preempting(id) {
+		t.Fatal("Preempting true with no interactive work waiting")
+	}
+	inter, err := s.SubmitPriority(PriorityInteractive, "inter", 0, nopJob(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Preempting(id) {
+		t.Fatal("Preempting true before the dispatch made any progress")
+	}
+	step <- struct{}{}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if snap, _ := s.Get(id); snap.Completed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("item 0 never reported")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !s.Preempting(id) {
+		t.Fatal("Preempting false with interactive waiting and progress made")
+	}
+	if s.Preempting(inter.ID) {
+		t.Fatal("Preempting true for a non-running job")
+	}
+	close(fin)
+	if _, err := s.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(context.Background(), inter.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreemptResumeRoundTrip is the full yield cycle: a batch job
+// returns ErrPreempted after checkpointing, the waiting interactive job
+// runs to completion first, and the batch job is requeued — not
+// terminal — then re-dispatched and finishes with its earlier progress
+// intact and Resumes counting the round trip.
+func TestPreemptResumeRoundTrip(t *testing.T) {
+	s, log, mu := recordingStore(t, Options{MaxRunning: 1, MaxQueued: 8})
+	id := s.ReserveID()
+	const total = 3
+	state := 0 // items completed across dispatches; guarded by mu
+	step := make(chan struct{})
+	body := func(ctx context.Context, report Report) (any, error) {
+		for {
+			mu.Lock()
+			i := state
+			mu.Unlock()
+			if i >= total {
+				return "done", nil
+			}
+			select {
+			case <-step:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			report(i, fmt.Sprintf("item-%d", i), nil)
+			mu.Lock()
+			state++
+			mu.Unlock()
+			if s.Preempting(id) {
+				return nil, ErrPreempted
+			}
+		}
+	}
+	if _, err := s.SubmitJob(Submission{ID: id, Priority: PriorityBatch, Label: "batch", Total: total, Fn: body}); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, id, StatusRunning)
+	step <- struct{}{} // item 0: no interactive waiting, keeps running
+	inter, err := s.SubmitPriority(PriorityInteractive, "inter", 0, runOrderJob(log, mu, "inter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step <- struct{}{} // item 1: interactive now waiting -> yield
+	if _, err := s.Wait(context.Background(), inter.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The batch job must be alive (queued or re-running), never terminal.
+	snap, ok := s.Get(id)
+	if !ok || snap.Status.Terminal() {
+		t.Fatalf("preempted job state: %v %+v", ok, snap)
+	}
+	waitStatus(t, s, id, StatusRunning) // re-dispatched after the yield
+	step <- struct{}{}                  // item 2 finishes the job
+	final, err := s.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusSucceeded || final.Result != "done" {
+		t.Fatalf("final: %+v", final)
+	}
+	if final.Completed != total {
+		t.Fatalf("completed %d, want %d (progress lost across the resume)", final.Completed, total)
+	}
+	if final.Resumes != 1 {
+		t.Fatalf("resumes %d, want 1", final.Resumes)
+	}
+	if len(final.Results) != total || final.Results[0] != "item-0" || final.Results[2] != "item-2" {
+		t.Fatalf("partials lost across resume: %v", final.Results)
+	}
+	if st := s.Stats(); st.Preemptions != 1 {
+		t.Fatalf("stats preemptions %d, want 1", st.Preemptions)
+	}
+	// The interactive job ran during the yield window, before the batch
+	// job's final item.
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(*log) != fmt.Sprint([]string{"inter"}) {
+		t.Fatalf("log %v", *log)
+	}
+}
+
+// TestTenantListFilter: ListQuery.Tenant scopes listings to one tenant.
+func TestTenantListFilter(t *testing.T) {
+	s := NewStore(Options{MaxQueued: 8})
+	defer s.Close()
+	for _, tenant := range []string{"a", "b", "a"} {
+		snap, err := s.SubmitJob(Submission{Tenant: tenant, Label: tenant, Fn: nopJob(nil)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Wait(context.Background(), snap.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page, _ := s.ListPage(ListQuery{Tenant: "a"})
+	if len(page) != 2 {
+		t.Fatalf("tenant a sees %d jobs, want 2: %v", len(page), ids(page))
+	}
+	for _, snap := range page {
+		if snap.Tenant != "a" {
+			t.Fatalf("tenant filter leaked %+v", snap)
+		}
+	}
+	if page, _ := s.ListPage(ListQuery{}); len(page) != 3 {
+		t.Fatalf("unfiltered listing %v", ids(page))
+	}
+}

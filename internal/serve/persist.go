@@ -46,8 +46,15 @@ type jobWAL struct {
 	Workers    int           `json:"workers,omitempty"`
 	TimeoutSec float64       `json:"timeout_sec,omitempty"`
 	Priority   jobs.Priority `json:"priority,omitempty"`
+	Tenant     string        `json:"tenant,omitempty"`
 	CreatedAt  time.Time     `json:"created_at"`
 }
+
+// Checkpoint record keys: "ckpt|<job id>|<zero-padded item index>". The
+// padding keeps keys filename-safe and fixed-width; the index is also
+// inside the payload (EncodeCheckpointRecord), which is what replay
+// trusts — the key exists for the store's one-file-per-key dedup.
+func ckptKey(id string, idx int) string { return fmt.Sprintf("ckpt|%s|%06d", id, idx) }
 
 // WarmStats summarizes one boot's warm-start scan (the wire type
 // api.WarmStats).
@@ -229,12 +236,43 @@ func (s *Server) jobTerminalHook() func(snap jobs.Snapshot, shutdown bool) {
 	store := s.persist.jobs
 	return func(snap jobs.Snapshot, shutdown bool) {
 		if shutdown && snap.Status == jobs.StatusCancelled {
+			// Interrupted, not finished: keep the WAL and the checkpoints so
+			// the next boot resumes from the last completed item.
 			return
 		}
 		store.PutBlocking(persist.KindJob, jobSnapKey(snap.ID), 0, func() ([]byte, error) {
 			return json.Marshal(snap)
 		})
 		store.Delete(persist.KindJob, jobWALKey(snap.ID))
+		s.deleteCheckpoints(snap.ID, snap.Total)
+	}
+}
+
+// writeCheckpoint enqueues one finished grid item onto the write-behind
+// queue. Droppable by design: a lost checkpoint only means that item is
+// re-evaluated on replay.
+func (s *Server) writeCheckpoint(id string, idx int, res *Result) {
+	store := s.persist.jobs
+	if store == nil {
+		return
+	}
+	store.Put(persist.KindCheckpoint, ckptKey(id, idx), 0, func() ([]byte, error) {
+		payload, err := checkpointPayload(res)
+		if err != nil {
+			return nil, err
+		}
+		return persist.EncodeCheckpointRecord(persist.CheckpointRecord{JobID: id, Index: idx, Payload: payload})
+	})
+}
+
+// deleteCheckpoints retires a terminal job's checkpoint records.
+func (s *Server) deleteCheckpoints(id string, total int) {
+	store := s.persist.jobs
+	if store == nil {
+		return
+	}
+	for i := 0; i < total; i++ {
+		store.Delete(persist.KindCheckpoint, ckptKey(id, i))
 	}
 }
 
@@ -250,6 +288,7 @@ func (s *Server) logJobWAL(id string, reqs []Request, opts SweepJobOptions) {
 		Workers:    opts.Workers,
 		TimeoutSec: opts.Timeout.Seconds(),
 		Priority:   opts.Priority,
+		Tenant:     opts.Tenant,
 		CreatedAt:  time.Now(),
 	}
 	store.PutBlocking(persist.KindJob, jobWALKey(id), 0, func() ([]byte, error) {
@@ -277,10 +316,12 @@ func (s *Server) retireJobWAL(id string) {
 }
 
 // warmStartJobs restores terminal snapshots under their original IDs and
-// replays write-ahead jobs that never finished. Restores happen before
-// replays, so a job with both a snapshot and a stale WAL resolves to the
-// snapshot (Restore wins, SubmitWithID then fails and the WAL is
-// retired).
+// replays write-ahead jobs that never finished, seeding each replay with
+// its on-disk checkpoints so only unfinished grid items are re-evaluated.
+// Restores happen before replays, so a job with both a snapshot and a
+// stale WAL resolves to the snapshot (Restore wins, the replay submit
+// then fails and the WAL is retired). Checkpoints whose job is terminal
+// or unknown are deleted.
 func (s *Server) warmStartJobs() {
 	store := s.persist.jobs
 	if store == nil {
@@ -289,12 +330,22 @@ func (s *Server) warmStartJobs() {
 	var (
 		snaps []jobs.Snapshot
 		wals  []jobWAL
+		ckpts = map[string][]persist.CheckpointRecord{}
 	)
 	stats, err := store.Scan(1, func(rec persist.Record) error {
-		if rec.Kind != persist.KindJob {
-			return fmt.Errorf("serve: unexpected record kind %v in jobs dir", rec.Kind)
-		}
 		switch {
+		case rec.Kind == persist.KindCheckpoint && strings.HasPrefix(rec.Key, "ckpt|"):
+			ck, err := persist.DecodeCheckpointRecord(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if ckptKey(ck.JobID, ck.Index) != rec.Key {
+				return fmt.Errorf("serve: checkpoint key mismatch")
+			}
+			ckpts[ck.JobID] = append(ckpts[ck.JobID], ck)
+			return nil
+		case rec.Kind != persist.KindJob:
+			return fmt.Errorf("serve: unexpected record kind %v in jobs dir", rec.Kind)
 		case strings.HasPrefix(rec.Key, "job|"):
 			var snap jobs.Snapshot
 			if err := json.Unmarshal(rec.Payload, &snap); err != nil {
@@ -338,19 +389,58 @@ func (s *Server) warmStartJobs() {
 		terminal[snap.ID] = true
 		s.persist.warm.Jobs++
 	}
+	replayed := make(map[string]bool, len(wals))
 	for _, wal := range wals {
 		if terminal[wal.ID] || len(wal.Requests) == 0 {
 			s.retireJobWAL(wal.ID)
 			continue
 		}
-		opts := SweepJobOptions{Workers: wal.Workers, Timeout: secondsToTimeout(wal.TimeoutSec), Priority: wal.Priority}
-		_, fn := s.sweepJobFn(wal.Requests, opts)
-		if _, err := s.jobs.SubmitWithID(wal.ID, wal.Priority, sweepLabel(wal.Requests), len(wal.Requests), fn); err != nil {
+		opts := SweepJobOptions{
+			Workers:  wal.Workers,
+			Timeout:  secondsToTimeout(wal.TimeoutSec),
+			Priority: wal.Priority,
+			Tenant:   wal.Tenant,
+		}
+		run := s.newSweepRun(wal.ID, wal.Requests, opts, true)
+		for _, ck := range ckpts[wal.ID] {
+			if ck.Index >= len(wal.Requests) {
+				continue // stale checkpoint from an unrelated run of this ID
+			}
+			res, err := decodeCheckpointPayload(ck.Payload)
+			if err != nil {
+				s.persist.warm.Skipped++
+				store.Delete(persist.KindCheckpoint, ckptKey(ck.JobID, ck.Index))
+				continue
+			}
+			run.restore(ck.Index, res)
+			s.persist.warm.Checkpoints++
+		}
+		_, err := s.jobs.SubmitJob(jobs.Submission{
+			ID:       wal.ID,
+			Priority: wal.Priority,
+			Tenant:   wal.Tenant,
+			Label:    sweepLabel(wal.Requests),
+			Total:    len(wal.Requests),
+			Fn:       run.fn(),
+			Replay:   true,
+		})
+		if err != nil {
 			s.persist.warm.Skipped++
 			s.retireJobWAL(wal.ID)
 			continue
 		}
+		replayed[wal.ID] = true
 		s.persist.warm.Replayed++
+	}
+	// Orphan checkpoints — jobs already terminal, or with no WAL at all —
+	// will never be read again; reclaim the files.
+	for id, list := range ckpts {
+		if replayed[id] {
+			continue
+		}
+		for _, ck := range list {
+			store.Delete(persist.KindCheckpoint, ckptKey(id, ck.Index))
+		}
 	}
 }
 

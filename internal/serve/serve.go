@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -132,6 +133,14 @@ type BatchOptions struct {
 	// misses read through it before compiling — so any node's compile
 	// warm-starts every other node. Usable with or without the ring.
 	BlobURL string
+
+	// Tenants enables multi-tenant mode (see LoadTenantsFile and
+	// docs/TENANCY.md): every /v1 request must carry a bearer token from
+	// the tenant file, jobs are scheduled by per-tenant weighted fair
+	// queuing with per-tenant pending quotas, and each tenant sees only
+	// its own jobs. Nil (the default) keeps the server anonymous and
+	// open, byte-identical to earlier versions.
+	Tenants *Tenants
 }
 
 // DefaultMaxBodyBytes is the default HTTP request-body bound (1 MiB —
@@ -218,6 +227,11 @@ type Server struct {
 	persist persistState
 	cluster clusterState
 	start   time.Time
+	// mappingsEvaluated is the cumulative count of candidate mappings
+	// evaluated since boot, surfaced in /healthz. Checkpointed resume is
+	// observable through it: a resumed sweep adds only its unfinished
+	// items' evaluations.
+	mappingsEvaluated atomic.Int64
 
 	// ExperimentNames and RunExperiment are injected by the facade so the
 	// HTTP API can list and run paper reproductions without this package
@@ -256,6 +270,7 @@ func NewServer(opts BatchOptions) *Server {
 		MaxQueued:  opts.MaxQueuedJobs,
 		Retention:  opts.JobRetention,
 		RetryAfter: opts.JobRetryAfter,
+		Tenants:    opts.Tenants.JobTenants(),
 	}
 	if s.persist.jobs != nil {
 		jo.OnTerminal = s.jobTerminalHook()
@@ -281,11 +296,12 @@ func (s *Server) JobStats() jobs.Stats { return s.jobs.Stats() }
 // adaptive mode, the width tuner.
 func (s *Server) SearchStats() BudgetStats {
 	st := BudgetStats{
-		Capacity:        s.budget.capacity(),
-		Available:       s.budget.available(),
-		SearchWorkers:   s.opts.searchWorkers(),
-		BlockedAcquires: s.budget.blockedAcquires(),
-		Adaptive:        s.opts.adaptiveSearch(),
+		Capacity:          s.budget.capacity(),
+		Available:         s.budget.available(),
+		SearchWorkers:     s.opts.searchWorkers(),
+		BlockedAcquires:   s.budget.blockedAcquires(),
+		Adaptive:          s.opts.adaptiveSearch(),
+		MappingsEvaluated: s.mappingsEvaluated.Load(),
 	}
 	if st.Adaptive {
 		st.AdaptivePlans, st.TunedLayers = s.tuner.stats()
@@ -521,6 +537,7 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 		nr.MACs += r.MACs * int64(l.Repeat)
 		nr.MappingsEvaluated += int64(evaluated)
 	}
+	s.mappingsEvaluated.Add(nr.MappingsEvaluated)
 	res := &Result{
 		Tag:               requestTag(&req, arch.Name, net.Name),
 		Arch:              arch.Name,
@@ -573,8 +590,20 @@ func (s *Server) SweepN(reqs []Request, workers int) ([]*Result, error) {
 // returned in request order; on cancellation the partial slice is
 // returned alongside ctx.Err(), with never-dispatched items left nil.
 func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDone func(int, *Result)) ([]*Result, error) {
+	out, _, err := s.sweepCtx(ctx, reqs, workers, onDone, nil)
+	return out, err
+}
+
+// sweepCtx is the fan-out engine under SweepCtx and the preemptible
+// sweep-job body: an optional yield hook is polled at item boundaries
+// (before each evaluation starts), and once it reports true the sweep
+// stops dispatching, drains in-flight items, and returns
+// preempted=true with the never-evaluated slots left nil. Yield is
+// sticky — one true answer stops the whole remaining grid — so a
+// preempted job gives the queue back at the earliest safe point.
+func (s *Server) sweepCtx(ctx context.Context, reqs []Request, workers int, onDone func(int, *Result), yield func() bool) (_ []*Result, preempted bool, _ error) {
 	if len(reqs) == 0 {
-		return nil, errors.New("serve: empty sweep")
+		return nil, false, errors.New("serve: empty sweep")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -585,9 +614,23 @@ func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
+	var yielded atomic.Bool
+	shouldYield := func() bool {
+		if yield == nil {
+			return false
+		}
+		if yielded.Load() {
+			return true
+		}
+		if yield() {
+			yielded.Store(true)
+			return true
+		}
+		return false
+	}
 	type indexed struct {
 		i   int
-		res *Result // nil: skipped because the sweep was cancelled
+		res *Result // nil: skipped because the sweep was cancelled or preempted
 	}
 	feed := make(chan int)
 	done := make(chan indexed)
@@ -597,7 +640,7 @@ func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				if ctx.Err() != nil {
+				if ctx.Err() != nil || shouldYield() {
 					done <- indexed{i, nil}
 					continue
 				}
@@ -626,10 +669,13 @@ func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 			close(done)
 		}()
 		for i := range reqs {
+			if yielded.Load() {
+				return // stop dispatching the rest of the grid
+			}
 			select {
 			case feed <- i:
 			case <-ctx.Done():
-				return // stop dispatching the rest of the grid
+				return
 			}
 		}
 	}()
@@ -644,9 +690,9 @@ func (s *Server) SweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return out, err
+		return out, false, err
 	}
-	return out, nil
+	return out, yielded.Load(), nil
 }
 
 // SweepJobOptions tunes one async sweep job.
@@ -657,11 +703,18 @@ type SweepJobOptions struct {
 	// running (queue time excluded): the job context is wrapped in
 	// context.WithTimeout, so expiry aborts in-flight layer searches and
 	// the job fails with context.DeadlineExceeded. Zero means no deadline.
+	// A preempted-and-resumed batch job gets a fresh window on each
+	// dispatch — the deadline bounds continuous occupancy of a runner,
+	// not wall-clock lifetime.
 	Timeout time.Duration
 	// Priority is the job's scheduling class: interactive jobs dispatch
 	// before batch jobs (the default), FIFO within a class. Persisted in
 	// the write-ahead log, so a replayed job keeps its class.
 	Priority jobs.Priority
+	// Tenant attributes the job to a tenant for weighted fair queuing
+	// and quota accounting ("" = the anonymous tenant). The HTTP layer
+	// fills it from the authenticated bearer token.
+	Tenant string
 }
 
 // sweepLabel names a sweep job.
@@ -684,31 +737,6 @@ func secondsToTimeout(sec float64) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
-// sweepJobFn builds the job body for a sweep: fan the batch across the
-// pool, stream per-item completions into the job's progress, and return
-// the rendered sweep table. Shared between fresh submissions and
-// write-ahead-log replay so both run identically.
-func (s *Server) sweepJobFn(reqs []Request, opts SweepJobOptions) (int, jobs.Fn) {
-	return len(reqs), func(ctx context.Context, report jobs.Report) (any, error) {
-		if opts.Timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
-			defer cancel()
-		}
-		results, err := s.SweepCtx(ctx, reqs, opts.Workers, func(i int, r *Result) {
-			var itemErr error
-			if r.Err != "" {
-				itemErr = errors.New(r.Err)
-			}
-			report(i, r, itemErr)
-		})
-		if err != nil {
-			return nil, err
-		}
-		return SweepTable(results).String(), nil
-	}
-}
-
 // SubmitSweep enqueues a sweep as an async job: the batch fans across
 // the worker pool in the background, per-item completions stream into
 // the job's progress, and the finished job carries the rendered sweep
@@ -718,13 +746,17 @@ func (s *Server) SubmitSweep(reqs []Request, workers int) (jobs.Snapshot, error)
 	return s.SubmitSweepOpts(reqs, SweepJobOptions{Workers: workers})
 }
 
-// SubmitSweepOpts is SubmitSweep with per-job options (deadline). An
-// accepted job is write-ahead-logged when job persistence is enabled, so
-// a restart replays it if it never finished. The WAL record is enqueued
-// BEFORE the job becomes runnable (reserved ID), so even a job that
-// finishes instantly has its WAL on the write-behind queue ahead of its
-// terminal snapshot and WAL retirement — the FIFO writer then leaves no
-// stale WAL behind.
+// SubmitSweepOpts is SubmitSweep with per-job options (deadline,
+// priority, tenant). An accepted job is write-ahead-logged when job
+// persistence is enabled, so a restart replays it if it never finished.
+// The WAL record is enqueued BEFORE the job becomes runnable (reserved
+// ID), so even a job that finishes instantly has its WAL on the
+// write-behind queue ahead of its terminal snapshot and WAL retirement —
+// the FIFO writer then leaves no stale WAL behind. Batch jobs yield at
+// item boundaries when interactive work is waiting (see jobs.Store
+// preemption); completed items survive the yield in memory and — when
+// persistence is on — as on-disk checkpoints, so neither an in-process
+// resume nor a crash-replay repeats finished items.
 func (s *Server) SubmitSweepOpts(reqs []Request, opts SweepJobOptions) (jobs.Snapshot, error) {
 	if len(reqs) == 0 {
 		return jobs.Snapshot{}, errors.New("serve: empty sweep")
@@ -732,20 +764,31 @@ func (s *Server) SubmitSweepOpts(reqs []Request, opts SweepJobOptions) (jobs.Sna
 	if !opts.Priority.Valid() && opts.Priority != "" {
 		return jobs.Snapshot{}, fmt.Errorf("serve: unknown priority %q", opts.Priority)
 	}
-	total, fn := s.sweepJobFn(reqs, opts)
-	if s.persist.jobs == nil || !walExpressible(reqs) {
-		return s.jobs.SubmitPriority(opts.Priority, sweepLabel(reqs), total, fn)
-	}
+	// Always reserve the ID up front: the job body needs it to ask the
+	// queue "should I yield?" while running.
 	id := s.jobs.ReserveID()
-	s.logJobWAL(id, reqs, opts)
-	// Durability point: the 202 acknowledgment must mean the WAL is on
-	// disk, or a hard crash (kill -9, power loss) right after accepting
-	// would lose the job entirely. One fsync round per submission, well
-	// off the evaluation hot path.
-	s.persist.jobs.Flush()
-	snap, err := s.jobs.SubmitReserved(id, opts.Priority, sweepLabel(reqs), total, fn)
+	wal := s.persist.jobs != nil && walExpressible(reqs)
+	run := s.newSweepRun(id, reqs, opts, wal)
+	if wal {
+		s.logJobWAL(id, reqs, opts)
+		// Durability point: the 202 acknowledgment must mean the WAL is on
+		// disk, or a hard crash (kill -9, power loss) right after accepting
+		// would lose the job entirely. One fsync round per submission, well
+		// off the evaluation hot path.
+		s.persist.jobs.Flush()
+	}
+	snap, err := s.jobs.SubmitJob(jobs.Submission{
+		ID:       id,
+		Priority: opts.Priority,
+		Tenant:   opts.Tenant,
+		Label:    sweepLabel(reqs),
+		Total:    len(reqs),
+		Fn:       run.fn(),
+	})
 	if err != nil {
-		s.retireJobWAL(id) // rejected (queue full / closing): nothing to replay
+		if wal {
+			s.retireJobWAL(id) // rejected (queue full / closing): nothing to replay
+		}
 		return snap, err
 	}
 	return snap, nil

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"repro/internal/serve/jobs"
+)
+
+// sweepRun is the durable state of one sweep job across dispatches: which
+// grid items are finished (and their results), and which of those have
+// already been reported into the job's progress. A batch job that yields
+// to interactive work is requeued and later re-dispatched with the SAME
+// sweepRun, so the resumed run evaluates only the unfinished items; the
+// same structure seeds WAL replay from on-disk checkpoints after a
+// restart.
+type sweepRun struct {
+	srv  *Server
+	id   string
+	reqs []Request
+	opts SweepJobOptions
+	// ckpt: persist each item completion as a checkpoint record so a
+	// crash-replay also skips finished items.
+	ckpt bool
+
+	mu      sync.Mutex
+	done    []bool
+	results []*Result
+	// reported tracks which finished items this job has already streamed
+	// into its progress. An in-process resume keeps the job object (and
+	// its completed count), so only items restored from disk into a FRESH
+	// job — WAL replay — are re-reported.
+	reported []bool
+}
+
+func (s *Server) newSweepRun(id string, reqs []Request, opts SweepJobOptions, ckpt bool) *sweepRun {
+	return &sweepRun{
+		srv:      s,
+		id:       id,
+		reqs:     reqs,
+		opts:     opts,
+		ckpt:     ckpt,
+		done:     make([]bool, len(reqs)),
+		results:  make([]*Result, len(reqs)),
+		reported: make([]bool, len(reqs)),
+	}
+}
+
+// restore seeds one finished item from an on-disk checkpoint (boot-time
+// WAL replay, before the job is submitted). Out-of-range indices are
+// ignored — a stale checkpoint must not panic the boot scan.
+func (r *sweepRun) restore(i int, res *Result) {
+	if i < 0 || i >= len(r.reqs) || res == nil {
+		return
+	}
+	r.mu.Lock()
+	r.done[i] = true
+	r.results[i] = res
+	r.mu.Unlock()
+}
+
+// resultErr converts a per-item failure string back into the error the
+// progress stream expects.
+func resultErr(res *Result) error {
+	if res != nil && res.Err != "" {
+		return errors.New(res.Err)
+	}
+	return nil
+}
+
+// fn builds the job body. Each dispatch first reports any finished items
+// the job object has not seen (restored checkpoints on replay), then
+// fans out only the unfinished remainder, yielding at item boundaries
+// while the queue says interactive work is waiting.
+func (r *sweepRun) fn() jobs.Fn {
+	return func(ctx context.Context, report jobs.Report) (any, error) {
+		if r.opts.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
+			defer cancel()
+		}
+		r.mu.Lock()
+		var restored, pending []int
+		for i := range r.reqs {
+			switch {
+			case !r.done[i]:
+				pending = append(pending, i)
+			case !r.reported[i]:
+				r.reported[i] = true
+				restored = append(restored, i)
+			}
+		}
+		r.mu.Unlock()
+		for _, i := range restored {
+			report(i, r.results[i], resultErr(r.results[i]))
+		}
+		if len(pending) > 0 {
+			sub := make([]Request, len(pending))
+			for k, i := range pending {
+				sub[k] = r.reqs[i]
+			}
+			_, preempted, err := r.srv.sweepCtx(ctx, sub, r.opts.Workers,
+				func(k int, res *Result) {
+					i := pending[k]
+					r.mu.Lock()
+					r.done[i] = true
+					r.results[i] = res
+					r.reported[i] = true
+					r.mu.Unlock()
+					report(i, res, resultErr(res))
+					if r.ckpt {
+						r.srv.writeCheckpoint(r.id, i, res)
+					}
+				},
+				func() bool { return r.srv.jobs.Preempting(r.id) })
+			if err != nil {
+				return nil, err
+			}
+			if preempted {
+				return nil, jobs.ErrPreempted
+			}
+		}
+		r.mu.Lock()
+		full := make([]*Result, len(r.results))
+		copy(full, r.results)
+		r.mu.Unlock()
+		return SweepTable(full).String(), nil
+	}
+}
+
+// checkpointPayload serializes one finished item for its checkpoint
+// record (the JSON api.EvalResult).
+func checkpointPayload(res *Result) ([]byte, error) { return json.Marshal(res) }
+
+// decodeCheckpointPayload is the inverse, used by boot-time WAL replay.
+func decodeCheckpointPayload(data []byte) (*Result, error) {
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

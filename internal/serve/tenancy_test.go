@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve/jobs"
+)
+
+// twoTenantsYAML is the fixture most tenancy tests share: team-a carries
+// twice team-b's weight and a pending quota of 1.
+const twoTenantsYAML = `tenants:
+  - id: team-a
+    token: secret-a
+    weight: 2
+    max_pending: 1
+  - id: team-b
+    token: secret-b
+`
+
+func mustTenants(t *testing.T, text string) *Tenants {
+	t.Helper()
+	tn, err := ParseTenants(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+// tenantClient is testClient with header control: do() takes the bearer
+// token ("" sends no Authorization header) and returns the response
+// headers alongside the decoded body.
+func tenantClient(t *testing.T, srv *Server) func(token, method, path, body string) (int, http.Header, map[string]any) {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return func(token, method, path, body string) (int, http.Header, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+		return resp.StatusCode, resp.Header, out
+	}
+}
+
+func TestParseTenantsValid(t *testing.T) {
+	tn := mustTenants(t, twoTenantsYAML)
+	if !tn.Enabled() {
+		t.Fatal("parsed file must enable tenancy")
+	}
+	if ids := tn.IDs(); len(ids) != 2 || ids[0] != "team-a" || ids[1] != "team-b" {
+		t.Fatalf("IDs = %v", ids)
+	}
+	a, ok := tn.Get("team-a")
+	if !ok || a.Token != "secret-a" || a.Weight != 2 || a.MaxPending != 1 {
+		t.Fatalf("team-a = %+v", a)
+	}
+	// Omitted weight defaults to 1, omitted max_pending to 0.
+	b, ok := tn.Get("team-b")
+	if !ok || b.Weight != 1 || b.MaxPending != 0 {
+		t.Fatalf("team-b = %+v", b)
+	}
+	if tc, ok := tn.Lookup("secret-b"); !ok || tc.ID != "team-b" {
+		t.Fatalf("Lookup(secret-b) = %v, %v", tc, ok)
+	}
+	if _, ok := tn.Lookup("secret-c"); ok {
+		t.Fatal("unknown token must not resolve")
+	}
+	if _, ok := tn.Lookup(""); ok {
+		t.Fatal("empty token must not resolve")
+	}
+	jt := tn.JobTenants()
+	if jt["team-a"].Weight != 2 || jt["team-a"].MaxPending != 1 || jt["team-b"].Weight != 1 {
+		t.Fatalf("JobTenants = %v", jt)
+	}
+}
+
+func TestParseTenantsErrors(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"top level list", "- id: a\n", "top level"},
+		{"missing key", "other: 1\n", "missing or non-list"},
+		{"empty list", "tenants:\n", "missing or non-list"},
+		{"entry missing id", "tenants:\n  - token: x\n", "no 'id'"},
+		{"entry missing token", "tenants:\n  - id: a\n", "no 'token'"},
+		{"duplicate id", "tenants:\n  - id: a\n    token: x\n  - id: a\n    token: y\n", "duplicate tenant id"},
+		{"duplicate token", "tenants:\n  - id: a\n    token: x\n  - id: b\n    token: x\n", "reuses another tenant's token"},
+		{"zero weight", "tenants:\n  - id: a\n    token: x\n    weight: 0\n", "'weight' must be a positive number"},
+		{"negative weight", "tenants:\n  - id: a\n    token: x\n    weight: -2\n", "'weight' must be a positive number"},
+		{"fractional max_pending", "tenants:\n  - id: a\n    token: x\n    max_pending: 1.5\n", "'max_pending' must be a non-negative integer"},
+		{"negative max_pending", "tenants:\n  - id: a\n    token: x\n    max_pending: -1\n", "'max_pending' must be a non-negative integer"},
+		{"unknown key", "tenants:\n  - id: a\n    token: x\n    quota: 3\n", "unknown key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTenants(tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseTenants error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNilTenantsDisabled pins the "tenancy off" zero states the rest of
+// the server relies on: a nil *Tenants is a safe no-op everywhere.
+func TestNilTenantsDisabled(t *testing.T) {
+	var tn *Tenants
+	if tn.Enabled() {
+		t.Fatal("nil Tenants must be disabled")
+	}
+	if _, ok := tn.Lookup("x"); ok {
+		t.Fatal("nil Lookup must miss")
+	}
+	if _, ok := tn.Get("x"); ok {
+		t.Fatal("nil Get must miss")
+	}
+	if tn.IDs() != nil || tn.JobTenants() != nil {
+		t.Fatal("nil accessors must return nil")
+	}
+}
+
+func TestAuthRejectsAndAdmits(t *testing.T) {
+	srv := NewServer(BatchOptions{Tenants: mustTenants(t, twoTenantsYAML)})
+	defer srv.Close()
+	do := tenantClient(t, srv)
+
+	// Every rejection is the same 401 unauthorized envelope with a
+	// WWW-Authenticate challenge, and never echoes the presented token.
+	rejects := []struct {
+		name  string
+		token string
+	}{
+		{"missing header", ""},
+		{"unknown token", "secret-z"},
+	}
+	for _, tc := range rejects {
+		status, hdr, out := do(tc.token, "GET", "/v1/macros", "")
+		code, msg := envelope(t, out)
+		if status != http.StatusUnauthorized || code != "unauthorized" {
+			t.Fatalf("%s: %d %v", tc.name, status, out)
+		}
+		if !strings.Contains(hdr.Get("WWW-Authenticate"), "Bearer") {
+			t.Fatalf("%s: missing WWW-Authenticate challenge: %v", tc.name, hdr)
+		}
+		if strings.Contains(msg, "secret-z") {
+			t.Fatalf("%s: 401 message echoes the token: %q", tc.name, msg)
+		}
+	}
+
+	// A non-Bearer scheme is rejected the same way.
+	srvTS := httptest.NewServer(srv.Handler())
+	defer srvTS.Close()
+	req, _ := http.NewRequest("GET", srvTS.URL+"/v1/macros", nil)
+	req.Header.Set("Authorization", "Basic dXNlcjpwYXNz")
+	resp, err := srvTS.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("Basic auth: %d, want 401", resp.StatusCode)
+	}
+
+	// /healthz stays open: liveness probes carry no credentials.
+	status, _, out := do("", "GET", "/healthz", "")
+	if status != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz without token: %d %v", status, out)
+	}
+
+	// A configured token is admitted.
+	status, _, out = do("secret-a", "GET", "/v1/macros", "")
+	if status != http.StatusOK || out["macros"] == nil {
+		t.Fatalf("authorized request: %d %v", status, out)
+	}
+}
+
+// submitJob POSTs a sweep job as a tenant and returns its ID.
+func submitJob(t *testing.T, do func(token, method, path, body string) (int, http.Header, map[string]any), token, body string) string {
+	t.Helper()
+	status, _, out := do(token, "POST", "/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit as %s: %d %v", token, status, out)
+	}
+	job, _ := out["job"].(map[string]any)
+	id, _ := job["id"].(string)
+	if id == "" {
+		t.Fatalf("accepted job has no id: %v", out)
+	}
+	return id
+}
+
+func TestTenantJobScoping(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1, Tenants: mustTenants(t, twoTenantsYAML)})
+	defer srv.Close()
+	do := tenantClient(t, srv)
+
+	id := submitJob(t, do, "secret-a",
+		`{"macros": ["base"], "networks": ["toy"], "max_mappings": 2}`)
+
+	// The owner sees its job, tagged with its tenant id.
+	status, _, out := do("secret-a", "GET", "/v1/jobs/"+id, "")
+	if status != http.StatusOK || out["tenant"] != "team-a" {
+		t.Fatalf("owner get: %d %v", status, out)
+	}
+
+	// Another tenant gets a 404 indistinguishable from a missing job —
+	// existence must not leak — on get, events, and cancel.
+	for _, path := range []string{"/v1/jobs/" + id, "/v1/jobs/" + id + "/events"} {
+		status, _, out := do("secret-b", "GET", path, "")
+		if code, _ := envelope(t, out); status != http.StatusNotFound || code != "not_found" {
+			t.Fatalf("cross-tenant GET %s: %d %v", path, status, out)
+		}
+	}
+	status, _, out = do("secret-b", "POST", "/v1/jobs/"+id+"/cancel", "")
+	if code, _ := envelope(t, out); status != http.StatusNotFound || code != "not_found" {
+		t.Fatalf("cross-tenant cancel: %d %v", status, out)
+	}
+
+	// Listings are filtered to the caller's tenant.
+	status, _, out = do("secret-b", "GET", "/v1/jobs", "")
+	if status != http.StatusOK {
+		t.Fatalf("list as team-b: %d %v", status, out)
+	}
+	if jobsList, _ := out["jobs"].([]any); len(jobsList) != 0 {
+		t.Fatalf("team-b must not see team-a's jobs: %v", out["jobs"])
+	}
+	status, _, out = do("secret-a", "GET", "/v1/jobs", "")
+	if status != http.StatusOK {
+		t.Fatalf("list as team-a: %d %v", status, out)
+	}
+	if jobsList, _ := out["jobs"].([]any); len(jobsList) != 1 {
+		t.Fatalf("team-a must see exactly its job: %v", out["jobs"])
+	}
+}
+
+func TestTenantQueueFullEnvelope(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1, MaxRunningJobs: 1,
+		Tenants: mustTenants(t, twoTenantsYAML)})
+	defer srv.Close()
+	do := tenantClient(t, srv)
+
+	// A deep sweep occupies the single runner while two more try to
+	// queue behind it; team-a's max_pending is 1.
+	slow := `{"macros": ["base", "macro-b"], "networks": ["mobilenetv3-large"], "max_mappings": 8}`
+	quick := `{"macros": ["base"], "networks": ["toy"], "max_mappings": 2}`
+	submitJob(t, do, "secret-a", slow)  // running
+	submitJob(t, do, "secret-a", quick) // queued: quota now full
+
+	status, _, out := do("secret-a", "POST", "/v1/jobs", quick)
+	code, msg := envelope(t, out)
+	if status != http.StatusTooManyRequests || code != "queue_full" {
+		t.Fatalf("over-quota submit: %d %v", status, out)
+	}
+	if !strings.Contains(msg, "team-a") {
+		t.Fatalf("quota message must name the tenant: %q", msg)
+	}
+	details, _ := out["details"].(map[string]any)
+	if details["tenant"] != "team-a" {
+		t.Fatalf("429 must carry details.tenant: %v", out)
+	}
+	if ra, _ := out["retry_after_sec"].(float64); ra <= 0 {
+		t.Fatalf("429 must advise a retry delay: %v", out)
+	}
+
+	// One tenant at quota must not block another: team-b (no cap)
+	// still submits fine.
+	submitJob(t, do, "secret-b", quick)
+}
+
+// TestServePreemptResume drives the full preemption path at the serving
+// layer: a long batch sweep from one tenant yields at an item boundary
+// when another tenant's interactive job arrives, the interactive job
+// runs to completion on the freed runner, and the batch job resumes and
+// finishes every item (resumes > 0 on its terminal snapshot).
+func TestServePreemptResume(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1, MaxRunningJobs: 1,
+		Tenants: mustTenants(t, twoTenantsYAML)})
+	defer srv.Close()
+
+	batchReqs := []Request{
+		{Tag: "b0", Macro: "base", Network: "mobilenetv3-large", MaxMappings: 4},
+		{Tag: "b1", Macro: "macro-b", Network: "mobilenetv3-large", MaxMappings: 4},
+		{Tag: "b2", Macro: "base", Network: "resnet18", MaxMappings: 4},
+		{Tag: "b3", Macro: "macro-b", Network: "resnet18", MaxMappings: 4},
+	}
+	batch, err := srv.SubmitSweepOpts(batchReqs, SweepJobOptions{
+		Priority: jobs.PriorityBatch, Tenant: "team-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the batch job to make progress (the preemption rule
+	// guarantees one item before any yield), then file interactive work
+	// from the other tenant.
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for {
+		snap, ok := srv.Job(batch.ID)
+		if !ok {
+			t.Fatalf("batch job %s vanished", batch.ID)
+		}
+		if snap.Completed >= 1 {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatalf("batch job made no progress: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	inter, err := srv.SubmitSweepOpts([]Request{warmRequest()}, SweepJobOptions{
+		Priority: jobs.PriorityInteractive, Tenant: "team-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interFinal, err := srv.WaitJob(ctx, inter.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interFinal.Status != jobs.StatusSucceeded {
+		t.Fatalf("interactive job finished %s (%s)", interFinal.Status, interFinal.Error)
+	}
+	// The interactive job must have finished while the batch job still
+	// had work left: a preempted batch job cannot re-dispatch (single
+	// runner) until the interactive job releases it, so seeing the batch
+	// already terminal here means it drained instead of yielding.
+	if mid, ok := srv.Job(batch.ID); ok && mid.Status == jobs.StatusSucceeded {
+		t.Fatalf("batch job drained before the interactive job was served: %+v", mid)
+	}
+
+	batchFinal, err := srv.WaitJob(ctx, batch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchFinal.Status != jobs.StatusSucceeded {
+		t.Fatalf("batch job finished %s (%s)", batchFinal.Status, batchFinal.Error)
+	}
+	if batchFinal.Completed != len(batchReqs) {
+		t.Fatalf("batch completed %d/%d", batchFinal.Completed, len(batchReqs))
+	}
+	if batchFinal.Resumes < 1 {
+		t.Fatalf("batch job must have been preempted and resumed: %+v", batchFinal)
+	}
+	if table, ok := batchFinal.Result.(string); !ok || !strings.Contains(table, "b3") {
+		t.Fatalf("resumed batch job must still render its full table: %#v", batchFinal.Result)
+	}
+	if st := srv.JobStats(); st.Preemptions < 1 {
+		t.Fatalf("store stats must count the preemption: %+v", st)
+	}
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"os"
+
+	"repro/internal/serve/jobs"
+	"repro/internal/yamlite"
+)
+
+// TenantConfig is one tenant of a multi-tenant server: the bearer token
+// that authenticates it, its weighted-fair-queuing weight, and its
+// pending-job quota.
+type TenantConfig struct {
+	// ID names the tenant; it is threaded onto job snapshots, WAL
+	// records, and healthz queue stats. IDs are unique within a file.
+	ID string
+	// Token is the shared-secret bearer token. Tokens are unique within
+	// a file (a token must map to exactly one tenant).
+	Token string
+	// Weight is the tenant's WFQ share (> 0; 1 if omitted). A tenant
+	// with weight 2 dispatches twice as often as a tenant with weight 1
+	// when both have work queued.
+	Weight float64
+	// MaxPending caps the tenant's queued-or-running jobs; submissions
+	// beyond it get a per-tenant 429. 0 means no per-tenant cap.
+	MaxPending int
+}
+
+// Tenants is a parsed tenant file. A nil *Tenants means "tenancy off":
+// no auth required, every job runs under the anonymous tenant.
+type Tenants struct {
+	list []TenantConfig
+	byID map[string]*TenantConfig
+}
+
+// Enabled reports whether tenancy (and therefore auth) is on.
+func (t *Tenants) Enabled() bool { return t != nil && len(t.list) > 0 }
+
+// Lookup resolves a bearer token to its tenant. It compares the token
+// against every configured entry in constant time — no early exit — so
+// response timing does not leak which prefix of a guessed token matched.
+func (t *Tenants) Lookup(token string) (*TenantConfig, bool) {
+	if !t.Enabled() {
+		return nil, false
+	}
+	var found *TenantConfig
+	for i := range t.list {
+		tc := &t.list[i]
+		if subtle.ConstantTimeCompare([]byte(tc.Token), []byte(token)) == 1 {
+			found = tc
+		}
+	}
+	return found, found != nil
+}
+
+// Get returns the tenant with the given ID.
+func (t *Tenants) Get(id string) (*TenantConfig, bool) {
+	if !t.Enabled() {
+		return nil, false
+	}
+	tc, ok := t.byID[id]
+	return tc, ok
+}
+
+// IDs lists the configured tenant IDs in file order.
+func (t *Tenants) IDs() []string {
+	if !t.Enabled() {
+		return nil
+	}
+	ids := make([]string, len(t.list))
+	for i := range t.list {
+		ids[i] = t.list[i].ID
+	}
+	return ids
+}
+
+// JobTenants converts the file into the queue's per-tenant scheduling
+// table (jobs.Options.Tenants). Nil when tenancy is off.
+func (t *Tenants) JobTenants() map[string]jobs.Tenant {
+	if !t.Enabled() {
+		return nil
+	}
+	m := make(map[string]jobs.Tenant, len(t.list))
+	for i := range t.list {
+		tc := &t.list[i]
+		m[tc.ID] = jobs.Tenant{Weight: tc.Weight, MaxPending: tc.MaxPending}
+	}
+	return m
+}
+
+// ParseTenants decodes a tenant file:
+//
+//	tenants:
+//	  - id: team-a
+//	    token: secret-a
+//	    weight: 2
+//	    max_pending: 8
+//	  - id: team-b
+//	    token: secret-b
+//
+// Every entry needs an id and a token; weight defaults to 1 and must be
+// positive when given; max_pending defaults to 0 (uncapped). IDs and
+// tokens must each be unique across the file.
+func ParseTenants(text string) (*Tenants, error) {
+	doc, err := yamlite.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("tenants: %w", err)
+	}
+	root, ok := doc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("tenants: top level must be a mapping with a 'tenants' key")
+	}
+	rawList, ok := root["tenants"].([]any)
+	if !ok {
+		return nil, fmt.Errorf("tenants: missing or non-list 'tenants' key")
+	}
+	if len(rawList) == 0 {
+		return nil, fmt.Errorf("tenants: 'tenants' list is empty")
+	}
+	t := &Tenants{byID: make(map[string]*TenantConfig, len(rawList))}
+	seenID := make(map[string]bool, len(rawList))
+	seenToken := make(map[string]bool, len(rawList))
+	for n, raw := range rawList {
+		entry, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("tenants: entry %d is not a mapping", n+1)
+		}
+		tc := TenantConfig{Weight: 1}
+		for key, v := range entry {
+			switch key {
+			case "id":
+				tc.ID, ok = v.(string)
+				if !ok || tc.ID == "" {
+					return nil, fmt.Errorf("tenants: entry %d: 'id' must be a non-empty string", n+1)
+				}
+			case "token":
+				tc.Token, ok = v.(string)
+				if !ok || tc.Token == "" {
+					return nil, fmt.Errorf("tenants: entry %d: 'token' must be a non-empty string", n+1)
+				}
+			case "weight":
+				w, ok := v.(float64)
+				if !ok || w <= 0 {
+					return nil, fmt.Errorf("tenants: entry %d: 'weight' must be a positive number", n+1)
+				}
+				tc.Weight = w
+			case "max_pending":
+				mp, ok := v.(float64)
+				if !ok || mp != float64(int(mp)) || mp < 0 {
+					return nil, fmt.Errorf("tenants: entry %d: 'max_pending' must be a non-negative integer", n+1)
+				}
+				tc.MaxPending = int(mp)
+			default:
+				return nil, fmt.Errorf("tenants: entry %d: unknown key %q", n+1, key)
+			}
+		}
+		if tc.ID == "" {
+			return nil, fmt.Errorf("tenants: entry %d has no 'id'", n+1)
+		}
+		if tc.Token == "" {
+			return nil, fmt.Errorf("tenants: entry %d (%s) has no 'token'", n+1, tc.ID)
+		}
+		if seenID[tc.ID] {
+			return nil, fmt.Errorf("tenants: duplicate tenant id %q", tc.ID)
+		}
+		seenID[tc.ID] = true
+		if seenToken[tc.Token] {
+			return nil, fmt.Errorf("tenants: tenant %q reuses another tenant's token", tc.ID)
+		}
+		seenToken[tc.Token] = true
+		t.list = append(t.list, tc)
+	}
+	for i := range t.list {
+		t.byID[t.list[i].ID] = &t.list[i]
+	}
+	return t, nil
+}
+
+// LoadTenantsFile reads and parses a tenant file from disk.
+func LoadTenantsFile(path string) (*Tenants, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenants: %w", err)
+	}
+	return ParseTenants(string(data))
+}

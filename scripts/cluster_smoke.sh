@@ -58,7 +58,7 @@ echo "cluster_smoke: building cimloop"
 go build -o "$BIN" ./cmd/cimloop
 
 echo "cluster_smoke: booting blob tier + 3-node ring"
-"$BIN" blobd -addr "$BLOB_ADDR" -dir "$WORK/blob" & PIDS+=($!)
+"$BIN" blobd -addr "$BLOB_ADDR" -dir "$WORK/blob" & PIDS+=("$!")
 for _ in $(seq 1 100); do
   curl -sf "$BLOB/" >/dev/null 2>&1 && break
   sleep 0.1
@@ -66,11 +66,11 @@ done
 curl -sf "$BLOB/" >/dev/null || fail "blobd never came up"
 
 "$BIN" serve -addr "$A_ADDR" -workers 1 -async-threshold -1 \
-  -node-id node-a -peers "$PEERS" -blob "$BLOB" & PIDS+=($!)
+  -node-id node-a -peers "$PEERS" -blob "$BLOB" & PIDS+=("$!")
 "$BIN" serve -addr "$B_ADDR" -workers 1 -async-threshold -1 \
-  -node-id node-b -peers "$PEERS" -blob "$BLOB" & PIDS+=($!)
+  -node-id node-b -peers "$PEERS" -blob "$BLOB" & PIDS+=("$!")
 "$BIN" serve -addr "$C_ADDR" -workers 1 -async-threshold -1 \
-  -node-id node-c -peers "$PEERS" -blob "$BLOB" & C_PID=$!; PIDS+=($C_PID)
+  -node-id node-c -peers "$PEERS" -blob "$BLOB" & C_PID=$!; PIDS+=("$C_PID")
 wait_healthy "$A" node-a; wait_healthy "$B" node-b; wait_healthy "$C" node-c
 
 echo "cluster_smoke: cold compile on A, warm-share to B and C"
@@ -129,7 +129,7 @@ kill "${PIDS[0]}"; wait "${PIDS[0]}" 2>/dev/null || true
 # Fresh macros force remote lookups; each failure feeds the breaker
 # until /v1/cluster reports the tier down. Requests must keep working.
 UNHEALTHY=""
-for i in $(seq 1 50); do
+for _ in $(seq 1 50); do
   for MACRO in macro-a macro-b macro-c; do
     OUT=$(evaluate "$A" "$MACRO" -H 'X-Cimloop-Forwarded: smoke')
     echo "$OUT" | head -1 | grep -q ' 200 ' || fail "evaluate during blob outage"

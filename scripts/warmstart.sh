@@ -67,8 +67,8 @@ done
 [ "$STATUS" = succeeded ] || fail "job $JOB_ID still $STATUS"
 stop_server
 
-[ -n "$(ls -A "$CACHE_DIR")" ] || fail "cache dir is empty after shutdown"
-[ -n "$(ls -A "$JOBS_DIR")" ] || fail "jobs dir is empty after shutdown"
+[ -n "$(find "$CACHE_DIR" -mindepth 1 -print -quit)" ] || fail "cache dir is empty after shutdown"
+[ -n "$(find "$JOBS_DIR" -mindepth 1 -print -quit)" ] || fail "jobs dir is empty after shutdown"
 
 echo "warmstart: second instance — must start warm"
 start_server
