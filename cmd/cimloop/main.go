@@ -14,6 +14,7 @@
 //	cimloop blobd [-addr :8090] -dir DIR
 //	cimloop cluster status [-addr URL]
 //	cimloop jobs submit|list|status|wait|cancel [...] [-addr URL]
+//	cimloop obs slow|metrics [-addr URL]
 //
 // The jobs subcommands are a thin shell over the typed Go SDK
 // (internal/client) against the v1 wire contract (internal/serve/api,
@@ -43,12 +44,24 @@
 // layers a shared warm tier under the cache so any node's compile
 // warm-starts the others, `cimloop blobd` runs that tier, and `cimloop
 // cluster status` renders GET /v1/cluster. See docs/CLUSTER.md.
+//
+// Observability (see docs/OBSERVABILITY.md): every serve instance
+// exposes Prometheus-format metrics at GET /metrics and a slow-request
+// ring buffer at GET /v1/debug/slow; `cimloop obs metrics|slow` reads
+// both from the command line. -debug-addr starts a SECOND listener
+// (loopback recommended) with net/http/pprof plus /metrics and
+// /healthz — pprof is never mounted on the public address. A server
+// started with -tenants reloads the tenant file on SIGHUP: the new
+// file is validated first and the previous set is kept on any error,
+// so a bad rotation cannot lock out (or open up) a live server.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -95,6 +108,8 @@ func run(args []string) error {
 		return runCluster(args[1:])
 	case "jobs":
 		return runJobs(args[1:])
+	case "obs":
+		return runObs(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -118,7 +133,10 @@ func usage() {
                                                      submit an async sweep to a serve instance
   cimloop jobs list [-status S] [-limit N] [-cursor ID]  page and filter jobs
   cimloop jobs status <id>|wait <id>|cancel <id>     inspect and control async jobs
-                                                     (wait streams progress via SSE)`)
+                                                     (wait streams progress via SSE)
+  cimloop obs metrics [-addr URL]                    dump the Prometheus text exposition
+  cimloop obs slow [-addr URL] [-limit N] [-json]    show the slowest recent requests
+                                                     with per-phase timings`)
 }
 
 func runServe(args []string) error {
@@ -148,7 +166,11 @@ func runServe(args []string) error {
 	blob := fs.String("blob", "",
 		"shared blob-tier base URL (a cimloop blobd instance); any node's compile warm-starts the others")
 	tenantsFile := fs.String("tenants", "",
-		"tenant file (YAML): bearer tokens, fair-queuing weights, per-tenant quotas; enables auth (empty = open server)")
+		"tenant file (YAML): bearer tokens, fair-queuing weights, per-tenant quotas; enables auth (empty = open server); SIGHUP reloads it")
+	debugAddr := fs.String("debug-addr", "",
+		"extra listener with net/http/pprof, /metrics, and /healthz; bind to loopback — pprof is deliberately absent from -addr (empty = off)")
+	slowThreshold := fs.Duration("slow-threshold", 0,
+		"record only requests at least this slow in /v1/debug/slow (0 = record everything; negative = disable the slow log)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,6 +202,7 @@ func runServe(args []string) error {
 		ClusterVNodes:  *vnodes,
 		BlobURL:        *blob,
 		Tenants:        tenants,
+		SlowThreshold:  *slowThreshold,
 	})
 	// Requested-but-broken durability should fail loudly at startup, not
 	// silently serve cold forever.
@@ -200,6 +223,39 @@ func runServe(args []string) error {
 	// persistence queues before exit, so a restarted instance starts warm.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *tenantsFile != "" {
+		// SIGHUP rotates credentials without a restart. ReloadTenantsFile
+		// validates before swapping, so a half-written or empty file logs an
+		// error and the running set stays in force.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if err := srv.ReloadTenantsFile(*tenantsFile); err != nil {
+					fmt.Fprintf(os.Stderr, "cimloop: tenant reload failed, keeping previous set: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "cimloop: reloaded tenant file %s\n", *tenantsFile)
+				}
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		// The debug listener is a separate server on a separate address so
+		// pprof's heap and CPU profiles are never one bearer token away from
+		// the public API.
+		dbg := &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			fmt.Fprintf(os.Stderr, "cimloop: debug listener (pprof, metrics) on %s\n", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "cimloop: debug listener: %v\n", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			dbg.Close()
+		}()
+	}
 	fmt.Fprintf(os.Stderr, "cimloop: serving on %s\n", *addr)
 	return srv.ListenAndServeCtx(ctx, *addr)
 }

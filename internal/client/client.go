@@ -226,6 +226,30 @@ func (c *Client) Healthz(ctx context.Context) (api.HealthzResponse, error) {
 	return out, err
 }
 
+// Metrics fetches the server's Prometheus text exposition from
+// GET /metrics, returned verbatim (the format is line-oriented text,
+// not JSON — pipe it to a scraper or grep it).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	_, raw, err := c.roundTrip(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// DebugSlow fetches the server's slow-request ring buffer (newest
+// first). limit > 0 caps the entries returned; 0 returns everything
+// retained.
+func (c *Client) DebugSlow(ctx context.Context, limit int) (api.SlowResponse, error) {
+	path := "/v1/debug/slow"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out api.SlowResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
 // ClusterStatus fetches the server's ring membership, per-node health,
 // key-ownership split, and blob-tier state. A single-node server answers
 // with Enabled false.

@@ -237,3 +237,31 @@ func TestWaitJobDisableStream(t *testing.T) {
 	}
 	_ = srv
 }
+
+// TestClientObsEndpoints covers the SDK face of the observability
+// surfaces: Metrics returns the raw Prometheus exposition, DebugSlow
+// decodes the slow-request ring (newest first) and honors limit.
+func TestClientObsEndpoints(t *testing.T) {
+	_, c := liveServer(t, serve.BatchOptions{Workers: 2, AsyncThreshold: -1})
+	ctx := context.Background()
+	if _, err := c.Evaluate(ctx, api.EvalRequest{Macro: "base", Network: "toy", MaxMappings: 2}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil || !strings.Contains(text, "cimloop_evaluate_seconds_count") {
+		t.Fatalf("metrics: %v\n%s", err, text)
+	}
+	slow, err := c.DebugSlow(ctx, 0)
+	if err != nil || slow.Recorded == 0 || len(slow.Requests) == 0 {
+		t.Fatalf("slow: %+v %v", slow, err)
+	}
+	// Newest first: the evaluate's HTTP span leads (the slow GET itself
+	// is recorded only after its response is written).
+	if slow.Requests[0].Route != "POST /v1/evaluate" {
+		t.Fatalf("newest slow entry = %+v", slow.Requests[0])
+	}
+	limited, err := c.DebugSlow(ctx, 1)
+	if err != nil || len(limited.Requests) != 1 {
+		t.Fatalf("slow limit=1: %+v %v", limited, err)
+	}
+}

@@ -1,0 +1,534 @@
+// Package obs is the unified observability layer: a dependency-free,
+// race-safe metrics registry with Prometheus text exposition, plus
+// lightweight request tracing (spans carried on context.Context) and a
+// ring-buffer slow-request log.
+//
+// Every subsystem reports into one *Registry owned by the server; the
+// /metrics endpoint and the /healthz view both read from it, so there
+// is a single source of truth for operational counters.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxLabelSets bounds the number of distinct label-value
+// combinations a single labeled family will track. Combinations beyond
+// the bound collapse into a single overflow series whose label values
+// are all "other", so a misbehaving client cannot grow the scrape
+// output without bound.
+const DefaultMaxLabelSets = 64
+
+// LatencyBuckets are the fixed histogram bucket bounds (seconds) used
+// for every latency histogram in the server. Spanning 1ms..60s covers
+// cache hits through cold multi-layer sweeps.
+var LatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds metric families and scrape-time collectors. All
+// methods are safe for concurrent use. Instrument handles (Counter,
+// Gauge, Histogram) are cheap to update from hot paths: a counter
+// increment is one atomic add.
+type Registry struct {
+	mu         sync.RWMutex
+	families   map[string]*family
+	collectors []func(*Emit)
+	dropped    atomic.Uint64 // label sets collapsed into overflow series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histograms only
+	fn      func() float64
+
+	mu       sync.Mutex
+	series   map[string]*series
+	order    []*series
+	maxSets  int
+	overflow *series
+	reg      *Registry
+}
+
+type series struct {
+	labelVals []string
+	val       atomicFloat    // counter / gauge value
+	counts    []atomic.Int64 // histogram: len(buckets)+1, last is +Inf
+	sum       atomicFloat
+	n         atomic.Int64
+}
+
+// atomicFloat is a float64 updated with CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) Load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+func (r *Registry) family(name, help string, k kind, labels []string, buckets []float64, fn func() float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    k,
+		labels:  labels,
+		buckets: buckets,
+		fn:      fn,
+		series:  make(map[string]*series),
+		maxSets: DefaultMaxLabelSets,
+		reg:     r,
+	}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	if len(f.labels) > 0 && len(f.series) >= f.maxSets {
+		if f.overflow == nil {
+			vals := make([]string, len(f.labels))
+			for i := range vals {
+				vals[i] = "other"
+			}
+			f.overflow = f.newSeries(vals)
+			f.order = append(f.order, f.overflow)
+		}
+		f.reg.dropped.Add(1)
+		return f.overflow
+	}
+	s := f.newSeries(append([]string(nil), values...))
+	f.series[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+func (f *family) newSeries(values []string) *series {
+	s := &series{labelVals: values}
+	if f.kind == kindHistogram {
+		s.counts = make([]atomic.Int64, len(f.buckets)+1)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.val.Add(1) }
+
+// Add adds v; v must be non-negative.
+func (c *Counter) Add(v float64) { c.s.val.Add(v) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.s.val.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.s.val.Store(v) }
+
+// Add adjusts the value by v (may be negative).
+func (g *Gauge) Add(v float64) { g.s.val.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.s.val.Load() }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	buckets []float64
+	s       *series
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.s.counts[i].Add(1)
+	h.s.sum.Add(v)
+	h.s.n.Add(1)
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 { return h.s.n.Load() }
+
+// Sum returns the sum of all observations so far.
+func (h *Histogram) Sum() float64 { return h.s.sum.Load() }
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on
+// first use; collapses into the overflow series past the cardinality
+// bound).
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{s: v.f.get(values)} }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{s: v.f.get(values)} }
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{buckets: v.f.buckets, s: v.f.get(values)}
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, nil, nil, nil)
+	return &Counter{s: f.get(nil)}
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, labels, nil, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil, nil, nil)
+	return &Gauge{s: f.get(nil)}
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, labels, nil, nil)}
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.family(name, help, kindGauge, nil, nil, fn)
+}
+
+// CounterFunc registers a counter whose value is read at scrape time.
+// Use it to expose an existing monotonic counter (e.g. cache hits)
+// without migrating its storage.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.family(name, help, kindCounter, nil, nil, fn)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. A nil
+// buckets slice means LatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	f := r.family(name, help, kindHistogram, nil, buckets, nil)
+	return &Histogram{buckets: f.buckets, s: f.get(nil)}
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family. A
+// nil buckets slice means LatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	return &HistogramVec{f: r.family(name, help, kindHistogram, labels, buckets, nil)}
+}
+
+// SetMaxLabelSets overrides the cardinality bound for one family.
+func (r *Registry) SetMaxLabelSets(name string, n int) {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.maxSets = n
+	f.mu.Unlock()
+}
+
+// DroppedLabelSets returns how many label-set lookups were collapsed
+// into overflow series because of the cardinality bound.
+func (r *Registry) DroppedLabelSets() uint64 { return r.dropped.Load() }
+
+// Collect registers a scrape-time collector. Collectors emit snapshot
+// samples (typically derived from an existing Stats() producer) that
+// are merged into the text output alongside registered instruments.
+func (r *Registry) Collect(fn func(*Emit)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Emit receives samples from a collector during a scrape.
+type Emit struct {
+	fams map[string]*emitFamily
+	ord  []*emitFamily
+}
+
+type emitFamily struct {
+	name    string
+	help    string
+	kind    kind
+	samples []emitSample
+}
+
+type emitSample struct {
+	labels []string // alternating key, value
+	val    float64
+}
+
+func (e *Emit) add(name, help string, k kind, val float64, labels []string) {
+	if len(labels)%2 != 0 {
+		panic("obs: Emit labels must be key/value pairs")
+	}
+	f, ok := e.fams[name]
+	if !ok {
+		f = &emitFamily{name: name, help: help, kind: k}
+		e.fams[name] = f
+		e.ord = append(e.ord, f)
+	}
+	f.samples = append(f.samples, emitSample{labels: append([]string(nil), labels...), val: val})
+}
+
+// Counter emits one counter sample. labels alternate key, value.
+func (e *Emit) Counter(name, help string, val float64, labels ...string) {
+	e.add(name, help, kindCounter, val, labels)
+}
+
+// Gauge emits one gauge sample. labels alternate key, value.
+func (e *Emit) Gauge(name, help string, val float64, labels ...string) {
+	e.add(name, help, kindGauge, val, labels)
+}
+
+// WriteText renders the registry in Prometheus text exposition format:
+// families sorted by name, each with # HELP and # TYPE lines, series
+// in creation order, histograms expanded into cumulative _bucket /
+// _sum / _count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	collectors := append(make([]func(*Emit), 0, len(r.collectors)), r.collectors...)
+	r.mu.RUnlock()
+
+	e := &Emit{fams: make(map[string]*emitFamily)}
+	for _, fn := range collectors {
+		fn(e)
+	}
+
+	type block struct {
+		name string
+		text string
+	}
+	blocks := make([]block, 0, len(fams)+len(e.ord))
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		f.writeText(&b)
+		blocks = append(blocks, block{f.name, b.String()})
+	}
+	for _, ef := range e.ord {
+		b.Reset()
+		ef.writeText(&b)
+		blocks = append(blocks, block{ef.name, b.String()})
+	}
+	if n := r.dropped.Load(); n > 0 {
+		blocks = append(blocks, block{
+			"obs_label_sets_dropped_total",
+			"# HELP obs_label_sets_dropped_total Label sets collapsed into overflow series by the cardinality bound.\n" +
+				"# TYPE obs_label_sets_dropped_total counter\n" +
+				"obs_label_sets_dropped_total " + formatFloat(float64(n)) + "\n",
+		})
+	}
+	sort.SliceStable(blocks, func(i, j int) bool { return blocks[i].name < blocks[j].name })
+	for _, blk := range blocks {
+		if _, err := io.WriteString(w, blk.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	writeHeader(b, f.name, f.help, f.kind)
+	if f.fn != nil {
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(f.fn()))
+		b.WriteByte('\n')
+		return
+	}
+	f.mu.Lock()
+	order := append([]*series(nil), f.order...)
+	f.mu.Unlock()
+	for _, s := range order {
+		switch f.kind {
+		case kindHistogram:
+			var cum int64
+			for i, bound := range f.buckets {
+				cum += s.counts[i].Load()
+				writeSample(b, f.name+"_bucket", f.labels, s.labelVals, "le", formatFloat(bound), float64(cum))
+			}
+			cum += s.counts[len(f.buckets)].Load()
+			writeSample(b, f.name+"_bucket", f.labels, s.labelVals, "le", "+Inf", float64(cum))
+			writeSample(b, f.name+"_sum", f.labels, s.labelVals, "", "", s.sum.Load())
+			writeSample(b, f.name+"_count", f.labels, s.labelVals, "", "", float64(s.n.Load()))
+		default:
+			writeSample(b, f.name, f.labels, s.labelVals, "", "", s.val.Load())
+		}
+	}
+}
+
+func (f *emitFamily) writeText(b *strings.Builder) {
+	writeHeader(b, f.name, f.help, f.kind)
+	for _, s := range f.samples {
+		b.WriteString(f.name)
+		if len(s.labels) > 0 {
+			b.WriteByte('{')
+			for i := 0; i < len(s.labels); i += 2 {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(s.labels[i])
+				b.WriteString(`="`)
+				b.WriteString(escapeLabel(s.labels[i+1]))
+				b.WriteByte('"')
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(s.val))
+		b.WriteByte('\n')
+	}
+}
+
+func writeHeader(b *strings.Builder, name, help string, k kind) {
+	if help != "" {
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(help))
+		b.WriteByte('\n')
+	}
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(k.String())
+	b.WriteByte('\n')
+}
+
+func writeSample(b *strings.Builder, name string, labels, values []string, extraKey, extraVal string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraKey != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraKey)
+			b.WriteString(`="`)
+			b.WriteString(extraVal)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry as Prometheus
+// text format (version 0.0.4).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

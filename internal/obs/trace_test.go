@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanPhasesAccumulate(t *testing.T) {
+	sp := NewSpan("POST /v1/sweep")
+	sp.Observe("search", 100*time.Millisecond)
+	sp.Observe("compile", 50*time.Millisecond)
+	sp.Observe("search", 200*time.Millisecond)
+	got := sp.Phases()
+	if len(got) != 2 {
+		t.Fatalf("phases = %v, want 2 entries", got)
+	}
+	// First-observed order, accumulated totals.
+	if got[0].Phase != "search" || got[1].Phase != "compile" {
+		t.Errorf("order = %v, want search then compile", got)
+	}
+	if diff := got[0].Seconds - 0.3; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("search total = %v, want 0.3", got[0].Seconds)
+	}
+	if sp.Phase("compile") != 0.05 {
+		t.Errorf("Phase(compile) = %v", sp.Phase("compile"))
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var sp *Span
+	sp.Observe("x", time.Second) // must not panic
+	sp.SetTag("t")
+	sp.SetError("e")
+	if sp.Phases() != nil || sp.Tag() != "" || sp.Err() != "" || sp.Phase("x") != 0 {
+		t.Error("nil span should report zero values")
+	}
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on bare ctx should be nil")
+	}
+	ObservePhase(ctx, "x", time.Second) // no-op
+	Timed(ctx, "x")()                   // no-op
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	sp := NewSpan("op")
+	ctx := ContextWith(context.Background(), sp)
+	if FromContext(ctx) != sp {
+		t.Fatal("span lost on context round trip")
+	}
+	ObservePhase(ctx, "queue", 10*time.Millisecond)
+	stop := Timed(ctx, "work")
+	stop()
+	if sp.Phase("queue") != 0.01 {
+		t.Errorf("queue = %v", sp.Phase("queue"))
+	}
+	if len(sp.Phases()) != 2 {
+		t.Errorf("phases = %v", sp.Phases())
+	}
+}
+
+func TestSpanConcurrent(t *testing.T) {
+	sp := NewSpan("op")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp.Observe(fmt.Sprintf("p%d", w%3), time.Millisecond)
+				_ = sp.Phases()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range sp.Phases() {
+		total += p.Seconds
+	}
+	want := 8 * 500 * 0.001
+	if diff := total - want; diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("total = %v, want %v", total, want)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // fileSuffix marks store files; Scan ignores everything else in the dir.
@@ -67,7 +68,19 @@ type Store struct {
 	deleted     atomic.Uint64
 	writeErrors atomic.Uint64
 	dropped     atomic.Uint64
+
+	// observe, when set (via SetObserver, before the first Put), is
+	// invoked from the writer goroutine with each completed write's
+	// duration (encode + fsync + rename) and outcome — the seam the
+	// serving layer hangs its persist-latency histogram on.
+	observe func(d time.Duration, ok bool)
 }
+
+// SetObserver installs the write-latency callback. Call it right after
+// Open, before any Put: the writer goroutine reads the field only when
+// handling ops, and ops are ordered after the set through the queue
+// channel, so no lock is needed.
+func (s *Store) SetObserver(fn func(d time.Duration, ok bool)) { s.observe = fn }
 
 // Open creates (if needed) the store directory and starts the writer.
 // The directory is owned by one store in one process at a time; stale
@@ -213,10 +226,15 @@ func (s *Store) writer() {
 				s.writeErrors.Add(1)
 			}
 		default:
-			if err := s.writeFile(o); err != nil {
+			start := time.Now()
+			err := s.writeFile(o)
+			if err != nil {
 				s.writeErrors.Add(1)
 			} else {
 				s.written.Add(1)
+			}
+			if s.observe != nil {
+				s.observe(time.Since(start), err == nil)
 			}
 		}
 	}

@@ -15,6 +15,7 @@ package api
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/serve/jobs"
 	"repro/internal/workload"
@@ -337,6 +338,39 @@ type PersistStats struct {
 	Error string `json:"error,omitempty"`
 }
 
+// ObsStats is the healthz "obs" section. Every number here is read back
+// out of the server's metrics registry or its slow-request ring — the
+// JSON health view and the Prometheus /metrics exposition share one set
+// of producers, so the two surfaces cannot disagree.
+type ObsStats struct {
+	// Spans counts finished request spans (HTTP requests + sweep items).
+	Spans int64 `json:"spans"`
+	// SlowEntries is the slow-request ring's current occupancy;
+	// SlowRecorded counts every entry ever recorded, including evicted
+	// ones; SlowThresholdSec is the recording threshold (0 = record all,
+	// negative = disabled).
+	SlowEntries      int     `json:"slow_entries"`
+	SlowRecorded     uint64  `json:"slow_recorded"`
+	SlowThresholdSec float64 `json:"slow_threshold_sec"`
+	// DroppedLabelSets counts metric updates collapsed into an overflow
+	// series by the registry's label-cardinality bound.
+	DroppedLabelSets uint64 `json:"dropped_label_sets,omitempty"`
+	// TenantReloads / TenantReloadErrors count SIGHUP tenant-file
+	// hot-reload attempts by outcome.
+	TenantReloads      int64 `json:"tenant_reloads,omitempty"`
+	TenantReloadErrors int64 `json:"tenant_reload_errors,omitempty"`
+}
+
+// SlowResponse is the 200 body of GET /v1/debug/slow: the retained
+// slow-request entries, newest first.
+type SlowResponse struct {
+	Requests []obs.SlowEntry `json:"requests"`
+	// Recorded counts every entry ever recorded (evicted ones included);
+	// ThresholdSec is the server's recording threshold.
+	Recorded     uint64  `json:"recorded"`
+	ThresholdSec float64 `json:"threshold_sec"`
+}
+
 // Version is the wire-contract generation, reported by /healthz and
 // echoed per peer in /v1/cluster (so mixed-version rings are visible).
 const Version = "v1"
@@ -350,6 +384,7 @@ type HealthzResponse struct {
 	Jobs      jobs.Stats   `json:"jobs"`
 	Search    BudgetStats  `json:"search"`
 	Persist   PersistStats `json:"persist"`
+	Obs       ObsStats     `json:"obs"`
 }
 
 // ClusterNodeStatus is one ring member in GET /v1/cluster: its static

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve/jobs"
 )
 
@@ -91,6 +92,9 @@ func goldenCases() []struct {
 				Queued: 1, QueuedInteractive: 1, QueuedBatch: 0,
 				QueuedByTenant: map[string]int{"team-a": 1},
 				Running:        1, Finished: 3, Preemptions: 2,
+				Dispatches:          7,
+				DispatchesByTenant:  map[string]int64{"team-a": 5, "team-b": 2},
+				PreemptionsByTenant: map[string]int64{"team-a": 2},
 			},
 			NextCursor: "job-000007",
 		}},
@@ -119,6 +123,27 @@ func goldenCases() []struct {
 				Warm:    WarmStats{Engines: 1, Contexts: 2, Jobs: 3, Replayed: 1, Checkpoints: 2, Skipped: 1},
 				Error:   "jobs dir: permission denied",
 			},
+			Obs: ObsStats{
+				Spans: 42, SlowEntries: 8, SlowRecorded: 40, SlowThresholdSec: 0.25,
+				DroppedLabelSets: 3, TenantReloads: 2, TenantReloadErrors: 1,
+			},
+		}},
+		{"slow_response", SlowResponse{
+			Requests: []obs.SlowEntry{{
+				Route:       "POST /v1/evaluate",
+				Tag:         "macro-b/resnet18",
+				Tenant:      "team-a",
+				Start:       created,
+				DurationSec: 1.75,
+				Phases: []obs.PhaseTiming{
+					{Phase: "cache", Seconds: 0.05},
+					{Phase: "compile", Seconds: 0.9},
+					{Phase: "search", Seconds: 0.8},
+				},
+				Error: "context deadline exceeded",
+			}},
+			Recorded:     40,
+			ThresholdSec: 0.25,
 		}},
 		{"cluster_response", ClusterResponse{
 			Enabled:      true,
@@ -237,6 +262,8 @@ func newOfSameType(t *testing.T, v any) any {
 		return new(ExperimentRunResponse)
 	case HealthzResponse:
 		return new(HealthzResponse)
+	case SlowResponse:
+		return new(SlowResponse)
 	case ClusterResponse:
 		return new(ClusterResponse)
 	case Error:

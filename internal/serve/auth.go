@@ -14,10 +14,16 @@ import (
 // "Authorization: Bearer <token>" naming a configured tenant. The
 // authenticated tenant ID rides the request context into job
 // submission (WFQ weight + quota), job visibility (a tenant sees only
-// its own jobs), and listing filters. /healthz stays open — liveness
-// probes, cluster peer health checks, and load balancers must not need
-// credentials. Without a tenant file the middleware is a no-op and the
-// server behaves exactly as before.
+// its own jobs), and listing filters. /healthz and /metrics stay open —
+// liveness probes, cluster peer health checks, load balancers, and
+// scrape agents must not need credentials (and the exposition names
+// tenants by ID, never by token). Without a tenant file the middleware
+// is a no-op and the server behaves exactly as before.
+//
+// The middleware reads the live tenant set per request (Server.tenants,
+// an atomic pointer), so a SIGHUP reload rotates tokens without a
+// restart: in-flight requests finish under whichever set they started
+// with, and the next request sees the new one.
 
 // tenantKey carries the authenticated tenant ID through the request
 // context.
@@ -31,13 +37,14 @@ func tenantFrom(ctx context.Context) string {
 }
 
 // withAuth enforces bearer-token authentication when tenancy is on.
+// Tenancy on/off is fixed at boot (the handler chain is already built);
+// the token table itself is re-read per request so reloads take effect.
 func (s *Server) withAuth(next http.Handler) http.Handler {
-	t := s.opts.Tenants
-	if !t.Enabled() {
+	if !s.tenantSet().Enabled() {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -51,7 +58,7 @@ func (s *Server) withAuth(next http.Handler) http.Handler {
 			writeUnauthorized(w, "Authorization header is not a bearer token")
 			return
 		}
-		tc, ok := t.Lookup(strings.TrimSpace(auth[len(prefix):]))
+		tc, ok := s.tenantSet().Lookup(strings.TrimSpace(auth[len(prefix):]))
 		if !ok {
 			writeUnauthorized(w, "unknown bearer token")
 			return
@@ -76,7 +83,7 @@ func (s *Server) jobForTenant(r *http.Request, id string) (jobs.Snapshot, bool) 
 	if !ok {
 		return snap, false
 	}
-	if s.opts.Tenants.Enabled() && snap.Tenant != tenantFrom(r.Context()) {
+	if s.tenantSet().Enabled() && snap.Tenant != tenantFrom(r.Context()) {
 		return jobs.Snapshot{}, false
 	}
 	return snap, true

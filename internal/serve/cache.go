@@ -2,12 +2,14 @@ package serve
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve/api"
 	"repro/internal/workload"
 )
@@ -282,8 +284,18 @@ func (c *Cache) admit(key string, costSec float64, val any) {
 // Engine returns the compiled engine for an architecture, compiling it at
 // most once per content fingerprint.
 func (c *Cache) Engine(arch *core.Arch) (*core.Engine, error) {
+	return c.EngineCtx(context.Background(), arch)
+}
+
+// EngineCtx is Engine with trace attribution: when this lookup's caller
+// is the singleflight winner, the inline compilation is booked to the
+// caller's span as the "compile" phase. Losers that merely block on the
+// winner's fill record nothing under "compile" — their wait shows up as
+// cache time, which is what it is to them.
+func (c *Cache) EngineCtx(ctx context.Context, arch *core.Arch) (*core.Engine, error) {
 	key := engineKey(ArchFingerprint(arch))
 	v, err := c.getOrCompute(key, func() (any, error) {
+		defer obs.Timed(ctx, "compile")()
 		return core.NewEngine(arch)
 	})
 	if err != nil {
@@ -304,8 +316,18 @@ func (c *Cache) Engine(arch *core.Arch) (*core.Engine, error) {
 // are dropped and recomputed — the write-behind hook then overwrites the
 // bad record under the same key.
 func (c *Cache) LayerContext(eng *core.Engine, l workload.Layer) (*core.LayerContext, error) {
+	return c.LayerContextCtx(context.Background(), eng, l)
+}
+
+// LayerContextCtx is LayerContext with trace attribution (see
+// EngineCtx): a compilation run inline by this lookup lands in the
+// caller's span under "compile".
+func (c *Cache) LayerContextCtx(ctx context.Context, eng *core.Engine, l workload.Layer) (*core.LayerContext, error) {
 	key := contextKey(ArchFingerprint(eng.Arch()), LayerFingerprint(l))
-	compute := func() (any, error) { return eng.PrepareLayer(l) }
+	compute := func() (any, error) {
+		defer obs.Timed(ctx, "compile")()
+		return eng.PrepareLayer(l)
+	}
 	levels := len(eng.Arch().Levels)
 	for attempt := 0; ; attempt++ {
 		// The retry after an invalidation skips the warm loader: the bad

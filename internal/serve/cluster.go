@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/serve/api"
 )
@@ -247,6 +248,9 @@ func (s *Server) handleEvaluateRouted(w http.ResponseWriter, r *http.Request) {
 // content type, and body verbatim. Returns false — with nothing written —
 // if the owner could not be reached or did not answer coherently.
 func (s *Server) forwardEvaluate(w http.ResponseWriter, r *http.Request, body []byte, owner cluster.Node) bool {
+	// The whole proxy round trip — including streaming the owner's
+	// response back — is the request's "forward" phase.
+	defer obs.Timed(r.Context(), "forward")()
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 		owner.Addr+"/v1/evaluate", bytes.NewReader(body))
 	if err != nil {

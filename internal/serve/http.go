@@ -19,7 +19,14 @@ import (
 // and response body, the error envelope, and the SSE event format — is
 // defined in internal/serve/api and documented in docs/API.md:
 //
-//	GET  /healthz               liveness + cache/job/budget/persist stats
+//	GET  /healthz               liveness + cache/job/budget/persist/obs
+//	                            stats (a JSON view of the same producers
+//	                            /metrics exposes)
+//	GET  /metrics               Prometheus text exposition of the
+//	                            server's metrics registry (auth-exempt,
+//	                            like /healthz)
+//	GET  /v1/debug/slow         api.SlowResponse: the slow-request ring,
+//	                            newest first; ?limit= truncates
 //	GET  /v1/cluster            api.ClusterResponse: ring membership,
 //	                            per-node health/version, key-ownership
 //	                            split, blob-tier state
@@ -54,6 +61,8 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/debug/slow", s.handleSlow)
 	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluateRouted)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -67,8 +76,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("POST /v1/experiments", s.handleExperimentRun)
 	// Auth runs outside the mux so an unauthenticated request learns
-	// nothing about the route table; /healthz is exempt inside withAuth.
-	return withRecovery(withJSONErrors(s.withAuth(mux)))
+	// nothing about the route table; /healthz and /metrics are exempt
+	// inside withAuth. The obs middleware sits inside auth so spans carry
+	// the authenticated tenant and 401s never mint route label sets.
+	return withRecovery(withJSONErrors(s.withAuth(s.withObs(mux))))
 }
 
 // withJSONErrors rewrites the mux's built-in plain-text 404/405
@@ -206,6 +217,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:      s.JobStats(),
 		Search:    s.SearchStats(),
 		Persist:   s.PersistStats(),
+		Obs:       s.ObsStats(),
 	})
 }
 
@@ -367,7 +379,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		lq.Limit = n
 	}
 	lq.After = q.Get("cursor")
-	if s.opts.Tenants.Enabled() {
+	if s.tenantSet().Enabled() {
 		// A tenant lists only its own jobs; the shared Stats block still
 		// reflects the whole queue (capacity is a shared resource).
 		lq.Tenant = tenantFrom(r.Context())

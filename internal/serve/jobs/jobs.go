@@ -88,6 +88,12 @@ type Options struct {
 	// and per-tenant pending quota). Tenants absent from the map — and
 	// the anonymous tenant "" — run at weight 1 with no per-tenant bound.
 	Tenants map[string]Tenant
+	// ObserveDispatch, when set, is invoked outside the store mutex each
+	// time a queued job is dispatched to a runner, with the job's tenant,
+	// scheduling class, and how long it waited in the queue since its
+	// last (re-)enqueue. The serving layer feeds its queue-wait latency
+	// histogram from this hook.
+	ObserveDispatch func(tenant string, pri Priority, wait time.Duration)
 }
 
 func (o Options) maxRunning() int {
@@ -218,9 +224,12 @@ type job struct {
 	// resurrect it on the next boot).
 	userCancelled bool
 	created       time.Time
-	started       time.Time
-	finished      time.Time
-	done          chan struct{} // closed on terminal transition
+	// enqueued is when the job last entered the pending queue (admission
+	// or preemption requeue) — the queue-wait clock ObserveDispatch reads.
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{} // closed on terminal transition
 }
 
 // Store owns the jobs, their queue, and the runner goroutines. All
@@ -247,6 +256,13 @@ type Store struct {
 	tenants     map[string]*tenantState
 	enqSeq      int64
 	preemptions int64
+	// dispatched counts queued→running transitions since boot;
+	// dispatches and preempted break dispatch and preemption counts down
+	// by tenant id — the observable evidence that WFQ shares hold
+	// (ROADMAP item 2's per-tenant breakdowns).
+	dispatched int64
+	dispatches map[string]int64
+	preempted  map[string]int64
 	// hiStreak counts consecutive interactive dispatches while batch work
 	// waited — the deterministic anti-starvation counter.
 	hiStreak int
@@ -358,13 +374,32 @@ type Stats struct {
 	QueuedByTenant map[string]int `json:"queued_by_tenant,omitempty"`
 	// Preemptions counts yield-and-requeue round trips since boot.
 	Preemptions int64 `json:"preemptions,omitempty"`
+	// Dispatches counts queued→running transitions since boot.
+	Dispatches int64 `json:"dispatches,omitempty"`
+	// DispatchesByTenant breaks dispatches down by tenant id (absent when
+	// every dispatched job was anonymous) — the per-tenant WFQ share.
+	DispatchesByTenant map[string]int64 `json:"dispatches_by_tenant,omitempty"`
+	// PreemptionsByTenant breaks preemption round trips down by tenant id.
+	PreemptionsByTenant map[string]int64 `json:"preemptions_by_tenant,omitempty"`
 }
 
 // Stats snapshots the store's occupancy.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Preemptions: s.preemptions}
+	st := Stats{Preemptions: s.preemptions, Dispatches: s.dispatched}
+	if len(s.dispatches) > 0 {
+		st.DispatchesByTenant = make(map[string]int64, len(s.dispatches))
+		for t, n := range s.dispatches {
+			st.DispatchesByTenant[t] = n
+		}
+	}
+	if len(s.preempted) > 0 {
+		st.PreemptionsByTenant = make(map[string]int64, len(s.preempted))
+		for t, n := range s.preempted {
+			st.PreemptionsByTenant[t] = n
+		}
+	}
 	for _, j := range s.order {
 		switch {
 		case j.status == StatusQueued:
@@ -622,8 +657,22 @@ func (s *Store) run(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	j.dispatchBase = j.completed
+	s.dispatched++
+	if j.tenant != "" {
+		if s.dispatches == nil {
+			s.dispatches = make(map[string]int64)
+		}
+		s.dispatches[j.tenant]++
+	}
+	wait := time.Duration(0)
+	if !j.enqueued.IsZero() {
+		wait = j.started.Sub(j.enqueued)
+	}
 	s.bumpLocked(j)
 	s.mu.Unlock()
+	if s.opts.ObserveDispatch != nil {
+		s.opts.ObserveDispatch(j.tenant, j.priority.orDefault(), wait)
+	}
 
 	report := func(i int, partial any, err error) {
 		s.mu.Lock()
@@ -649,6 +698,12 @@ func (s *Store) run(j *job) {
 		j.status = StatusQueued
 		j.resumes++
 		s.preemptions++
+		if j.tenant != "" {
+			if s.preempted == nil {
+				s.preempted = make(map[string]int64)
+			}
+			s.preempted[j.tenant]++
+		}
 		s.requeueLocked(j)
 		s.bumpLocked(j)
 		s.mu.Unlock()

@@ -3,6 +3,7 @@ package jobs
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Tenant is one tenant's scheduling parameters. The store treats tenant
@@ -112,9 +113,21 @@ func (s *Store) requeueLocked(j *job) {
 	s.pushLocked(j, true)
 }
 
+// SetTenants atomically replaces the per-tenant scheduling table
+// (weights and pending quotas) — the hot-reload path under token
+// rotation. The new table governs future admissions and quota checks;
+// already-queued jobs keep the finish tags assigned at admission, so a
+// reload never reorders work already accepted.
+func (s *Store) SetTenants(t map[string]Tenant) {
+	s.mu.Lock()
+	s.opts.Tenants = t
+	s.mu.Unlock()
+}
+
 // pushLocked inserts a job into the pending structure (front=true for
 // preemption requeues) and wakes a runner.
 func (s *Store) pushLocked(j *job, front bool) {
+	j.enqueued = time.Now()
 	rank := j.priority.rank()
 	if s.pending[rank] == nil {
 		s.pending[rank] = make(map[string][]*job)

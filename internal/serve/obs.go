@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/serve/api"
+	"repro/internal/serve/jobs"
+)
+
+// Observability wiring: the server owns one obs.Registry that every
+// subsystem reports into, plus a slow-request ring. /metrics is the
+// Prometheus view of the registry; /healthz is the JSON view of the
+// same producers — both read the same counters, so the two surfaces
+// cannot drift apart. Request-scoped spans are created per HTTP
+// request and per sweep item, accumulate phase timings (queue, cache,
+// compile, search, forward) as the context flows serve → jobs → core →
+// mapper → persist → cluster, and land in phase histograms and the
+// slow log when they finish.
+
+// DefaultSlowLogSize bounds the /v1/debug/slow ring when
+// BatchOptions.SlowLogSize is zero.
+const DefaultSlowLogSize = 64
+
+func (o BatchOptions) slowLogSize() int {
+	if o.SlowLogSize > 0 {
+		return o.SlowLogSize
+	}
+	return DefaultSlowLogSize
+}
+
+// serverMetrics holds the hot-path instruments. Everything snapshot-
+// shaped (cache/jobs/budget/persist/cluster stats) is instead emitted
+// by the registry collector at scrape time — one producer, two views.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	requestsTotal   *obs.CounterVec   // route, code
+	requestSeconds  *obs.HistogramVec // route
+	phaseSeconds    *obs.HistogramVec // phase
+	evaluateSeconds *obs.Histogram
+	queueWait       *obs.HistogramVec // class
+	persistWrite    *obs.HistogramVec // store
+	tenantReloads   *obs.CounterVec   // result
+	spansTotal      *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		requestsTotal: reg.CounterVec("cimloop_http_requests_total",
+			"HTTP requests by route pattern and status code.", "route", "code"),
+		requestSeconds: reg.HistogramVec("cimloop_http_request_seconds",
+			"HTTP request latency by route pattern.", nil, "route"),
+		phaseSeconds: reg.HistogramVec("cimloop_request_phase_seconds",
+			"Time spent per traced request phase (queue, cache, compile, search, forward).", nil, "phase"),
+		evaluateSeconds: reg.Histogram("cimloop_evaluate_seconds",
+			"End-to-end latency of one evaluation (cache lookups + mapping search).", nil),
+		queueWait: reg.HistogramVec("cimloop_job_queue_wait_seconds",
+			"Time jobs spent queued before dispatch, by scheduling class.", nil, "class"),
+		persistWrite: reg.HistogramVec("cimloop_persist_write_seconds",
+			"Write-behind store write latency (encode + fsync + rename), by store.", nil, "store"),
+		tenantReloads: reg.CounterVec("cimloop_tenant_reloads_total",
+			"Tenant-file hot reloads by result (SIGHUP token rotation).", "result"),
+		spansTotal: reg.Counter("cimloop_spans_total",
+			"Finished request spans (HTTP requests and sweep items)."),
+	}
+}
+
+// Metrics returns the server's registry, for embedding programs that
+// want to add their own instruments or serve /metrics themselves.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// SlowRequests snapshots the slow-request ring, newest first.
+func (s *Server) SlowRequests() []obs.SlowEntry { return s.slow.Snapshot() }
+
+// finishSpan retires one span: phase histograms, the span counter, and
+// the slow log.
+func (s *Server) finishSpan(sp *obs.Span, d time.Duration) {
+	s.met.spansTotal.Inc()
+	for _, p := range sp.Phases() {
+		s.met.phaseSeconds.With(p.Phase).Observe(p.Seconds)
+	}
+	s.slow.RecordSpan(sp, d)
+}
+
+// registerCollectors wires the existing stat producers into the
+// registry as scrape-time collectors. /healthz reads the same
+// producers, so every series here has a healthz counterpart.
+func (s *Server) registerCollectors() {
+	reg := s.met.reg
+	reg.GaugeFunc("cimloop_uptime_seconds", "Seconds since boot.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.Collect(func(e *obs.Emit) {
+		cs := s.CacheStats()
+		e.Counter("cimloop_cache_hits_total", "Engine/context cache hits.", float64(cs.Hits))
+		e.Counter("cimloop_cache_misses_total", "Engine/context cache misses.", float64(cs.Misses))
+		e.Counter("cimloop_cache_evictions_total", "GDSF cache evictions.", float64(cs.Evictions))
+		e.Counter("cimloop_cache_restored_total", "Cache entries restored from warm tiers.", float64(cs.Restored))
+		e.Counter("cimloop_cache_compiles_total", "Cold compiles (engine or layer context).", float64(cs.Compiles))
+		e.Gauge("cimloop_cache_entries", "Live cache entries.", float64(cs.Entries))
+
+		js := s.JobStats()
+		e.Gauge("cimloop_jobs_queued", "Queued jobs by scheduling class.", float64(js.QueuedInteractive), "class", "interactive")
+		e.Gauge("cimloop_jobs_queued", "", float64(js.QueuedBatch), "class", "batch")
+		e.Gauge("cimloop_jobs_running", "Running jobs.", float64(js.Running))
+		e.Gauge("cimloop_jobs_finished", "Retained terminal jobs.", float64(js.Finished))
+		for t, n := range js.QueuedByTenant {
+			e.Gauge("cimloop_jobs_queued_by_tenant", "Queued jobs by tenant.", float64(n), "tenant", t)
+		}
+		e.Counter("cimloop_jobs_preemptions_total", "Batch-job preemption round trips.", float64(js.Preemptions))
+		// Per-tenant WFQ dispatch shares (ROADMAP item 2). The anonymous
+		// remainder keeps the per-tenant series summing to the total.
+		var tenantSum int64
+		for t, n := range js.DispatchesByTenant {
+			tenantSum += n
+			e.Counter("cimloop_wfq_dispatches_total", "Job dispatches by tenant (WFQ shares).", float64(n), "tenant", t)
+		}
+		if anon := js.Dispatches - tenantSum; anon > 0 {
+			e.Counter("cimloop_wfq_dispatches_total", "", float64(anon), "tenant", "")
+		}
+		for t, n := range js.PreemptionsByTenant {
+			e.Counter("cimloop_jobs_preempted_by_tenant_total", "Preemption round trips by tenant.", float64(n), "tenant", t)
+		}
+
+		bs := s.SearchStats()
+		e.Gauge("cimloop_search_budget_capacity", "Shared evaluation-concurrency budget size.", float64(bs.Capacity))
+		e.Gauge("cimloop_search_budget_available", "Free budget tokens (instantaneous).", float64(bs.Available))
+		e.Counter("cimloop_search_blocked_acquires_total", "Budget acquisitions that entered a blocking wait.", float64(bs.BlockedAcquires))
+		e.Counter("cimloop_mappings_evaluated_total", "Candidate mappings evaluated since boot.", float64(bs.MappingsEvaluated))
+
+		ps := s.PersistStats()
+		if ps.Enabled {
+			for _, st := range []struct {
+				name  string
+				stats persist.Stats
+			}{{"cache", ps.Cache}, {"jobs", ps.Jobs}} {
+				e.Counter("cimloop_persist_written_total", "Records written by the write-behind stores.", float64(st.stats.Written), "store", st.name)
+				e.Counter("cimloop_persist_deleted_total", "Records deleted by the write-behind stores.", float64(st.stats.Deleted), "store", st.name)
+				e.Counter("cimloop_persist_write_errors_total", "Write-behind store errors.", float64(st.stats.WriteErrors), "store", st.name)
+				e.Counter("cimloop_persist_dropped_total", "Non-blocking puts dropped by a full queue.", float64(st.stats.Dropped), "store", st.name)
+			}
+		}
+
+		if s.cluster.enabled {
+			e.Counter("cimloop_cluster_evaluations_total", "Routed evaluations by disposition.", float64(s.cluster.local.Load()), "route", "local")
+			e.Counter("cimloop_cluster_evaluations_total", "", float64(s.cluster.forwarded.Load()), "route", "forwarded")
+			e.Counter("cimloop_cluster_evaluations_total", "", float64(s.cluster.received.Load()), "route", "received")
+			e.Counter("cimloop_cluster_forward_errors_total", "Forwards that fell back to local evaluation.", float64(s.cluster.forwardErrs.Load()))
+		}
+
+		e.Gauge("cimloop_slow_log_entries", "Entries retained in the slow-request ring.", float64(s.slow.Len()))
+		e.Counter("cimloop_slow_log_recorded_total", "Requests ever recorded into the slow log.", float64(s.slow.Recorded()))
+	})
+}
+
+// ObsStats assembles the healthz "obs" section as a view of the
+// registry: every number here is read back from an obs instrument or
+// the slow log, not tracked separately.
+func (s *Server) ObsStats() api.ObsStats {
+	return api.ObsStats{
+		Spans:              int64(s.met.spansTotal.Value()),
+		SlowEntries:        s.slow.Len(),
+		SlowRecorded:       s.slow.Recorded(),
+		SlowThresholdSec:   s.slow.Threshold().Seconds(),
+		DroppedLabelSets:   s.met.reg.DroppedLabelSets(),
+		TenantReloads:      int64(s.met.tenantReloads.With("ok").Value()),
+		TenantReloadErrors: int64(s.met.tenantReloads.With("error").Value()),
+	}
+}
+
+// tenantSet is the live tenant table. It starts as BatchOptions.Tenants
+// and is replaced atomically by ReloadTenants, so every request-path
+// reader sees either the old or the new set, never a mix.
+func (s *Server) tenantSet() *Tenants { return s.tenants.Load() }
+
+// ReloadTenants swaps in a new tenant set without a restart — the
+// SIGHUP token-rotation path. The new set must be valid and non-empty,
+// and tenancy must have been enabled at boot (an open server cannot be
+// locked down retroactively, nor a tenanted one opened up: handlers
+// built without auth middleware are already serving). On any error the
+// old set stays in force untouched. Reloads are counted in the
+// registry (cimloop_tenant_reloads_total) and surfaced in /healthz.
+func (s *Server) ReloadTenants(t *Tenants) error {
+	err := func() error {
+		if !s.tenantSet().Enabled() {
+			return errors.New("serve: tenancy is off; restart with -tenants to enable it")
+		}
+		if !t.Enabled() {
+			return errors.New("serve: refusing to load an empty tenant set")
+		}
+		return nil
+	}()
+	if err != nil {
+		s.met.tenantReloads.With("error").Inc()
+		return err
+	}
+	s.tenants.Store(t)
+	s.jobs.SetTenants(t.JobTenants())
+	s.met.tenantReloads.With("ok").Inc()
+	return nil
+}
+
+// ReloadTenantsFile is ReloadTenants from a file path: parse and
+// validate first, swap only on success — a broken file on disk leaves
+// the running set untouched (and the failure counted).
+func (s *Server) ReloadTenantsFile(path string) error {
+	t, err := LoadTenantsFile(path)
+	if err != nil {
+		s.met.tenantReloads.With("error").Inc()
+		return err
+	}
+	return s.ReloadTenants(t)
+}
+
+// withObs wraps the mux with per-request tracing and metrics: a span on
+// the request context (phases filled in by the layers below), the
+// route/status counters, and the request-latency histogram. Routes are
+// labeled by mux pattern — bounded cardinality — never by raw path.
+// /healthz and /metrics are exempt: probes and scrapes arrive every few
+// seconds and would drown the signal they exist to read.
+func (s *Server) withObs(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		route := "unmatched"
+		if _, pattern := mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		sp := obs.NewSpan(route)
+		sp.Tenant = tenantFrom(r.Context())
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(rec, r.WithContext(obs.ContextWith(r.Context(), sp)))
+		d := time.Since(sp.Start())
+		s.met.requestsTotal.With(route, strconv.Itoa(rec.status)).Inc()
+		s.met.requestSeconds.With(route).Observe(d.Seconds())
+		if rec.status >= http.StatusBadRequest {
+			sp.SetError("HTTP " + strconv.Itoa(rec.status))
+		}
+		s.finishSpan(sp, d)
+	})
+}
+
+// statusRecorder captures the response status for the request counter,
+// forwarding Flush so SSE streams keep working through the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleMetrics serves the registry as Prometheus text format. Exempt
+// from auth like /healthz: scrape targets don't carry bearer tokens,
+// and the exposition names tenants by id, never by token.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.reg.Handler().ServeHTTP(w, r)
+}
+
+// handleSlow serves the slow-request ring (newest first). Behind auth
+// when tenancy is on — request tags and error strings are operator
+// data. ?limit=N truncates the snapshot.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	entries := s.slow.Snapshot()
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeAPIError(w, http.StatusBadRequest,
+				api.Errorf(api.CodeInvalidRequest, "limit must be a positive integer, got %q", v))
+			return
+		}
+		if n < len(entries) {
+			entries = entries[:n]
+		}
+	}
+	writeJSON(w, http.StatusOK, api.SlowResponse{
+		Requests:     entries,
+		Recorded:     s.slow.Recorded(),
+		ThresholdSec: s.slow.Threshold().Seconds(),
+	})
+}
+
+// DebugHandler is the opt-in debug listener's handler (`cimloop serve
+// -debug-addr`): net/http/pprof plus a /metrics alias. It is never
+// mounted on the public API listener — profiling endpoints expose heap
+// contents and must stay on an operator-only port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// observeDispatch is the jobs.Options hook feeding the queue-wait
+// histogram (per scheduling class; the per-tenant dispatch counters
+// live in jobs.Stats and are emitted by the collector).
+func (s *Server) observeDispatch(tenant string, pri jobs.Priority, wait time.Duration) {
+	s.met.queueWait.With(string(pri)).Observe(wait.Seconds())
+}

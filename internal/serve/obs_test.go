@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve/api"
+	"repro/internal/serve/jobs"
+)
+
+// rawGet fetches a path as plain text (the JSON-decoding helpers can't
+// read /metrics), with an optional bearer token.
+func rawGet(t *testing.T, ts *httptest.Server, path, token string) (int, string, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestMetricsExposition drives a tenant-attributed sweep job end to end
+// and asserts the Prometheus exposition carries the acceptance-critical
+// series: per-tenant WFQ dispatch counters, the search-phase and
+// evaluate latency histograms, cache counters, and HTTP route counters
+// — all scraped without credentials (/metrics is auth-exempt; tenants
+// appear by id, never by token).
+func TestMetricsExposition(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1, Tenants: mustTenants(t, twoTenantsYAML)})
+	defer srv.Close()
+	do := tenantClient(t, srv)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id := submitJob(t, do, "secret-a",
+		`{"macros": ["base", "macro-b"], "networks": ["toy"], "max_mappings": 2}`)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	snap, err := srv.WaitJob(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != jobs.StatusSucceeded {
+		t.Fatalf("job finished %s (%s)", snap.Status, snap.Error)
+	}
+	// One unroutable (but authenticated) request: must show up under the
+	// bounded "unmatched" route label, not its raw path.
+	if status, _, _ := rawGet(t, ts, "/no/such/path", "secret-a"); status != http.StatusNotFound {
+		t.Fatalf("bogus path: %d, want 404", status)
+	}
+
+	status, text, hdr := rawGet(t, ts, "/metrics", "") // no token: scrape stays open
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics without token: %d, want 200", status)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	for _, want := range []string{
+		"# TYPE cimloop_http_requests_total counter",
+		`cimloop_http_requests_total{route="POST /v1/jobs",code="202"} 1`,
+		`cimloop_http_requests_total{route="unmatched",code="404"} 1`,
+		`cimloop_wfq_dispatches_total{tenant="team-a"}`,
+		`cimloop_request_phase_seconds_count{phase="search"}`,
+		`cimloop_request_phase_seconds_count{phase="compile"}`,
+		"cimloop_evaluate_seconds_bucket{le=",
+		"cimloop_evaluate_seconds_count",
+		`cimloop_job_queue_wait_seconds_count{class="batch"}`,
+		"cimloop_cache_compiles_total",
+		"cimloop_cache_hits_total",
+		"cimloop_jobs_finished 1",
+		"cimloop_uptime_seconds",
+		"cimloop_spans_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", text)
+	}
+}
+
+// TestSlowLogCapturesSweepPhases pins the acceptance criterion: a sweep
+// produces per-item spans whose queue, compile, and search phase
+// timings are visible (non-zero) in /v1/debug/slow. The slow endpoint
+// itself stays behind auth — request tags and errors are operator data.
+func TestSlowLogCapturesSweepPhases(t *testing.T) {
+	srv := NewServer(BatchOptions{Workers: 1, Tenants: mustTenants(t, twoTenantsYAML)})
+	defer srv.Close()
+	do := tenantClient(t, srv)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id := submitJob(t, do, "secret-a",
+		`{"macros": ["base", "macro-b"], "networks": ["toy"], "max_mappings": 2}`)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if _, err := srv.WaitJob(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	if status, _, _ := rawGet(t, ts, "/v1/debug/slow", ""); status != http.StatusUnauthorized {
+		t.Fatalf("slow log without token: %d, want 401", status)
+	}
+	status, body, _ := rawGet(t, ts, "/v1/debug/slow", "secret-a")
+	if status != http.StatusOK {
+		t.Fatalf("GET /v1/debug/slow: %d %s", status, body)
+	}
+	var out api.SlowResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Recorded == 0 || len(out.Requests) == 0 {
+		t.Fatalf("slow log empty after a sweep: %+v", out)
+	}
+
+	phase := func(e obs.SlowEntry, name string) (float64, bool) {
+		for _, p := range e.Phases {
+			if p.Phase == name {
+				return p.Seconds, true
+			}
+		}
+		return 0, false
+	}
+	var items int
+	var sawQueued, sawCompiled, sawSearched, sawTenant bool
+	for _, e := range out.Requests {
+		if e.Route != "sweep-item" {
+			continue
+		}
+		items++
+		sawTenant = sawTenant || e.Tenant == "team-a"
+		if v, ok := phase(e, "queue"); ok && v > 0 {
+			sawQueued = true
+		}
+		if v, ok := phase(e, "compile"); ok && v > 0 {
+			sawCompiled = true
+		}
+		if v, ok := phase(e, "search"); ok && v > 0 {
+			sawSearched = true
+		}
+	}
+	if items < 2 {
+		t.Fatalf("want >= 2 sweep-item entries, got %d: %+v", items, out.Requests)
+	}
+	if !sawQueued || !sawCompiled || !sawSearched || !sawTenant {
+		t.Fatalf("sweep items must show non-zero queue/compile/search and the tenant "+
+			"(queue=%v compile=%v search=%v tenant=%v): %+v",
+			sawQueued, sawCompiled, sawSearched, sawTenant, out.Requests)
+	}
+	// The HTTP span for the submit is there too, labeled by route pattern.
+	var sawSubmit bool
+	for _, e := range out.Requests {
+		sawSubmit = sawSubmit || e.Route == "POST /v1/jobs"
+	}
+	if !sawSubmit {
+		t.Fatalf("missing the POST /v1/jobs span: %+v", out.Requests)
+	}
+
+	// ?limit truncates; a garbage limit is a 400 envelope.
+	status, body, _ = rawGet(t, ts, "/v1/debug/slow?limit=1", "secret-a")
+	var limited api.SlowResponse
+	if err := json.Unmarshal([]byte(body), &limited); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || len(limited.Requests) != 1 {
+		t.Fatalf("limit=1: %d with %d entries", status, len(limited.Requests))
+	}
+	if status, body, _ = rawGet(t, ts, "/v1/debug/slow?limit=zero", "secret-a"); status != http.StatusBadRequest {
+		t.Fatalf("limit=zero: %d %s, want 400", status, body)
+	}
+}
+
+// TestHealthzObsView pins /healthz as a view of the registry: the obs
+// section reports the same span and slow-log counters the instruments
+// hold, and the numbers move when requests happen.
+func TestHealthzObsView(t *testing.T) {
+	srv := NewServer(BatchOptions{MaxMappings: 2})
+	defer srv.Close()
+	_, do := testClient(t, srv)
+
+	do("POST", "/v1/evaluate", `{"macro": "base", "network": "toy", "max_mappings": 2}`)
+	_, health := do("GET", "/healthz", "")
+	ob, ok := health["obs"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz must expose an obs section: %v", health)
+	}
+	spans, _ := ob["spans"].(float64)
+	recorded, _ := ob["slow_recorded"].(float64)
+	if spans < 1 || recorded < 1 {
+		t.Fatalf("obs counters must move after a request: %v", ob)
+	}
+	st := srv.ObsStats()
+	if int64(spans) != st.Spans || uint64(recorded) != st.SlowRecorded {
+		t.Fatalf("healthz obs (%v) drifted from ObsStats (%+v)", ob, st)
+	}
+}
+
+// TestReloadTenants covers the SIGHUP rotation contract: a valid new
+// set swaps atomically (old token out, new token in), every invalid
+// reload keeps the old set in force, and both outcomes are counted.
+func TestReloadTenants(t *testing.T) {
+	srv := NewServer(BatchOptions{Tenants: mustTenants(t, twoTenantsYAML)})
+	defer srv.Close()
+	do := tenantClient(t, srv)
+
+	if status, _, out := do("secret-a", "GET", "/v1/macros", ""); status != http.StatusOK {
+		t.Fatalf("baseline auth: %d %v", status, out)
+	}
+
+	rotated := mustTenants(t, `tenants:
+  - id: team-a
+    token: rotated-a
+    weight: 2
+  - id: team-b
+    token: secret-b
+`)
+	if err := srv.ReloadTenants(rotated); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ := do("secret-a", "GET", "/v1/macros", ""); status != http.StatusUnauthorized {
+		t.Fatalf("old token after rotation: %d, want 401", status)
+	}
+	if status, _, _ := do("rotated-a", "GET", "/v1/macros", ""); status != http.StatusOK {
+		t.Fatalf("rotated token: %d, want 200", status)
+	}
+
+	// A nil/empty set must be refused — rotating to "no tenants" would
+	// silently open the server.
+	if err := srv.ReloadTenants(nil); err == nil {
+		t.Fatal("reloading an empty tenant set must fail")
+	}
+	// A broken file on disk must be refused with the old set kept.
+	bad := filepath.Join(t.TempDir(), "tenants.yaml")
+	if err := os.WriteFile(bad, []byte("tenants:\n  - id: x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ReloadTenantsFile(bad); err == nil {
+		t.Fatal("reloading a tenant file with no tokens must fail")
+	}
+	if status, _, _ := do("rotated-a", "GET", "/v1/macros", ""); status != http.StatusOK {
+		t.Fatal("failed reloads must keep the previous set serving")
+	}
+	// A good file swaps.
+	good := filepath.Join(t.TempDir(), "tenants.yaml")
+	if err := os.WriteFile(good, []byte("tenants:\n  - id: team-c\n    token: secret-c\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ReloadTenantsFile(good); err != nil {
+		t.Fatal(err)
+	}
+	if status, _, _ := do("secret-c", "GET", "/v1/macros", ""); status != http.StatusOK {
+		t.Fatal("file reload must admit the new tenant")
+	}
+
+	st := srv.ObsStats()
+	if st.TenantReloads != 2 || st.TenantReloadErrors != 2 {
+		t.Fatalf("reload counters = %d ok / %d error, want 2/2", st.TenantReloads, st.TenantReloadErrors)
+	}
+
+	// An open server cannot be locked down retroactively: its handler
+	// chain was built without the auth middleware.
+	open := NewServer(BatchOptions{})
+	defer open.Close()
+	if err := open.ReloadTenants(mustTenants(t, twoTenantsYAML)); err == nil {
+		t.Fatal("enabling tenancy on a running open server must fail")
+	}
+}
+
+// TestDebugHandler pins the pprof split: the opt-in debug handler
+// serves profiles (plus /metrics and /healthz for convenience), and the
+// public API handler refuses /debug/pprof/ outright.
+func TestDebugHandler(t *testing.T) {
+	srv := NewServer(BatchOptions{})
+	defer srv.Close()
+
+	dbg := httptest.NewServer(srv.DebugHandler())
+	defer dbg.Close()
+	status, body, _ := rawGet(t, dbg, "/debug/pprof/", "")
+	if status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index on debug listener: %d", status)
+	}
+	if status, body, _ = rawGet(t, dbg, "/metrics", ""); status != http.StatusOK ||
+		!strings.Contains(body, "cimloop_uptime_seconds") {
+		t.Fatalf("debug /metrics: %d", status)
+	}
+	if status, _, _ = rawGet(t, dbg, "/healthz", ""); status != http.StatusOK {
+		t.Fatalf("debug /healthz: %d", status)
+	}
+
+	pub := httptest.NewServer(srv.Handler())
+	defer pub.Close()
+	if status, _, _ = rawGet(t, pub, "/debug/pprof/", ""); status == http.StatusOK {
+		t.Fatal("pprof must never be reachable on the public listener")
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/macros"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/report"
 	"repro/internal/serve/api"
@@ -139,8 +140,18 @@ type BatchOptions struct {
 	// the tenant file, jobs are scheduled by per-tenant weighted fair
 	// queuing with per-tenant pending quotas, and each tenant sees only
 	// its own jobs. Nil (the default) keeps the server anonymous and
-	// open, byte-identical to earlier versions.
+	// open, byte-identical to earlier versions. The set can be hot-swapped
+	// later via ReloadTenants (the CLI wires SIGHUP to it).
 	Tenants *Tenants
+
+	// SlowLogSize bounds the /v1/debug/slow request ring (default
+	// DefaultSlowLogSize).
+	SlowLogSize int
+	// SlowThreshold is the duration at or above which a finished request
+	// or sweep item is captured into the slow log. Zero (the default)
+	// records everything — the ring is small and this keeps
+	// /v1/debug/slow useful out of the box; negative disables recording.
+	SlowThreshold time.Duration
 }
 
 // DefaultMaxBodyBytes is the default HTTP request-body bound (1 MiB —
@@ -227,6 +238,15 @@ type Server struct {
 	persist persistState
 	cluster clusterState
 	start   time.Time
+	// met and slow are the observability spine (see obs.go): every
+	// subsystem reports into met's registry, /metrics and /healthz are
+	// two views of it, and finished request spans land in slow.
+	met  *serverMetrics
+	slow *obs.SlowLog
+	// tenants is the live tenant set. It is read per request and swapped
+	// atomically by ReloadTenants (SIGHUP token rotation), so a reload
+	// never tears a request between two sets.
+	tenants atomic.Pointer[Tenants]
 	// mappingsEvaluated is the cumulative count of candidate mappings
 	// evaluated since boot, surfaced in /healthz. Checkpointed resume is
 	// observable through it: a resumed sweep adds only its unfinished
@@ -255,7 +275,16 @@ func NewServer(opts BatchOptions) *Server {
 		budget: newTokenBudget(opts.budgetCapacity()),
 		start:  time.Now(),
 	}
+	s.met = newServerMetrics(obs.NewRegistry())
+	s.slow = obs.NewSlowLog(opts.slowLogSize(), opts.SlowThreshold)
+	s.tenants.Store(opts.Tenants)
 	s.openPersist(opts.CacheDir, opts.JobsDir)
+	if s.persist.cache != nil {
+		s.persist.cache.SetObserver(s.persistObserver("cache"))
+	}
+	if s.persist.jobs != nil {
+		s.persist.jobs.SetObserver(s.persistObserver("jobs"))
+	}
 	s.initCluster(opts)
 	if s.persist.cache != nil || s.cluster.remote != nil {
 		s.cache.onFill = s.cacheFillHook()
@@ -266,11 +295,12 @@ func NewServer(opts BatchOptions) *Server {
 		s.cache.loader = s.remoteLoader()
 	}
 	jo := jobs.Options{
-		MaxRunning: opts.MaxRunningJobs,
-		MaxQueued:  opts.MaxQueuedJobs,
-		Retention:  opts.JobRetention,
-		RetryAfter: opts.JobRetryAfter,
-		Tenants:    opts.Tenants.JobTenants(),
+		MaxRunning:      opts.MaxRunningJobs,
+		MaxQueued:       opts.MaxQueuedJobs,
+		Retention:       opts.JobRetention,
+		RetryAfter:      opts.JobRetryAfter,
+		Tenants:         opts.Tenants.JobTenants(),
+		ObserveDispatch: s.observeDispatch,
 	}
 	if s.persist.jobs != nil {
 		jo.OnTerminal = s.jobTerminalHook()
@@ -281,9 +311,17 @@ func NewServer(opts BatchOptions) *Server {
 		}
 	}
 	s.jobs = jobs.NewStore(jo)
+	s.registerCollectors()
 	s.warmStartCache()
 	s.warmStartJobs()
 	return s
+}
+
+// persistObserver adapts one write-behind store's latency callback onto
+// the per-store write histogram.
+func (s *Server) persistObserver(store string) func(d time.Duration, ok bool) {
+	h := s.met.persistWrite.With(store)
+	return func(d time.Duration, ok bool) { h.Observe(d.Seconds()) }
 }
 
 // CacheStats snapshots the shared cache counters.
@@ -443,6 +481,7 @@ func (s *Server) Evaluate(req Request) (*Result, error) {
 // work instead of finishing the evaluation.
 func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) {
 	started := time.Now()
+	sp := obs.FromContext(ctx)
 	arch, err := resolveArch(&req)
 	if err != nil {
 		return nil, err
@@ -454,10 +493,13 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
-	eng, err := s.cache.Engine(arch)
+	lookup := time.Now()
+	compiled := sp.Phase("compile")
+	eng, err := s.cache.EngineCtx(ctx, arch)
 	if err != nil {
 		return nil, err
 	}
+	compiled = observeCacheLookup(sp, lookup, compiled)
 	mappings := req.MaxMappings
 	if mappings <= 0 {
 		mappings = s.opts.mappings()
@@ -495,10 +537,12 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		lctx, err := s.cache.LayerContext(eng, l)
+		lookup = time.Now()
+		lctx, err := s.cache.LayerContextCtx(ctx, eng, l)
 		if err != nil {
 			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
 		}
+		compiled = observeCacheLookup(sp, lookup, compiled)
 		// The calling goroutine is one search worker for free; extras are
 		// borrowed per layer from the shared budget so concurrent requests
 		// split the machine instead of stacking goroutines. Returned
@@ -524,6 +568,7 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 			SampleShards:  shards,
 		})
 		s.budget.release(extra)
+		sp.Observe("search", time.Since(searchStart))
 		if err != nil {
 			return nil, fmt.Errorf("serve: network %q layer %q: %w", net.Name, l.Name, err)
 		}
@@ -553,7 +598,24 @@ func (s *Server) EvaluateCtx(ctx context.Context, req Request) (*Result, error) 
 		MappingsEvaluated: nr.MappingsEvaluated,
 		NetworkResult:     nr,
 	}
+	sp.SetTag(res.Tag)
+	s.met.evaluateSeconds.Observe(time.Since(started).Seconds())
 	return res, nil
+}
+
+// observeCacheLookup attributes one cache lookup to the span: the
+// elapsed wall time minus whatever "compile" time the lookup itself
+// accrued (the singleflight winner runs the compute closure inline, and
+// its obs.Timed already booked that under "compile") is pure cache
+// overhead. Returns the span's new cumulative compile seconds, to seed
+// the next call. Nil-span safe.
+func observeCacheLookup(sp *obs.Span, start time.Time, compiledBefore float64) float64 {
+	compiledNow := sp.Phase("compile")
+	d := time.Since(start).Seconds() - (compiledNow - compiledBefore)
+	if d > 0 {
+		sp.Observe("cache", time.Duration(d*float64(time.Second)))
+	}
+	return compiledNow
 }
 
 func requestTag(r *Request, archName, netName string) string {
@@ -632,6 +694,8 @@ func (s *Server) sweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 		i   int
 		res *Result // nil: skipped because the sweep was cancelled or preempted
 	}
+	sweepStart := time.Now()
+	tenant := tenantFrom(ctx)
 	feed := make(chan int)
 	done := make(chan indexed)
 	var wg sync.WaitGroup
@@ -644,10 +708,20 @@ func (s *Server) sweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 					done <- indexed{i, nil}
 					continue
 				}
+				// Each grid item gets its own span: the time it sat behind
+				// earlier items is its "queue" phase, and EvaluateCtx fills
+				// in cache/compile/search below. HTTP requests carry a span
+				// already, but one request-level span would smear phase
+				// timings across the whole grid; per-item spans are what
+				// make a single slow item findable in /v1/debug/slow.
+				itemStart := time.Now()
+				sp := obs.NewSpan("sweep-item")
+				sp.Tenant = tenant
+				sp.Observe("queue", itemStart.Sub(sweepStart))
 				// EvaluateCtx itself holds one budget token per in-flight
 				// evaluation, so the pool and any intra-request fan-out
 				// share one global concurrency cap.
-				res, err := s.EvaluateCtx(ctx, reqs[i])
+				res, err := s.EvaluateCtx(obs.ContextWith(ctx, sp), reqs[i])
 				if err != nil {
 					if ctx.Err() != nil {
 						// Interrupted, not failed: leave the slot empty
@@ -657,7 +731,10 @@ func (s *Server) sweepCtx(ctx context.Context, reqs []Request, workers int, onDo
 						continue
 					}
 					res = &Result{Tag: requestTag(&reqs[i], reqs[i].Macro, reqs[i].Network), Err: err.Error()}
+					sp.SetTag(res.Tag)
+					sp.SetError(res.Err)
 				}
+				s.finishSpan(sp, time.Since(itemStart))
 				done <- indexed{i, res}
 			}
 		}()

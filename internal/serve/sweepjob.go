@@ -81,6 +81,12 @@ func (r *sweepRun) fn() jobs.Fn {
 			ctx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
 			defer cancel()
 		}
+		if r.opts.Tenant != "" {
+			// The job context starts fresh (it outlives the submitting HTTP
+			// request); re-attach the tenant so per-item trace spans and the
+			// slow log attribute the work.
+			ctx = context.WithValue(ctx, tenantKey{}, r.opts.Tenant)
+		}
 		r.mu.Lock()
 		var restored, pending []int
 		for i := range r.reqs {

@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Observability smoke test: boot `cimloop serve` with a tenant file and
+# a debug listener and prove the obs subsystem end to end with the real
+# binary:
+#   - GET /metrics answers Prometheus text 0.0.4 without credentials
+#     and carries the acceptance-critical series after a sweep: cache
+#     hit counters, per-tenant WFQ dispatch counters, and the
+#     search-phase latency histogram
+#   - GET /v1/debug/slow (behind auth) shows per-item sweep spans with
+#     non-zero queue/compile/search phase timings
+#   - `cimloop obs metrics` and `cimloop obs slow` read both surfaces
+#   - net/http/pprof is served on -debug-addr and absent from the
+#     public listener
+#   - SIGHUP reloads the tenant file: a rotated token takes effect, a
+#     broken file is rejected with the previous set kept serving
+#
+# Run from the repo root:  ./scripts/obs_smoke.sh
+# Needs: go, curl, jq.
+set -euo pipefail
+
+ADDR="127.0.0.1:18098"
+BASE="http://$ADDR"
+DEBUG_ADDR="127.0.0.1:16061"
+WORK=$(mktemp -d)
+BIN="$WORK/cimloop"
+PID=""
+
+cleanup() {
+  [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "obs_smoke: FAIL — $*" >&2; exit 1; }
+
+echo "obs_smoke: building cimloop"
+go build -o "$BIN" ./cmd/cimloop
+
+cat > "$WORK/tenants.yaml" <<'EOF'
+tenants:
+  - id: team-a
+    token: secret-a
+    weight: 2
+  - id: team-b
+    token: secret-b
+EOF
+
+"$BIN" serve -addr "$ADDR" -workers 1 -async-threshold -1 \
+  -tenants "$WORK/tenants.yaml" -debug-addr "$DEBUG_ADDR" &
+PID=$!
+for _ in $(seq 1 100); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  kill -0 "$PID" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "server never became healthy"
+
+echo "obs_smoke: /metrics is open and speaks Prometheus text"
+HDRS=$(curl -si "$BASE/metrics")
+echo "$HDRS" | head -1 | grep -q ' 200' || fail "/metrics without token was not 200"
+echo "$HDRS" | grep -qi 'content-type: text/plain; version=0.0.4' \
+  || fail "/metrics content type is not Prometheus text 0.0.4"
+
+echo "obs_smoke: tenant sweep drives the counters"
+"$BIN" jobs submit -addr "$BASE" -token secret-a \
+  -macros base,macro-b -networks toy -mappings 4 -wait >/dev/null \
+  || fail "sweep job did not succeed"
+
+METRICS=$(curl -sf "$BASE/metrics")
+grep -q 'cimloop_cache_hits_total' <<<"$METRICS" \
+  || fail "missing cimloop_cache_hits_total"
+grep -q 'cimloop_cache_compiles_total' <<<"$METRICS" \
+  || fail "missing cimloop_cache_compiles_total"
+grep -Eq 'cimloop_wfq_dispatches_total\{tenant="team-a"\} [1-9]' <<<"$METRICS" \
+  || fail "missing per-tenant WFQ dispatch counter for team-a"
+grep -Eq 'cimloop_request_phase_seconds_count\{phase="search"\} [1-9]' <<<"$METRICS" \
+  || fail "missing search-phase latency histogram samples"
+grep -q 'cimloop_evaluate_seconds_bucket{le=' <<<"$METRICS" \
+  || fail "missing evaluate latency histogram buckets"
+grep -Eq 'cimloop_job_queue_wait_seconds_count\{class="batch"\} [1-9]' <<<"$METRICS" \
+  || fail "missing job queue-wait histogram samples"
+
+echo "obs_smoke: slow log carries per-item spans with phase timings"
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/debug/slow")
+[ "$STATUS" = 401 ] || fail "/v1/debug/slow without token was $STATUS, not 401"
+SLOW=$(curl -sf -H "Authorization: Bearer secret-a" "$BASE/v1/debug/slow")
+echo "$SLOW" | jq -e '[.requests[] | select(.route == "sweep-item")] | length >= 2' >/dev/null \
+  || fail "slow log has fewer than 2 sweep-item spans: $SLOW"
+for PHASE in queue compile search; do
+  echo "$SLOW" | jq -e --arg p "$PHASE" \
+    '[.requests[] | select(.route == "sweep-item") | .phases[]?
+      | select(.phase == $p and .seconds > 0)] | length >= 1' >/dev/null \
+    || fail "no sweep-item span with non-zero $PHASE time: $SLOW"
+done
+echo "$SLOW" | jq -e '[.requests[] | select(.route == "sweep-item" and .tenant == "team-a")] | length >= 1' >/dev/null \
+  || fail "sweep-item spans are not tenant-attributed"
+
+echo "obs_smoke: CLI views"
+"$BIN" obs metrics -addr "$BASE" | grep -q 'cimloop_uptime_seconds' \
+  || fail "cimloop obs metrics"
+"$BIN" obs slow -addr "$BASE" -token secret-a -limit 5 | grep -q 'sweep-item' \
+  || fail "cimloop obs slow"
+
+echo "obs_smoke: pprof only on the debug listener"
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' "http://$DEBUG_ADDR/debug/pprof/")
+[ "$STATUS" = 200 ] || fail "debug listener pprof index was $STATUS"
+curl -sf "http://$DEBUG_ADDR/metrics" | grep -q 'cimloop_uptime_seconds' \
+  || fail "debug listener must serve /metrics"
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/debug/pprof/")
+[ "$STATUS" != 200 ] || fail "pprof must not be reachable on the public listener"
+
+echo "obs_smoke: SIGHUP tenant rotation"
+cat > "$WORK/tenants.yaml" <<'EOF'
+tenants:
+  - id: team-a
+    token: rotated-a
+    weight: 2
+  - id: team-b
+    token: secret-b
+EOF
+kill -HUP "$PID"
+for _ in $(seq 1 50); do
+  STATUS=$(curl -s -o /dev/null -w '%{http_code}' \
+    -H "Authorization: Bearer secret-a" "$BASE/v1/macros")
+  [ "$STATUS" = 401 ] && break
+  sleep 0.1
+done
+[ "$STATUS" = 401 ] || fail "old token still admitted after rotation"
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H "Authorization: Bearer rotated-a" "$BASE/v1/macros")
+[ "$STATUS" = 200 ] || fail "rotated token rejected: $STATUS"
+
+echo "obs_smoke: broken tenant file keeps the previous set"
+echo 'tenants:' > "$WORK/tenants.yaml" # valid YAML, empty set: must be refused
+kill -HUP "$PID"
+for _ in $(seq 1 50); do
+  ERRS=$(curl -sf "$BASE/healthz" | jq -r '.obs.tenant_reload_errors // 0')
+  [ "$ERRS" -ge 1 ] && break
+  sleep 0.1
+done
+[ "$ERRS" -ge 1 ] || fail "failed reload was not counted (tenant_reload_errors=$ERRS)"
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H "Authorization: Bearer rotated-a" "$BASE/v1/macros")
+[ "$STATUS" = 200 ] || fail "previous tenant set lost after a broken reload"
+grep -q 'cimloop_tenant_reloads_total{result="ok"} 1' <<<"$(curl -sf "$BASE/metrics")" \
+  || fail "reload counter missing from /metrics"
+
+echo "obs_smoke: PASS"
