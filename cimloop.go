@@ -157,6 +157,7 @@ import (
 	"repro/internal/serve/api"
 	"repro/internal/serve/jobs"
 	"repro/internal/specfile"
+	"repro/internal/sweepdef"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -279,6 +280,14 @@ type (
 	Tenants = serve.Tenants
 	// TenantConfig is one tenant's entry in a Tenants configuration.
 	TenantConfig = serve.TenantConfig
+	// SweepDefs is a validated set of declarative sweep definitions
+	// (sweeps/*.yaml; see docs/EXPERIMENTS.md). Set it on
+	// BatchOptions.SweepDefs — or use Server.ReloadSweepDefsDir — to
+	// serve the definitions at POST /v1/experiments/{name}.
+	SweepDefs = sweepdef.Set
+	// SweepDef is one parsed definition: axes, budgets, and typed
+	// parameters, compiled into an EvalRequest grid by Compile.
+	SweepDef = sweepdef.Definition
 	// PersistStats snapshots the durable warm-start layer (warm-scan
 	// counts plus write-behind counters; zero-valued when disabled).
 	PersistStats = serve.PersistStats
@@ -367,6 +376,11 @@ func SweepResultsTable(results []*EvalResult) *Table { return serve.SweepTable(r
 // LoadTenantsFile reads a tenant file (see docs/TENANCY.md) for
 // BatchOptions.Tenants.
 func LoadTenantsFile(path string) (*Tenants, error) { return serve.LoadTenantsFile(path) }
+
+// LoadSweepDefs reads and validates a directory of declarative sweep
+// definitions (see docs/EXPERIMENTS.md) for BatchOptions.SweepDefs. Any
+// broken file fails the whole load.
+func LoadSweepDefs(dir string) (*SweepDefs, error) { return sweepdef.LoadDir(dir) }
 
 // Experiments lists the reproducible paper tables and figures.
 func Experiments() []string { return experiments.Names() }

@@ -108,6 +108,8 @@ func run(args []string) error {
 		return runCluster(args[1:])
 	case "jobs":
 		return runJobs(args[1:])
+	case "sweeps":
+		return runSweeps(args[1:])
 	case "obs":
 		return runObs(args[1:])
 	case "help", "-h", "--help":
@@ -134,6 +136,11 @@ func usage() {
   cimloop jobs list [-status S] [-limit N] [-cursor ID]  page and filter jobs
   cimloop jobs status <id>|wait <id>|cancel <id>     inspect and control async jobs
                                                      (wait streams progress via SSE)
+  cimloop sweeps ls [-dir ./sweeps | -addr URL]      list declarative sweep definitions
+  cimloop sweeps show <name> [-dir ./sweeps]         show one definition's parameter schema
+  cimloop sweeps validate [DIR]                      validate every definition in a directory
+  cimloop sweeps run <name> [-p k=v ...] [-dir ./sweeps | -addr URL [-async]]
+                                                     run a definition offline or on a server
   cimloop obs metrics [-addr URL]                    dump the Prometheus text exposition
   cimloop obs slow [-addr URL] [-limit N] [-json]    show the slowest recent requests
                                                      with per-phase timings`)
@@ -167,6 +174,8 @@ func runServe(args []string) error {
 		"shared blob-tier base URL (a cimloop blobd instance); any node's compile warm-starts the others")
 	tenantsFile := fs.String("tenants", "",
 		"tenant file (YAML): bearer tokens, fair-queuing weights, per-tenant quotas; enables auth (empty = open server); SIGHUP reloads it")
+	sweepsDir := fs.String("sweeps", "",
+		"directory of declarative sweep definitions (sweeps/*.yaml) served at /v1/experiments/{name} (empty = none); SIGHUP reloads it")
 	debugAddr := fs.String("debug-addr", "",
 		"extra listener with net/http/pprof, /metrics, and /healthz; bind to loopback — pprof is deliberately absent from -addr (empty = off)")
 	slowThreshold := fs.Duration("slow-threshold", 0,
@@ -215,6 +224,17 @@ func runServe(args []string) error {
 	if err := srv.ClusterError(); err != nil {
 		return err
 	}
+	if *sweepsDir != "" {
+		// Same fail-fast contract as tenants and durability: a requested
+		// definition directory that does not load (or that shadows a
+		// built-in experiment name) stops the boot instead of serving a
+		// partial experiment surface.
+		if err := srv.ReloadSweepDefsDir(*sweepsDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cimloop: serving %d sweep definitions from %s\n",
+			len(srv.SweepDefNames()), *sweepsDir)
+	}
 	if ps := srv.PersistStats(); ps.Enabled {
 		fmt.Fprintf(os.Stderr, "cimloop: warm start: %d engines, %d contexts, %d jobs restored, %d replayed, %d skipped\n",
 			ps.Warm.Engines, ps.Warm.Contexts, ps.Warm.Jobs, ps.Warm.Replayed, ps.Warm.Skipped)
@@ -223,19 +243,30 @@ func runServe(args []string) error {
 	// persistence queues before exit, so a restarted instance starts warm.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *tenantsFile != "" {
-		// SIGHUP rotates credentials without a restart. ReloadTenantsFile
-		// validates before swapping, so a half-written or empty file logs an
-		// error and the running set stays in force.
+	if *tenantsFile != "" || *sweepsDir != "" {
+		// SIGHUP rotates credentials and sweep definitions without a
+		// restart. Both reloads validate before swapping, so a half-written
+		// tenant file or a broken definition logs an error and the running
+		// set stays in force.
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)
 		defer signal.Stop(hup)
 		go func() {
 			for range hup {
-				if err := srv.ReloadTenantsFile(*tenantsFile); err != nil {
-					fmt.Fprintf(os.Stderr, "cimloop: tenant reload failed, keeping previous set: %v\n", err)
-				} else {
-					fmt.Fprintf(os.Stderr, "cimloop: reloaded tenant file %s\n", *tenantsFile)
+				if *tenantsFile != "" {
+					if err := srv.ReloadTenantsFile(*tenantsFile); err != nil {
+						fmt.Fprintf(os.Stderr, "cimloop: tenant reload failed, keeping previous set: %v\n", err)
+					} else {
+						fmt.Fprintf(os.Stderr, "cimloop: reloaded tenant file %s\n", *tenantsFile)
+					}
+				}
+				if *sweepsDir != "" {
+					if err := srv.ReloadSweepDefsDir(*sweepsDir); err != nil {
+						fmt.Fprintf(os.Stderr, "cimloop: sweep-definition reload failed, keeping previous set: %v\n", err)
+					} else {
+						fmt.Fprintf(os.Stderr, "cimloop: reloaded %d sweep definitions from %s\n",
+							len(srv.SweepDefNames()), *sweepsDir)
+					}
 				}
 			}
 		}()

@@ -378,3 +378,35 @@ func (c *Client) RunExperiment(ctx context.Context, req api.ExperimentRunRequest
 	err := c.do(ctx, http.MethodPost, "/v1/experiments", req, &out)
 	return out, err
 }
+
+// ListExperiments lists the built-in experiments AND the server's
+// registered sweeps/ definitions with their parameter schemas. It is
+// Experiments under a clearer name; both hit GET /v1/experiments.
+func (c *Client) ListExperiments(ctx context.Context) (api.ExperimentsResponse, error) {
+	return c.Experiments(ctx)
+}
+
+// RunNamedExperiment runs one registered sweep definition by name,
+// binding the request's parameters into its declared axes and budgets
+// (POST /v1/experiments/{name}). Exactly one of the returns is non-nil
+// on success, mirroring Sweep: the synchronous response, or the accepted
+// job when the request asked for async or the compiled grid reached the
+// server's promotion threshold.
+func (c *Client) RunNamedExperiment(ctx context.Context, name string, req api.NamedExperimentRequest) (*api.SweepResponse, *api.JobAccepted, error) {
+	status, raw, err := c.roundTrip(ctx, http.MethodPost, "/v1/experiments/"+url.PathEscape(name), req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if status == http.StatusAccepted {
+		var acc api.JobAccepted
+		if err := json.Unmarshal(raw, &acc); err != nil {
+			return nil, nil, err
+		}
+		return nil, &acc, nil
+	}
+	var out api.SweepResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, nil, err
+	}
+	return &out, nil, nil
+}

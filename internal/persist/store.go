@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -333,6 +334,52 @@ func (s *Store) Scan(workers int, fn func(Record) error) (ScanStats, error) {
 	}
 	close(feed)
 	wg.Wait()
+	return stats, nil
+}
+
+// ScanOrdered is Scan with a cost-ordered admission pass: files are read
+// and decoded across at most workers goroutines, then fn is called
+// serially in descending CostSec order (ties broken by key, ascending,
+// so the order is deterministic). Use it for boot warm-starts feeding a
+// budgeted cache: the most expensive compiles are admitted first, so if
+// the cache cannot hold everything it keeps the records that are
+// costliest to recompute. A record that fails to decode — or that fn
+// refuses — is counted as skipped and its file deleted, exactly like
+// Scan.
+func (s *Store) ScanOrdered(workers int, fn func(Record) error) (ScanStats, error) {
+	type loaded struct {
+		name string
+		rec  Record
+	}
+	var (
+		mu   sync.Mutex
+		recs []loaded
+	)
+	// Collect pass: reuse Scan's fan-out with a callback that only
+	// accumulates, so the parallel half (read + decode + checksum) is
+	// shared and only admission is serialized.
+	stats, err := s.Scan(workers, func(rec Record) error {
+		mu.Lock()
+		recs = append(recs, loaded{name: s.fileName(rec.Kind, rec.Key), rec: rec})
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].rec.CostSec != recs[j].rec.CostSec {
+			return recs[i].rec.CostSec > recs[j].rec.CostSec
+		}
+		return recs[i].rec.Key < recs[j].rec.Key
+	})
+	for _, l := range recs {
+		if ferr := fn(l.rec); ferr != nil {
+			os.Remove(l.name)
+			stats.Loaded--
+			stats.Skipped++
+		}
+	}
 	return stats, nil
 }
 

@@ -156,6 +156,75 @@ func TestStoreScanReclaimsBadFiles(t *testing.T) {
 	}
 }
 
+// TestStoreScanOrderedAdmitsByDescendingCost pins the cost-ordered
+// admission contract: callbacks fire serially, most expensive record
+// first, ties broken by ascending key — so a budgeted cache fed by a
+// boot warm-scan keeps the compiles that are costliest to redo.
+func TestStoreScanOrderedAdmitsByDescendingCost(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put(KindEngine, "eng|cheap", 0.25, payload("cheap"))
+	s.Put(KindEngine, "eng|mid", 1.5, payload("mid"))
+	s.Put(KindEngine, "eng|dear", 8, payload("dear"))
+	// Equal costs: the tie-break is the key, ascending.
+	s.Put(KindLayerContext, "ctx|a|tie", 1.5, payload("tie-a"))
+	s.Put(KindLayerContext, "ctx|b|tie", 1.5, payload("tie-b"))
+	s.Flush()
+
+	var keys []string
+	stats, err := s.ScanOrdered(4, func(rec Record) error {
+		keys = append(keys, rec.Key)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 5 || stats.Loaded != 5 || stats.Skipped != 0 {
+		t.Fatalf("scan stats = %+v, want 5 loaded", stats)
+	}
+	want := []string{"eng|dear", "ctx|a|tie", "ctx|b|tie", "eng|mid", "eng|cheap"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("admission order = %v, want %v", keys, want)
+	}
+}
+
+// TestStoreScanOrderedReclaimsRejected: a record the admission callback
+// refuses is counted skipped and its file deleted, like Scan.
+func TestStoreScanOrderedReclaimsRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put(KindEngine, "eng|keep", 2, payload("keep"))
+	s.Put(KindEngine, "eng|reject", 5, payload("reject"))
+	s.Flush()
+
+	stats, err := s.ScanOrdered(2, func(rec Record) error {
+		if rec.Key == "eng|reject" {
+			return fmt.Errorf("refused")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 2 || stats.Loaded != 1 || stats.Skipped != 1 {
+		t.Fatalf("scan stats = %+v, want loaded=1 skipped=1", stats)
+	}
+	if _, err := os.Stat(filepath.Join(dir, RecordName(KindEngine, "eng|reject"))); !os.IsNotExist(err) {
+		t.Fatal("rejected record's file must be deleted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, RecordName(KindEngine, "eng|keep"))); err != nil {
+		t.Fatal("accepted record's file must survive")
+	}
+}
+
 // TestStoreCloseDropsLateWrites: Put/Delete/Flush after Close must not
 // panic or block; they count as dropped.
 func TestStoreCloseDropsLateWrites(t *testing.T) {

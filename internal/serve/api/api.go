@@ -227,7 +227,66 @@ type NetworksResponse struct {
 
 // ExperimentsResponse is the 200 body of GET /v1/experiments.
 type ExperimentsResponse struct {
+	// Experiments lists the built-in (compiled) paper experiments runnable
+	// via POST /v1/experiments.
 	Experiments []string `json:"experiments"`
+	// Definitions lists the declarative sweeps/ definitions registered on
+	// this server, each runnable via POST /v1/experiments/{name} with the
+	// parameters in its schema. Empty when the server was started without
+	// a sweeps directory.
+	Definitions []ExperimentInfo `json:"definitions,omitempty"`
+}
+
+// ExperimentParam is one declared parameter in an experiment
+// definition's schema: callers bind it by name in
+// NamedExperimentRequest.Params.
+type ExperimentParam struct {
+	Name string `json:"name"`
+	// Type is "string", "int", "float", or "bool".
+	Type        string `json:"type"`
+	Description string `json:"description,omitempty"`
+	// Default is the value used when the parameter is not bound; its JSON
+	// type matches Type.
+	Default any `json:"default"`
+	// Min and Max bound int/float parameters inclusively.
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Choices restricts a string parameter to an explicit set.
+	Choices []string `json:"choices,omitempty"`
+}
+
+// ExperimentInfo describes one named, parameterized experiment
+// definition in GET /v1/experiments.
+type ExperimentInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Source is "sweep" for sweeps/ definitions ("builtin" reserved for a
+	// future unification with the compiled experiments list).
+	Source string `json:"source"`
+	// File is the definition's file name within the sweeps directory.
+	File string `json:"file,omitempty"`
+	// Priority is the definition's default async scheduling class.
+	Priority string `json:"priority,omitempty"`
+	// Requests is the grid size when every parameter takes its default.
+	Requests int `json:"requests"`
+	// Params is the parameter schema; bind values by Name.
+	Params []ExperimentParam `json:"params,omitempty"`
+}
+
+// NamedExperimentRequest is the body of POST /v1/experiments/{name}. An
+// empty body (or empty Params) runs the definition with every parameter
+// at its default.
+type NamedExperimentRequest struct {
+	// Params binds declared parameters by name. Unknown names are
+	// rejected; values are coerced to the declared types.
+	Params map[string]any `json:"params,omitempty"`
+	// Async forces the job path regardless of grid size; large grids are
+	// promoted automatically exactly like POST /v1/sweep.
+	Async bool `json:"async,omitempty"`
+	// TimeoutSec caps the run like SweepRequest.TimeoutSec.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Priority overrides the definition's default scheduling class.
+	Priority jobs.Priority `json:"priority,omitempty"`
 }
 
 // ExperimentRunRequest is the body of POST /v1/experiments.
@@ -359,6 +418,10 @@ type ObsStats struct {
 	// hot-reload attempts by outcome.
 	TenantReloads      int64 `json:"tenant_reloads,omitempty"`
 	TenantReloadErrors int64 `json:"tenant_reload_errors,omitempty"`
+	// SweepReloads / SweepReloadErrors count sweep-definition reload
+	// attempts by outcome (boot registration and SIGHUP).
+	SweepReloads      int64 `json:"sweep_reloads,omitempty"`
+	SweepReloadErrors int64 `json:"sweep_reload_errors,omitempty"`
 }
 
 // SlowResponse is the 200 body of GET /v1/debug/slow: the retained

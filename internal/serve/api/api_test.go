@@ -22,6 +22,9 @@ import (
 //	go test ./internal/serve/api -run Golden -update
 var update = flag.Bool("update", false, "rewrite the golden files")
 
+// f64 builds the *float64 bounds of ExperimentParam literals.
+func f64(v float64) *float64 { return &v }
+
 // goldenCases instantiates every wire type with every field populated
 // (omitempty fields must appear in the goldens, or silent renames could
 // hide). Values are fixed, never derived from the clock.
@@ -107,9 +110,38 @@ func goldenCases() []struct {
 		{"networks_response", NetworksResponse{Networks: []NetworkInfo{{
 			Name: "resnet18", Layers: 21, MACs: 1814073344,
 		}}}},
-		{"experiments_response", ExperimentsResponse{Experiments: []string{"fig2a", "fig15"}}},
+		{"experiments_response", ExperimentsResponse{
+			Experiments: []string{"fig2a", "fig15"},
+			Definitions: []ExperimentInfo{{
+				Name:        "fig15-scenarios",
+				Description: "Macro-B full-system scenario grid",
+				Source:      "sweep",
+				File:        "fig15-scenarios.yaml",
+				Priority:    "batch",
+				Requests:    6,
+				Params: []ExperimentParam{
+					{
+						Name: "network", Type: "string",
+						Description: "zoo network to sweep",
+						Default:     "resnet18",
+						Choices:     []string{"resnet18", "vit-base", "gpt2"},
+					},
+					{
+						Name: "mappings", Type: "int",
+						Description: "per-layer mapping budget",
+						Default:     30, Min: f64(1), Max: f64(500),
+					},
+				},
+			}},
+		}},
 		{"experiment_run_request", ExperimentRunRequest{Name: "fig2a", Fast: true, MaxMappings: 8, Seed: 3}},
 		{"experiment_run_response", ExperimentRunResponse{Tables: []string{"| fig2a |"}}},
+		{"named_experiment_request", NamedExperimentRequest{
+			Params:     map[string]any{"mappings": 60, "network": "gpt2"},
+			Async:      true,
+			TimeoutSec: 30,
+			Priority:   jobs.PriorityBatch,
+		}},
 		{"healthz_response", HealthzResponse{
 			Status:    "ok",
 			Version:   Version,
@@ -126,6 +158,7 @@ func goldenCases() []struct {
 			Obs: ObsStats{
 				Spans: 42, SlowEntries: 8, SlowRecorded: 40, SlowThresholdSec: 0.25,
 				DroppedLabelSets: 3, TenantReloads: 2, TenantReloadErrors: 1,
+				SweepReloads: 3, SweepReloadErrors: 1,
 			},
 		}},
 		{"slow_response", SlowResponse{
@@ -260,6 +293,8 @@ func newOfSameType(t *testing.T, v any) any {
 		return new(ExperimentRunRequest)
 	case ExperimentRunResponse:
 		return new(ExperimentRunResponse)
+	case NamedExperimentRequest:
+		return new(NamedExperimentRequest)
 	case HealthzResponse:
 		return new(HealthzResponse)
 	case SlowResponse:

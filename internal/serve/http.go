@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -51,8 +52,14 @@ import (
 //	POST /v1/jobs/{id}/cancel   request cancellation (idempotent)
 //	GET  /v1/macros             api.MacrosResponse (Table III)
 //	GET  /v1/networks           api.NetworksResponse (model zoo)
-//	GET  /v1/experiments        api.ExperimentsResponse
+//	GET  /v1/experiments        api.ExperimentsResponse: built-in
+//	                            experiments plus registered sweeps/
+//	                            definitions with parameter schemas
 //	POST /v1/experiments        api.ExperimentRunRequest -> tables
+//	POST /v1/experiments/{name} api.NamedExperimentRequest: bind
+//	                            parameters into a registered definition
+//	                            and run its grid through the sweep path
+//	                            (200 SweepResponse or 202 JobAccepted)
 //
 // Every response is JSON (the SSE stream frames JSON events); every
 // error — including unknown routes, wrong methods, oversized bodies,
@@ -75,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("POST /v1/experiments", s.handleExperimentRun)
+	mux.HandleFunc("POST /v1/experiments/{name}", s.handleNamedExperiment)
 	// Auth runs outside the mux so an unauthenticated request learns
 	// nothing about the route table; /healthz and /metrics are exempt
 	// inside withAuth. The obs middleware sits inside auth so spans carry
@@ -189,11 +197,22 @@ func writeAPIError(w http.ResponseWriter, status int, e *api.Error) {
 // (silent typos would otherwise evaluate the wrong thing) and oversized
 // payloads (413 + envelope; the bound is BatchOptions.MaxBodyBytes).
 func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	return s.decodeBody(w, r, v, false)
+}
+
+// decodeJSONOptional is decodeJSON for endpoints where an absent body is
+// a valid request (POST /v1/experiments/{name} with every parameter at
+// its default): EOF before any JSON leaves v at its zero value.
+func (s *Server) decodeJSONOptional(w http.ResponseWriter, r *http.Request, v any) bool {
+	return s.decodeBody(w, r, v, true)
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any, allowEmpty bool) bool {
 	limit := s.opts.maxBodyBytes()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	err := dec.Decode(v)
-	if err == nil {
+	if err == nil || (allowEmpty && errors.Is(err, io.EOF)) {
 		return true
 	}
 	var mbe *http.MaxBytesError
@@ -512,12 +531,17 @@ func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
-	if s.ExperimentNames == nil {
+	set := s.sweepSet()
+	if s.ExperimentNames == nil && set.Len() == 0 {
 		writeAPIError(w, http.StatusNotImplemented,
 			api.Errorf(api.CodeNotImplemented, "experiment listing not wired"))
 		return
 	}
-	writeJSON(w, http.StatusOK, api.ExperimentsResponse{Experiments: s.ExperimentNames()})
+	out := api.ExperimentsResponse{Definitions: set.Infos()}
+	if s.ExperimentNames != nil {
+		out.Experiments = s.ExperimentNames()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {

@@ -47,6 +47,7 @@ type serverMetrics struct {
 	queueWait       *obs.HistogramVec // class
 	persistWrite    *obs.HistogramVec // store
 	tenantReloads   *obs.CounterVec   // result
+	sweepReloads    *obs.CounterVec   // result
 	spansTotal      *obs.Counter
 }
 
@@ -67,6 +68,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Write-behind store write latency (encode + fsync + rename), by store.", nil, "store"),
 		tenantReloads: reg.CounterVec("cimloop_tenant_reloads_total",
 			"Tenant-file hot reloads by result (SIGHUP token rotation).", "result"),
+		sweepReloads: reg.CounterVec("cimloop_sweepdef_reloads_total",
+			"Sweep-definition hot reloads by result (boot registration and SIGHUP).", "result"),
 		spansTotal: reg.Counter("cimloop_spans_total",
 			"Finished request spans (HTTP requests and sweep items)."),
 	}
@@ -171,6 +174,8 @@ func (s *Server) ObsStats() api.ObsStats {
 		DroppedLabelSets:   s.met.reg.DroppedLabelSets(),
 		TenantReloads:      int64(s.met.tenantReloads.With("ok").Value()),
 		TenantReloadErrors: int64(s.met.tenantReloads.With("error").Value()),
+		SweepReloads:       int64(s.met.sweepReloads.With("ok").Value()),
+		SweepReloadErrors:  int64(s.met.sweepReloads.With("error").Value()),
 	}
 }
 

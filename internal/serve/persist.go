@@ -163,13 +163,16 @@ func (s *Server) cacheFillHook() func(key string, val any, costSec float64, comp
 // warmStartCache scans the cache dir with bounded parallelism, verifies
 // each record's content fingerprint, and admits survivors through the
 // normal eviction policy (capacity still holds). Mismatches and decode
-// failures are deleted by the scan.
+// failures are deleted by the scan. Admission runs in descending
+// persisted-cost order (ScanOrdered): when the cache budget cannot hold
+// every record on disk, the compiles that were most expensive to produce
+// are warm first and the cheap ones are the ones evicted.
 func (s *Server) warmStartCache() {
 	store := s.persist.cache
 	if store == nil {
 		return
 	}
-	stats, err := store.Scan(runtime.NumCPU(), func(rec persist.Record) error {
+	stats, err := store.ScanOrdered(runtime.NumCPU(), func(rec persist.Record) error {
 		switch rec.Kind {
 		case persist.KindEngine:
 			eng, err := persist.DecodeEngine(rec.Payload)

@@ -39,6 +39,7 @@ import (
 	"repro/internal/serve/api"
 	"repro/internal/serve/jobs"
 	"repro/internal/specfile"
+	"repro/internal/sweepdef"
 	"repro/internal/system"
 	"repro/internal/workload"
 )
@@ -144,6 +145,14 @@ type BatchOptions struct {
 	// later via ReloadTenants (the CLI wires SIGHUP to it).
 	Tenants *Tenants
 
+	// SweepDefs registers a set of declarative sweep definitions (package
+	// sweepdef, normally loaded from a sweeps/ directory) as named,
+	// parameterized experiments behind GET /v1/experiments and
+	// POST /v1/experiments/{name}. Nil serves no definitions; the set can
+	// be hot-swapped later via ReloadSweepDefs (the CLI wires SIGHUP to
+	// it, next to the tenant reload).
+	SweepDefs *sweepdef.Set
+
 	// SlowLogSize bounds the /v1/debug/slow request ring (default
 	// DefaultSlowLogSize).
 	SlowLogSize int
@@ -247,6 +256,9 @@ type Server struct {
 	// atomically by ReloadTenants (SIGHUP token rotation), so a reload
 	// never tears a request between two sets.
 	tenants atomic.Pointer[Tenants]
+	// sweeps is the live sweep-definition set (see sweeps.go), swapped
+	// atomically by ReloadSweepDefs under the same never-tear rule.
+	sweeps atomic.Pointer[sweepdef.Set]
 	// mappingsEvaluated is the cumulative count of candidate mappings
 	// evaluated since boot, surfaced in /healthz. Checkpointed resume is
 	// observable through it: a resumed sweep adds only its unfinished
@@ -278,6 +290,7 @@ func NewServer(opts BatchOptions) *Server {
 	s.met = newServerMetrics(obs.NewRegistry())
 	s.slow = obs.NewSlowLog(opts.slowLogSize(), opts.SlowThreshold)
 	s.tenants.Store(opts.Tenants)
+	s.sweeps.Store(opts.SweepDefs)
 	s.openPersist(opts.CacheDir, opts.JobsDir)
 	if s.persist.cache != nil {
 		s.persist.cache.SetObserver(s.persistObserver("cache"))

@@ -7,7 +7,7 @@ import (
 )
 
 func TestZooNetworksValidate(t *testing.T) {
-	names := []string{"resnet18", "vit-base", "mobilenetv3-large", "gpt2", "toy"}
+	names := []string{"resnet18", "vit-base", "mobilenetv3-large", "gpt2", "transformer", "toy"}
 	for _, name := range names {
 		n, err := ByName(name)
 		if err != nil {
@@ -43,6 +43,33 @@ func TestGPT2MACs(t *testing.T) {
 	macs := GPT2().MACs()
 	if macs < 80e9 || macs > 95e9 {
 		t.Fatalf("GPT2 MACs = %d, want ~87e9", macs)
+	}
+}
+
+func TestTransformerShape(t *testing.T) {
+	n := Transformer()
+	if len(n.Layers) != 6 {
+		t.Fatalf("Transformer layer count = %d, want 6 (qkv, qk, av, proj, fc1, fc2)", len(n.Layers))
+	}
+	// seq 128, dim 256, mlp 1024, 4 heads, 2 blocks:
+	//   qkv 2*128*256*768 + (qk+av) 2*8*128*64*128 + proj 2*128*256*256
+	//   + fc1/fc2 2*2*128*256*1024 = 218,103,808 exactly.
+	if macs := n.MACs(); macs != 218103808 {
+		t.Fatalf("Transformer MACs = %d, want 218103808", macs)
+	}
+	// The attention probability matmul (attn_av) consumes a softmax
+	// output: unsigned, sparse, low-magnitude activations.
+	var av *Layer
+	for i := range n.Layers {
+		if n.Layers[i].Name == "attn_av" {
+			av = &n.Layers[i]
+		}
+	}
+	if av == nil {
+		t.Fatal("Transformer has no attn_av layer")
+	}
+	if av.Act.Signed || av.Act.Sparsity == 0 {
+		t.Fatalf("attn_av activation stats %+v should be unsigned and sparse (softmax output)", av.Act)
 	}
 }
 

@@ -192,6 +192,37 @@ func GPT2() *Network {
 	return &Network{Name: "gpt2", Layers: layers}
 }
 
+// Transformer returns a compact transformer encoder block as explicit
+// einsums — attention score (QK^T), attention-weighted values (AV), the
+// QKV/output projections, and the MLP pair — at sequence length 128 and
+// model width 256 (4 heads). Unlike the full-size ViT/GPT-2 entries it
+// is small enough for per-layer mapping search in tests and smoke runs,
+// while still exercising every attention-shaped einsum: the photonic and
+// beyond-CMOS sweep definitions use it as their default workload.
+func Transformer() *Network {
+	const seq, dim, mlp, heads = 128, 256, 1024, 4
+	headDim := dim / heads
+	layers := []Layer{
+		{Name: "attn_qkv", Op: mustMatMul("attn_qkv", seq, dim, 3*dim), Repeat: 2,
+			Act: transformerStats(1), Wgt: WeightStats{Std: 0.16}},
+		{Name: "attn_qk", Op: mustMatMul("attn_qk", seq, headDim, seq), Repeat: 2 * heads,
+			Act: transformerStats(2), Wgt: WeightStats{Std: 0.20}},
+		// Post-softmax attention weights: non-negative, mostly small, a
+		// third near zero — the value profile the data-value-dependent
+		// energy model rewards.
+		{Name: "attn_av", Op: mustMatMul("attn_av", seq, seq, headDim), Repeat: 2 * heads,
+			Act: ActStats{Signed: false, Sparsity: 0.30, Mean: 0.10, Std: 0.12, Corr: 0.4}, Wgt: WeightStats{Std: 0.20}},
+		{Name: "attn_proj", Op: mustMatMul("attn_proj", seq, dim, dim), Repeat: 2,
+			Act: transformerStats(3), Wgt: WeightStats{Std: 0.16}},
+		{Name: "mlp_fc1", Op: mustMatMul("mlp_fc1", seq, dim, mlp), Repeat: 2,
+			Act: transformerStats(4), Wgt: WeightStats{Std: 0.16}},
+		// GELU output: one-sided like ReLU but denser near zero.
+		{Name: "mlp_fc2", Op: mustMatMul("mlp_fc2", seq, mlp, dim), Repeat: 2,
+			Act: ActStats{Signed: false, Sparsity: 0.45, Mean: 0.12, Std: 0.15, Corr: 0.35}, Wgt: WeightStats{Std: 0.16}},
+	}
+	return &Network{Name: "transformer", Layers: layers}
+}
+
 // MaxUtilization returns a single matrix multiply whose reduction and
 // output dimensions exactly match a rows×cols CiM array — the maximum-
 // utilization workload of Figs. 12 and 14. vectors is the number of input
@@ -228,7 +259,7 @@ func Toy() *Network {
 // Names lists the zoo's canonical network names, in ByName order. Keep
 // in step with the switch below when adding a network.
 func Names() []string {
-	return []string{"resnet18", "vit-base", "mobilenetv3-large", "gpt2", "toy"}
+	return []string{"resnet18", "vit-base", "mobilenetv3-large", "gpt2", "transformer", "toy"}
 }
 
 // ByName returns a zoo network by its canonical name.
@@ -242,6 +273,8 @@ func ByName(name string) (*Network, error) {
 		return MobileNetV3Large(), nil
 	case "gpt2":
 		return GPT2(), nil
+	case "transformer":
+		return Transformer(), nil
 	case "toy":
 		return Toy(), nil
 	}
